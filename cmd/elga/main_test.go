@@ -1,0 +1,136 @@
+package main_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCLIEndToEnd builds the elga and elga-gen binaries and drives a full
+// multi-process cluster over TCP: master, directory, agents, stream, run,
+// query — then sends SIGINT to the agent process and verifies the
+// graceful elastic departure path.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	dir := t.TempDir()
+	elga := filepath.Join(dir, "elga")
+	gen := filepath.Join(dir, "elga-gen")
+	for bin, pkg := range map[string]string{elga: "elga/cmd/elga", gen: "elga/cmd/elga-gen"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// Pick a free port for the master.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterAddr := l.Addr().String()
+	l.Close()
+
+	var procs []*exec.Cmd
+	stop := func() {
+		for i := len(procs) - 1; i >= 0; i-- {
+			if procs[i].Process != nil {
+				_ = procs[i].Process.Kill()
+				_, _ = procs[i].Process.Wait()
+			}
+		}
+	}
+	defer stop()
+	spawn := func(args ...string) *exec.Cmd {
+		cmd := exec.Command(elga, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawn %v: %v", args, err)
+		}
+		procs = append(procs, cmd)
+		return cmd
+	}
+
+	spawn("master", "-addr", masterAddr)
+	waitForPort(t, masterAddr)
+	spawn("directory", "-master", masterAddr)
+	agentCmd := spawn("agent", "-master", masterAddr, "-n", "3")
+
+	// Generate a graph and stream it in.
+	graphFile := filepath.Join(dir, "g.txt")
+	genOut, err := exec.Command(gen, "rmat", "-scale", "10", "-edges", "5000").Output()
+	if err != nil {
+		t.Fatalf("elga-gen: %v", err)
+	}
+	if err := os.WriteFile(graphFile, genOut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := func(args ...string) string {
+		var out bytes.Buffer
+		cmd := exec.Command(elga, args...)
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		// Allow time for agents to finish joining on loaded machines.
+		for attempt := 0; ; attempt++ {
+			out.Reset()
+			if err := cmd.Run(); err == nil {
+				return out.String()
+			}
+			if attempt >= 3 {
+				t.Fatalf("elga %v failed: %s", args, out.String())
+			}
+			time.Sleep(500 * time.Millisecond)
+			cmd = exec.Command(elga, args...)
+			cmd.Stdout = &out
+			cmd.Stderr = &out
+		}
+	}
+
+	if got := run("stream", "-master", masterAddr, "-file", graphFile); !strings.Contains(got, "streamed") {
+		t.Fatalf("stream output: %s", got)
+	}
+	if got := run("run", "-master", masterAddr, "-algo", "wcc", "-scratch"); !strings.Contains(got, "converged=true") {
+		t.Fatalf("run output: %s", got)
+	}
+	got := run("query", "-master", masterAddr, "-vertex", "1")
+	if !strings.Contains(got, "vertex 1:") {
+		t.Fatalf("query output: %s", got)
+	}
+
+	// Graceful elastic departure: SIGINT migrates edges away and exits.
+	if err := agentCmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- agentCmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("agent did not exit after SIGINT")
+	}
+}
+
+func waitForPort(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("port %s never opened", addr)
+}
+
+var _ = fmt.Sprintf // keep fmt for debug edits

@@ -1,0 +1,95 @@
+// Autoscale drives an ElGA cluster with a step-function client query load
+// and lets the reactive autoscaler (EMA of query rate / per-agent
+// capacity, with a cooldown) resize the cluster — the paper's Figure 18.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"elga/internal/autoscale"
+	"elga/internal/client"
+	"elga/internal/cluster"
+	"elga/internal/gen"
+	"elga/internal/graph"
+)
+
+func main() {
+	el := gen.RMAT(12, 50_000, gen.Graph500Params(), 31)
+	c, err := cluster.New(cluster.Options{Agents: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Load(el); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Run(client.RunSpec{Algo: "pagerank", MaxSteps: 5, FromScratch: true}); err != nil {
+		log.Fatal(err)
+	}
+	cl, err := c.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	// The reactive policy of §3.4.3: EMA of the query rate, one agent
+	// per 500 q/s, decisions at most every 400ms.
+	as := autoscale.New(150*time.Millisecond, autoscale.Policy{
+		PerAgentCapacity: 500, Min: 1, Max: 8, Cooldown: 400 * time.Millisecond,
+	}, c.NumAgents())
+
+	// Step-function load, emulating sudden workload changes.
+	phases := []struct {
+		name  string
+		ticks int
+		qps   float64
+	}{
+		{"calm", 8, 300},
+		{"burst", 10, 3000},
+		{"cooldown", 10, 400},
+	}
+	tick := 60 * time.Millisecond
+	fmt.Printf("%-10s  %-8s  %-8s  %-7s  %s\n", "phase", "load", "ema", "target", "agents")
+	for _, ph := range phases {
+		for i := 0; i < ph.ticks; i++ {
+			tickStart := time.Now()
+			// Issue the tick's queries (the metric source).
+			n := int(ph.qps * tick.Seconds())
+			for q := 0; q < n; q++ {
+				if _, _, err := cl.Query(graph.VertexID(q % 1024)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			// Pace to the nominal tick so EMA time constants and the
+			// cooldown behave as configured.
+			if rest := tick - time.Since(tickStart); rest > 0 {
+				time.Sleep(rest)
+			}
+			now := time.Now()
+			as.Observe(now, ph.qps)
+			d := as.Decide(now)
+			if d.Applied {
+				for c.NumAgents() < d.Target {
+					if _, err := c.AddAgent(); err != nil {
+						log.Fatal(err)
+					}
+				}
+				for c.NumAgents() > d.Target {
+					if err := c.RemoveAgent(c.NumAgents() - 1); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+			fmt.Printf("%-10s  %-8.0f  %-8.0f  %-7d  %d\n",
+				ph.name, ph.qps, as.Load(), d.Target, c.NumAgents())
+		}
+	}
+	fmt.Println("\nautoscaler decision history:")
+	for _, d := range as.History() {
+		if d.Applied {
+			fmt.Printf("  scaled to %d (smoothed load %.0f q/s)\n", d.Target, d.Load)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module elga
+
+go 1.22

@@ -1,0 +1,437 @@
+// Package agent implements ElGA's Agents (§3.4): the entities that hold
+// the graph in memory and carry out vertex-centric computation.
+//
+// An Agent is a single-threaded state machine driven by its inbox. It
+// continuously polls its communication channel and acts on whatever packet
+// it receives: it validates that it is still the correct destination
+// (forwarding otherwise), buffers packets for future iterations, executes
+// the algorithm on its vertices, exchanges replica state for split
+// vertices, and migrates edges when the directory view changes.
+package agent
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"elga/internal/algorithm"
+	"elga/internal/autoscale"
+	"elga/internal/config"
+	"elga/internal/consistent"
+	"elga/internal/graph"
+	"elga/internal/route"
+	"elga/internal/sketch"
+	"elga/internal/transport"
+	"elga/internal/wire"
+)
+
+// Options configures an Agent.
+type Options struct {
+	// Config is the shared cluster configuration.
+	Config config.Config
+	// Network is the transport.
+	Network transport.Network
+	// MasterAddr locates the DirectoryMaster for bootstrap.
+	MasterAddr string
+	// Addr is the listen address ("" auto-allocates).
+	Addr string
+	// DirIndex selects which directory to subscribe to (mod the
+	// directory count); control traffic always goes to the coordinator.
+	DirIndex int
+}
+
+// ackGroup tracks a set of outstanding acked sends with a common
+// completion action: either "ack the packet that caused them" (deferred
+// acknowledgement, used for forwarding chains and replica value updates)
+// or "this phase's sends are drained" (origin == nil).
+type ackGroup struct {
+	pending int
+	origin  *wire.Packet
+}
+
+// mailEntry is a mailbox cell for one (step, vertex). While a run is
+// installed, messages aggregate eagerly through the program's Gather;
+// messages arriving before the run context exists (broadcast/push races,
+// mid-migration re-routes) buffer raw and fold at consumption.
+type mailEntry struct {
+	agg   algorithm.Word
+	eager bool
+	raw   []algorithm.Word
+	n     uint64
+	have  bool
+}
+
+// fold produces the entry's aggregate under prog.
+func (e *mailEntry) fold(prog algorithm.Program) algorithm.Word {
+	agg := prog.ZeroAgg()
+	if e.eager {
+		agg = e.agg
+	}
+	for _, r := range e.raw {
+		agg = prog.Gather(agg, r)
+	}
+	return agg
+}
+
+// partialEntry accumulates replica partials at a master.
+type partialEntry struct {
+	agg    algorithm.Word
+	n      uint64
+	have   bool
+	outDeg uint64
+}
+
+// runCtx is the per-algorithm-run state.
+type runCtx struct {
+	id      uint32
+	spec    *wire.AlgoStart
+	prog    algorithm.Program
+	adjust  algorithm.PerEdgeAdjuster // nil unless the program adjusts per edge
+	ctx     algorithm.Context
+	step    uint32
+	phase   uint8
+	started bool // saw Advance(step 0) or joined mid-run
+
+	active     map[graph.VertexID]struct{} // process next compute phase
+	residual   float64
+	activeNext uint64
+	splitWork  bool
+
+	// Asynchronous-mode cumulative message counters (quiescence
+	// detection).
+	asyncSent     uint64
+	asyncReceived uint64
+
+	// doneLocal marks local processing of the current phase complete;
+	// Ready is sent when doneLocal && phase gate drained.
+	doneLocal  bool
+	readySent  bool
+	phaseStart time.Time
+}
+
+// Agent is one ElGA agent.
+type Agent struct {
+	opts      Options
+	node      *transport.Node
+	router    *route.Router
+	id        uint64
+	coordAddr string
+	dirAddr   string
+
+	store  *graph.Store
+	values map[graph.VertexID]algorithm.Word
+	// totalOutDeg caches authoritative out-degrees of split vertices
+	// (from ValueUpdates) for replica-side scatters.
+	totalOutDeg map[graph.VertexID]uint64
+	// registered tracks split vertices this agent announced to masters.
+	registered map[graph.VertexID]bool
+
+	skDelta  *sketch.Sketch
+	buffered []wire.EdgeChange
+
+	mailbox  map[uint32]map[graph.VertexID]*mailEntry
+	partials map[uint32]map[graph.VertexID]*partialEntry
+
+	run *runCtx
+
+	phaseGate    *ackGroup
+	reqToGroups  map[uint32][]*ackGroup
+	pendingVotes []pendingVote
+	// deferred holds data-plane packets that arrived before the run
+	// context they belong to (broadcasts and peer pushes are not
+	// ordered relative to each other); they replay at TAlgoStart.
+	deferred []*wire.Packet
+
+	migratedEpoch uint64 // last epoch whose migration round we voted in
+	leaving       bool
+	readyToExit   bool
+	stopped       atomic.Bool
+	done          chan struct{}
+
+	// stats counters exposed for metrics and tests
+	statForwarded uint64
+	statApplied   uint64
+	statQueries   uint64
+	lastApplied   uint64
+	lastQueries   uint64
+	copyCount     atomic.Int64
+	vertexCount   atomic.Int64
+}
+
+// Start boots an agent: it discovers the directories via the master,
+// subscribes to one, joins through the coordinator, and starts its event
+// loop.
+func Start(opts Options) (*Agent, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	node, err := transport.NewNode(opts.Network, opts.Addr, 0)
+	if err != nil {
+		return nil, err
+	}
+	node.SetAckNotify(true)
+	a := &Agent{
+		opts:        opts,
+		node:        node,
+		router:      route.New(opts.Config),
+		store:       graph.NewStore(),
+		values:      make(map[graph.VertexID]algorithm.Word),
+		totalOutDeg: make(map[graph.VertexID]uint64),
+		registered:  make(map[graph.VertexID]bool),
+		skDelta:     opts.Config.NewSketch(),
+		mailbox:     make(map[uint32]map[graph.VertexID]*mailEntry),
+		partials:    make(map[uint32]map[graph.VertexID]*partialEntry),
+		phaseGate:   &ackGroup{},
+		reqToGroups: make(map[uint32][]*ackGroup),
+		done:        make(chan struct{}),
+	}
+	reply, err := node.Request(opts.MasterAddr, wire.TGetDirectory, nil, opts.Config.RequestTimeout)
+	if err != nil {
+		node.Close()
+		return nil, fmt.Errorf("agent: bootstrap: %w", err)
+	}
+	dirs, err := wire.DecodeStringList(reply.Payload)
+	if err != nil || len(dirs) == 0 {
+		node.Close()
+		return nil, fmt.Errorf("agent: no directories available")
+	}
+	a.coordAddr = dirs[0]
+	a.dirAddr = dirs[opts.DirIndex%len(dirs)]
+	// Subscribe before joining so the join's view broadcast is not missed.
+	if err := node.Send(a.dirAddr, wire.TSubscribe, wire.SubscribeTypes()); err != nil {
+		node.Close()
+		return nil, err
+	}
+	jr, err := node.Request(a.coordAddr, wire.TJoin,
+		wire.EncodeJoin(&wire.Join{Addr: node.Addr()}), opts.Config.RequestTimeout)
+	if err != nil {
+		node.Close()
+		return nil, fmt.Errorf("agent: join: %w", err)
+	}
+	join, err := wire.DecodeJoinReply(jr.Payload)
+	if err != nil {
+		node.Close()
+		return nil, fmt.Errorf("agent: join reply: %w", err)
+	}
+	a.id = join.AgentID
+	go a.runLoop(join.View)
+	return a, nil
+}
+
+// Addr returns the agent's dialable address.
+func (a *Agent) Addr() string { return a.node.Addr() }
+
+// ID returns the directory-assigned agent ID.
+func (a *Agent) ID() uint64 { return a.id }
+
+// Done is closed when the agent's event loop exits (after a graceful
+// leave or Close).
+func (a *Agent) Done() <-chan struct{} { return a.done }
+
+// Leave announces a graceful departure: the agent stays alive to migrate
+// its edges away and exits once the directory confirms the rebalance.
+func (a *Agent) Leave() error {
+	return a.node.Send(a.coordAddr, wire.TLeave, wire.EncodeLeave(&wire.Leave{AgentID: a.id}))
+}
+
+// Close terminates the agent immediately (non-graceful).
+func (a *Agent) Close() {
+	if a.stopped.CompareAndSwap(false, true) {
+		a.node.Close()
+	}
+	<-a.done
+}
+
+func (a *Agent) runLoop(initial *wire.View) {
+	defer close(a.done)
+	if initial != nil {
+		a.handleView(initial)
+	}
+	for pkt := range a.node.Inbox() {
+		a.handlePacket(pkt)
+		a.copyCount.Store(int64(a.store.NumEdgeCopies()))
+		a.vertexCount.Store(int64(a.store.NumVertices()))
+		if a.leaving && a.readyToExit {
+			break
+		}
+	}
+	_ = a.node.Send(a.dirAddr, wire.TUnsubscribe, nil)
+	if a.stopped.CompareAndSwap(false, true) {
+		a.node.Close()
+	}
+}
+
+func (a *Agent) handlePacket(pkt *wire.Packet) {
+	switch pkt.Type {
+	case wire.TAck:
+		a.onAck(pkt.Req)
+	case wire.TDirUpdate:
+		if v, err := wire.DecodeView(pkt.Payload); err == nil {
+			a.handleView(v)
+		}
+	case wire.TEdges:
+		a.handleEdges(pkt)
+	case wire.TVertexMsgs:
+		a.handleVertexMsgs(pkt)
+	case wire.TReplicaPartial:
+		a.handlePartial(pkt)
+	case wire.TValueUpdate:
+		a.handleValueUpdate(pkt)
+	case wire.TReplicaRegister:
+		a.handleRegister(pkt)
+	case wire.TAlgoStart:
+		a.handleAlgoStart(pkt)
+	case wire.TAdvance:
+		if adv, err := wire.DecodeAdvance(pkt.Payload); err == nil {
+			a.handleAdvance(adv)
+		}
+	case wire.TAlgoDone:
+		a.handleAlgoDone()
+	case wire.TBatchOpen:
+		a.handleBatchOpen()
+	case wire.TQuery:
+		a.handleQuery(pkt)
+	case wire.TPing:
+		_ = a.node.Reply(pkt, wire.TPong, nil)
+	default:
+	}
+}
+
+// onAck resolves one acknowledged send against its groups.
+func (a *Agent) onAck(req uint32) {
+	groups, ok := a.reqToGroups[req]
+	if !ok {
+		return
+	}
+	delete(a.reqToGroups, req)
+	for _, g := range groups {
+		g.pending--
+		if g.pending > 0 {
+			continue
+		}
+		if g.origin != nil {
+			a.node.Ack(g.origin)
+			continue
+		}
+		// Drained vote gates fire their deferred barrier votes.
+		kept := a.pendingVotes[:0]
+		for _, pv := range a.pendingVotes {
+			if pv.gate == g {
+				pv.fire()
+			} else {
+				kept = append(kept, pv)
+			}
+		}
+		a.pendingVotes = kept
+		if g == a.phaseGate {
+			a.maybeReady()
+		}
+	}
+}
+
+// sendGated performs an acked send whose completion feeds the groups.
+func (a *Agent) sendGated(addr string, typ wire.Type, payload []byte, groups ...*ackGroup) {
+	req, err := a.node.SendAckedReq(addr, typ, payload)
+	if err != nil {
+		// The send failed locally; treat as immediately acknowledged so
+		// gates cannot wedge (the transport already reported the loss).
+		return
+	}
+	for _, g := range groups {
+		g.pending++
+	}
+	a.reqToGroups[req] = groups
+}
+
+// valueOf returns v's algorithm state, lazily initializing through the
+// running program.
+func (a *Agent) valueOf(v graph.VertexID) algorithm.Word {
+	if w, ok := a.values[v]; ok {
+		return w
+	}
+	var w algorithm.Word
+	if a.run != nil {
+		if debugTrapLazyInit && a.run.spec.FromScratch && a.run.step > 0 {
+			panic(fmt.Sprintf("agent %d: lazy init of vertex %d at step %d (holds=%v out=%d in=%d active=%v)",
+				a.id, v, a.run.step, a.store.HasVertex(v), a.store.OutDegree(v), a.store.InDegree(v), a.store.IsActive(v)))
+		}
+		w = a.run.prog.Init(v, &a.run.ctx)
+	}
+	a.values[v] = w
+	return w
+}
+
+// countMasters counts locally held vertices whose master replica is this
+// agent — each graph vertex is mastered exactly once cluster-wide, so the
+// directory's sum is the global vertex count.
+func (a *Agent) countMasters() uint64 {
+	var n uint64
+	self := consistent.AgentID(a.id)
+	a.store.Vertices(func(v graph.VertexID) bool {
+		if m, ok := a.router.Master(v); ok && m == self {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+func (a *Agent) sendReady(step uint32, phase uint8, masters uint64) {
+	r := &wire.Ready{
+		AgentID: a.id,
+		Step:    step,
+		Phase:   phase,
+		Masters: masters,
+	}
+	if a.run != nil && (phase == wire.PhaseCompute || phase == wire.PhaseCombine) {
+		r.ActiveNext = a.run.activeNext
+		r.Residual = a.run.residual
+		r.SplitWork = a.run.splitWork
+	}
+	_ = a.node.Send(a.coordAddr, wire.TReady, wire.EncodeReady(r))
+}
+
+// maybeReady fires the barrier vote once local processing is complete and
+// the phase gate has drained.
+func (a *Agent) maybeReady() {
+	r := a.run
+	if r == nil || r.readySent || !r.doneLocal || a.phaseGate.pending > 0 {
+		return
+	}
+	r.readySent = true
+	a.sendReady(r.step, r.phase, 0)
+	// Reset per-phase accumulators after voting; combine-phase votes
+	// report only combine-phase contributions.
+	r.activeNext = 0
+	r.residual = 0
+	// Metric collection API (§3.4.3): superstep times flow to the
+	// directory's autoscaler sink.
+	if r.phase == wire.PhaseCompute && !r.phaseStart.IsZero() {
+		a.sendMetric(autoscale.MetricStepTime, time.Since(r.phaseStart).Seconds())
+	}
+}
+
+// sendMetric pushes one autoscaler sample to the coordinator.
+func (a *Agent) sendMetric(name string, value float64) {
+	_ = a.node.Send(a.coordAddr, wire.TMetric, wire.EncodeMetric(&wire.Metric{
+		AgentID: a.id, Name: name, Value: value,
+	}))
+}
+
+// Stats returns internal counters (forwarded packets, applied changes,
+// answered queries) for tests and metrics.
+func (a *Agent) Stats() (forwarded, applied, queries uint64) {
+	return atomic.LoadUint64(&a.statForwarded), atomic.LoadUint64(&a.statApplied), atomic.LoadUint64(&a.statQueries)
+}
+
+// EdgeCopies returns the stored copy count as of the last processed
+// packet — the agent's memory-relevant load (Figures 5b, 6, 16a).
+func (a *Agent) EdgeCopies() int { return int(a.copyCount.Load()) }
+
+// VertexCount returns the locally present vertex count as of the last
+// processed packet.
+func (a *Agent) VertexCount() int { return int(a.vertexCount.Load()) }
+
+// debugTrapLazyInit makes mid-run lazy state initialization panic; tests
+// flip it to catch migration gaps.
+var debugTrapLazyInit = false

@@ -1,0 +1,97 @@
+package agent
+
+import (
+	"testing"
+
+	"elga/internal/algorithm"
+	"elga/internal/graph"
+	"elga/internal/wire"
+)
+
+func TestMailEntryFoldRawOnly(t *testing.T) {
+	e := &mailEntry{raw: []algorithm.Word{5, 3, 9}, n: 3, have: true}
+	if got := e.fold(algorithm.WCC{}); got != 3 {
+		t.Errorf("fold = %d, want min 3", got)
+	}
+}
+
+func TestMailEntryFoldEagerOnly(t *testing.T) {
+	e := &mailEntry{agg: 2, eager: true, n: 1, have: true}
+	if got := e.fold(algorithm.WCC{}); got != 2 {
+		t.Errorf("fold = %d", got)
+	}
+}
+
+func TestMailEntryFoldMixedEras(t *testing.T) {
+	// Raw values buffered pre-run plus an eager aggregate after the run
+	// installed must combine.
+	e := &mailEntry{agg: 7, eager: true, raw: []algorithm.Word{4, 9}, n: 3, have: true}
+	if got := e.fold(algorithm.WCC{}); got != 4 {
+		t.Errorf("fold = %d, want 4", got)
+	}
+	pr := algorithm.PageRank{}
+	e2 := &mailEntry{
+		agg: algorithm.FromF64(0.5), eager: true,
+		raw: []algorithm.Word{algorithm.FromF64(0.25)},
+	}
+	if got := e2.fold(pr).F64(); got != 0.75 {
+		t.Errorf("pagerank fold = %v, want 0.75", got)
+	}
+}
+
+func TestMailEntryFoldEmpty(t *testing.T) {
+	e := &mailEntry{}
+	wcc := algorithm.WCC{}
+	if got := e.fold(wcc); got != wcc.ZeroAgg() {
+		t.Errorf("empty fold = %d, want identity", got)
+	}
+}
+
+func TestKeyedVertex(t *testing.T) {
+	out := wire.EdgeChange{Src: 1, Dst: 2, Dir: graph.Out}
+	if keyedVertex(out) != 1 {
+		t.Error("Out copy keys on Src")
+	}
+	in := wire.EdgeChange{Src: 1, Dst: 2, Dir: graph.In}
+	if keyedVertex(in) != 2 {
+		t.Error("In copy keys on Dst")
+	}
+}
+
+func TestAckGroupSemantics(t *testing.T) {
+	a := &Agent{reqToGroups: make(map[uint32][]*ackGroup)}
+	g1 := &ackGroup{}
+	g2 := &ackGroup{}
+	a.phaseGate = g1
+	g1.pending = 2
+	g2.pending = 1
+	a.reqToGroups[1] = []*ackGroup{g1}
+	a.reqToGroups[2] = []*ackGroup{g1, g2}
+	fired := 0
+	a.pendingVotes = append(a.pendingVotes, pendingVote{gate: g2, fire: func() { fired++ }})
+	a.onAck(1)
+	if g1.pending != 1 || fired != 0 {
+		t.Fatalf("after first ack: g1=%d fired=%d", g1.pending, fired)
+	}
+	a.onAck(2)
+	if g1.pending != 0 || g2.pending != 0 {
+		t.Fatalf("groups not drained: %d %d", g1.pending, g2.pending)
+	}
+	if fired != 1 {
+		t.Fatalf("pending vote fired %d times", fired)
+	}
+	// Unknown ack is a no-op.
+	a.onAck(99)
+	if len(a.pendingVotes) != 0 {
+		t.Error("vote list not cleared")
+	}
+}
+
+func TestVoteWhenDrainedImmediate(t *testing.T) {
+	a := &Agent{reqToGroups: make(map[uint32][]*ackGroup)}
+	fired := false
+	a.voteWhenDrained(&ackGroup{}, func() { fired = true })
+	if !fired {
+		t.Error("empty gate should fire immediately")
+	}
+}

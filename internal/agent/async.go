@@ -1,0 +1,218 @@
+package agent
+
+import (
+	"elga/internal/algorithm"
+	"elga/internal/consistent"
+	"elga/internal/graph"
+	"elga/internal/wire"
+)
+
+// Asynchronous execution (paper §2.1, §3.2): vertices are processed the
+// moment their messages arrive — no supersteps, no barriers. Supported
+// for monotone quiescence-halting programs (WCC, BFS, SSSP), whose
+// Gather/Update form a join-semilattice: processing order cannot change
+// the fixpoint. Split vertices converge through replica gossip — an
+// improved value is re-sent to the other replicas as an ordinary message,
+// so every replica's out-copies eventually carry the best value.
+//
+// Termination uses double-probe quiescence detection: the coordinator
+// periodically asks every agent for its cumulative sent/received message
+// counters; when all agents are idle, the global sums match, and nothing
+// changed since the previous probe, no message can be in flight and the
+// run is complete.
+
+// startAsync seeds an asynchronous run: initialize (or adopt) state and
+// process the initially active vertices.
+func (a *Agent) startAsync() {
+	r := a.run
+	r.started = true
+	r.ctx.N = a.router.N()
+	// Async has no supersteps; pin Step past 0 so programs' step-0
+	// "announce even without improvement" rule cannot fire on every
+	// received message (which would re-scatter forever). Seeds announce
+	// their values explicitly below instead.
+	r.ctx.Step = 1
+	seeds := make([]graph.VertexID, 0)
+	if r.spec.FromScratch {
+		a.store.Vertices(func(v graph.VertexID) bool {
+			a.values[v] = r.prog.Init(v, &r.ctx)
+			if r.prog.InitActive(v, &r.ctx) {
+				seeds = append(seeds, v)
+			}
+			return true
+		})
+	} else {
+		for v := range r.active {
+			seeds = append(seeds, v)
+		}
+		r.active = make(map[graph.VertexID]struct{})
+	}
+	b := newAsyncBatcher(a)
+	for _, v := range seeds {
+		// Seed scatter: announce the current value along all edges.
+		mv := r.prog.MessageValue(v, a.valueOf(v), uint64(a.store.OutDegree(v)), &r.ctx)
+		a.asyncScatter(b, v, mv, true)
+	}
+	b.flush()
+}
+
+// handleAsyncMsgs processes an asynchronous message batch immediately:
+// gather → update → scatter per message, counting receipts for the
+// quiescence protocol.
+func (a *Agent) handleAsyncMsgs(batch *wire.VertexMsgBatch) {
+	r := a.run
+	if r == nil || !r.spec.Async {
+		// Stale async traffic after a run ended; drop. Quiescence
+		// counting already closed before TAlgoDone, so this only
+		// happens for traffic from a previous run's tail.
+		return
+	}
+	b := newAsyncBatcher(a)
+	self := consistent.AgentID(a.id)
+	for _, m := range batch.Msgs {
+		v := graph.VertexID(m.Target)
+		r.asyncReceived++
+		if !a.isReplicaOf(v) {
+			// Stale routing: forward to the best-known destination.
+			if dst, ok := a.router.EdgeOwner(v, graph.VertexID(m.Via)); ok && dst != self {
+				b.addRaw(dst, m)
+				continue
+			}
+		}
+		old := a.valueOf(v)
+		agg := r.prog.Gather(r.prog.ZeroAgg(), algorithm.Word(m.Value))
+		nw, act := r.prog.Update(v, old, agg, true, &r.ctx)
+		if nw == old && !act {
+			continue
+		}
+		a.values[v] = nw
+		if act {
+			mv := r.prog.MessageValue(v, nw, uint64(a.store.OutDegree(v)), &r.ctx)
+			a.asyncScatter(b, v, mv, false)
+		}
+	}
+	b.flush()
+}
+
+// asyncScatter sends v's message value along its local edges and, for
+// split vertices, gossips the new state to the other replicas.
+func (a *Agent) asyncScatter(b *asyncBatcher, v graph.VertexID, mv algorithm.Word, seeding bool) {
+	r := a.run
+	if r.prog.SendsOut() {
+		for _, w := range a.store.OutNeighbors(v) {
+			val := mv
+			if r.adjust != nil {
+				val = r.adjust.AdjustPerEdge(v, w, val)
+			}
+			if dst, ok := a.router.EdgeOwner(w, v); ok {
+				b.add(dst, wire.VertexMsg{Target: w, Via: v, Value: wire.Word(val)})
+			}
+		}
+	}
+	if r.prog.SendsIn() {
+		for _, u := range a.store.InNeighbors(v) {
+			val := mv
+			if r.adjust != nil {
+				val = r.adjust.AdjustPerEdge(u, v, val)
+			}
+			if dst, ok := a.router.EdgeOwner(u, v); ok {
+				b.add(dst, wire.VertexMsg{Target: u, Via: v, Value: wire.Word(val)})
+			}
+		}
+	}
+	// Replica gossip: monotone programs converge replica state by
+	// re-delivering the improved value as an ordinary message.
+	if a.router.Split(v) {
+		self := consistent.AgentID(a.id)
+		state := a.values[v]
+		for _, rep := range a.router.ReplicaSet(v) {
+			if rep == self {
+				continue
+			}
+			b.add(rep, wire.VertexMsg{Target: v, Via: v, Value: wire.Word(state)})
+		}
+	}
+	_ = seeding
+}
+
+// asyncBatcher groups outgoing async messages per destination. Unlike the
+// synchronous batcher, sends are unacknowledged: the sent/received
+// counters provide the termination guarantee instead.
+type asyncBatcher struct {
+	agent *Agent
+	byDst map[consistent.AgentID][]wire.VertexMsg
+}
+
+func newAsyncBatcher(a *Agent) *asyncBatcher {
+	return &asyncBatcher{agent: a, byDst: make(map[consistent.AgentID][]wire.VertexMsg)}
+}
+
+func (b *asyncBatcher) add(dst consistent.AgentID, m wire.VertexMsg) {
+	a := b.agent
+	if dst == consistent.AgentID(a.id) {
+		// Local delivery is processed inline; it still counts as one
+		// sent and one received message so the global sums balance.
+		a.run.asyncSent++
+		a.processAsyncLocal(m)
+		return
+	}
+	b.byDst[dst] = append(b.byDst[dst], m)
+}
+
+// addRaw forwards a message without reprocessing (stale-routing path).
+func (b *asyncBatcher) addRaw(dst consistent.AgentID, m wire.VertexMsg) {
+	b.byDst[dst] = append(b.byDst[dst], m)
+}
+
+// processAsyncLocal handles one self-addressed message inline, which may
+// recursively enqueue into the active batcher via a fresh one.
+func (a *Agent) processAsyncLocal(m wire.VertexMsg) {
+	r := a.run
+	v := graph.VertexID(m.Target)
+	r.asyncReceived++
+	old := a.valueOf(v)
+	agg := r.prog.Gather(r.prog.ZeroAgg(), algorithm.Word(m.Value))
+	nw, act := r.prog.Update(v, old, agg, true, &r.ctx)
+	if nw == old && !act {
+		return
+	}
+	a.values[v] = nw
+	if act {
+		b := newAsyncBatcher(a)
+		mv := r.prog.MessageValue(v, nw, uint64(a.store.OutDegree(v)), &r.ctx)
+		a.asyncScatter(b, v, mv, false)
+		b.flush()
+	}
+}
+
+func (b *asyncBatcher) flush() {
+	a := b.agent
+	for dst, msgs := range b.byDst {
+		addr, ok := a.router.AddrOf(dst)
+		if !ok {
+			continue
+		}
+		a.run.asyncSent += uint64(len(msgs))
+		_ = a.node.Send(addr, wire.TVertexMsgs,
+			wire.EncodeVertexMsgBatch(&wire.VertexMsgBatch{Async: true, Msgs: msgs}))
+	}
+	b.byDst = make(map[consistent.AgentID][]wire.VertexMsg)
+}
+
+// handleAsyncProbe answers a quiescence probe with the current counters.
+// The event loop processes messages to completion before reaching the
+// probe, so the agent is by construction idle at this instant.
+func (a *Agent) handleAsyncProbe(adv *wire.Advance) {
+	r := a.run
+	if r == nil || !r.spec.Async || adv.RunID != r.id {
+		return
+	}
+	_ = a.node.Send(a.coordAddr, wire.TReady, wire.EncodeReady(&wire.Ready{
+		AgentID:  a.id,
+		Step:     adv.Step,
+		Phase:    wire.PhaseAsyncProbe,
+		Sent:     r.asyncSent,
+		Received: r.asyncReceived,
+		Idle:     true,
+	}))
+}

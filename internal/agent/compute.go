@@ -1,0 +1,577 @@
+package agent
+
+import (
+	"sync/atomic"
+	"time"
+
+	"elga/internal/algorithm"
+	"elga/internal/consistent"
+	"elga/internal/graph"
+	"elga/internal/wire"
+)
+
+// handleAlgoStart installs a new run context. Duplicate announcements for
+// the current run (re-broadcast after a mid-run elastic event) are
+// ignored.
+func (a *Agent) handleAlgoStart(pkt *wire.Packet) {
+	spec, err := wire.DecodeAlgoStart(pkt.Payload)
+	if err != nil {
+		return
+	}
+	if a.run != nil && a.run.id == spec.RunID {
+		return
+	}
+	prog, err := algorithm.New(spec.Algo)
+	if err != nil {
+		return
+	}
+	if spec.Resume {
+		// A re-broadcast for an agent that joined mid-run: adopt the
+		// run without disturbing migrated state or activity.
+		if a.run == nil {
+			r := &runCtx{
+				id: spec.RunID, spec: spec, prog: prog,
+				ctx:     algorithm.Context{Source: spec.Source},
+				active:  make(map[graph.VertexID]struct{}),
+				started: true,
+			}
+			if adj, ok := prog.(algorithm.PerEdgeAdjuster); ok {
+				r.adjust = adj
+			}
+			a.run = r
+			a.replayDeferred()
+		}
+		return
+	}
+	r := &runCtx{
+		id:     spec.RunID,
+		spec:   spec,
+		prog:   prog,
+		ctx:    algorithm.Context{Source: spec.Source},
+		active: make(map[graph.VertexID]struct{}),
+	}
+	if adj, ok := prog.(algorithm.PerEdgeAdjuster); ok {
+		r.adjust = adj
+	}
+	defer a.replayDeferred()
+	if spec.FromScratch {
+		// Discard any stale activity marks; initialization happens at
+		// Advance(step 0) when the global vertex count is known.
+		a.store.TakeActive()
+		a.values = make(map[graph.VertexID]algorithm.Word)
+		a.totalOutDeg = make(map[graph.VertexID]uint64)
+	} else {
+		// Incremental run (§4.3): state persists; vertices touched by
+		// buffered batches seed the active set.
+		for _, v := range a.store.TakeActive() {
+			r.active[v] = struct{}{}
+		}
+	}
+	a.run = r
+	if spec.Async {
+		a.startAsync()
+	}
+}
+
+// handleAlgoDone tears down the run and applies changes buffered while the
+// batch computation was executing ("once the batch is over, these updates
+// can be processed", §3.4).
+func (a *Agent) handleAlgoDone() {
+	a.run = nil
+	// Free per-run message state.
+	a.mailbox = make(map[uint32]map[graph.VertexID]*mailEntry)
+	a.partials = make(map[uint32]map[graph.VertexID]*partialEntry)
+	a.flushBuffered()
+}
+
+func (a *Agent) handleAdvance(adv *wire.Advance) {
+	if adv.Phase == wire.PhaseMigrate {
+		// Migration-complete broadcast: leavers may exit once drained.
+		// When the whole membership left at once there is no destination
+		// for the data — the cluster is shutting down, so exit anyway.
+		if adv.Halt && a.leaving &&
+			(a.store.NumEdgeCopies() == 0 || a.router.NumAgents() == 0) {
+			a.readyToExit = true
+		}
+		return
+	}
+	r := a.run
+	if r == nil || adv.RunID != r.id {
+		return
+	}
+	if adv.Halt {
+		// The directory closes runs with a halting Advance followed by
+		// TAlgoDone; state is retained there.
+		return
+	}
+	if adv.Phase == wire.PhaseAsyncProbe {
+		a.handleAsyncProbe(adv)
+		return
+	}
+	r.ctx.N = adv.N
+	r.step = adv.Step
+	r.ctx.Step = adv.Step
+	r.phase = adv.Phase
+	r.doneLocal = false
+	r.readySent = false
+	r.phaseStart = time.Now()
+	if adv.Phase == wire.PhaseCompute {
+		r.splitWork = false
+	}
+	// Fresh gate per phase; prior gates are drained (votes fire only
+	// when empty) so nothing is lost.
+	a.phaseGate = &ackGroup{}
+	switch adv.Phase {
+	case wire.PhaseCompute:
+		a.processCompute()
+	case wire.PhaseCombine:
+		a.processCombine()
+	}
+}
+
+// processCompute is superstep phase 1: gather mailboxes, update and
+// scatter non-split vertices, and ship split-vertex partials to masters.
+func (a *Agent) processCompute() {
+	r := a.run
+	if r.step == 0 && r.spec.FromScratch && !r.started {
+		a.store.Vertices(func(v graph.VertexID) bool {
+			a.values[v] = r.prog.Init(v, &r.ctx)
+			if r.prog.InitActive(v, &r.ctx) {
+				r.active[v] = struct{}{}
+			}
+			return true
+		})
+	}
+	r.started = true
+
+	mail := a.mailbox[r.step]
+	delete(a.mailbox, r.step)
+
+	// Work set: active vertices plus everything with mail, plus any
+	// activity that arrived through migration (st.Active marks).
+	work := make(map[graph.VertexID]struct{}, len(r.active)+len(mail))
+	for v := range r.active {
+		work[v] = struct{}{}
+	}
+	for v := range mail {
+		work[v] = struct{}{}
+	}
+	for _, v := range a.store.TakeActive() {
+		work[v] = struct{}{}
+	}
+	// Always-active programs (PageRank) must feed split-vertex partials
+	// every step so masters can rebuild total out-degrees.
+	alwaysSplit := !r.prog.HaltOnQuiescence()
+	if alwaysSplit {
+		a.store.Vertices(func(v graph.VertexID) bool {
+			if a.router.Split(v) {
+				work[v] = struct{}{}
+			}
+			return true
+		})
+	}
+	r.active = make(map[graph.VertexID]struct{})
+
+	batches := newMsgBatcher(a, r.step+1)
+	self := consistent.AgentID(a.id)
+	for v := range work {
+		entry := mail[v]
+		if a.router.Split(v) {
+			r.splitWork = true
+			// Replica duty: forward the local partial to the master.
+			p := &wire.ReplicaPartial{
+				Step:        r.step,
+				Vertex:      v,
+				Agg:         wire.Word(r.prog.ZeroAgg()),
+				LocalOutDeg: uint64(a.store.OutDegree(v)),
+			}
+			if entry != nil {
+				p.Agg = wire.Word(entry.fold(r.prog))
+				p.HaveMsgs = entry.have
+				p.MsgCount = entry.n
+			}
+			master, ok := a.router.Master(v)
+			if !ok {
+				continue
+			}
+			if master == self {
+				a.stashPartial(r.step, v, algorithm.Word(p.Agg), p.MsgCount, p.HaveMsgs, p.LocalOutDeg)
+			} else if addr, ok := a.router.AddrOf(master); ok {
+				a.sendGated(addr, wire.TReplicaPartial, wire.EncodeReplicaPartial(p), a.phaseGate)
+			}
+			continue
+		}
+		// Non-split vertex: the full gather→update→scatter cycle.
+		agg := r.prog.ZeroAgg()
+		have := false
+		if entry != nil {
+			agg, have = entry.fold(r.prog), entry.have
+		}
+		old := a.valueOf(v)
+		nw, act := r.prog.Update(v, old, agg, have, &r.ctx)
+		a.values[v] = nw
+		r.residual += r.prog.Residual(old, nw)
+		if act {
+			r.activeNext++
+			r.active[v] = struct{}{}
+			mv := r.prog.MessageValue(v, nw, uint64(a.store.OutDegree(v)), &r.ctx)
+			a.scatter(batches, v, mv)
+		}
+	}
+	batches.flush(a.phaseGate)
+	r.doneLocal = true
+	a.maybeReady()
+}
+
+// processCombine is superstep phase 2: masters fold replica partials,
+// update split-vertex state, scatter locally, and broadcast value updates.
+func (a *Agent) processCombine() {
+	r := a.run
+	parts := a.partials[r.step]
+	delete(a.partials, r.step)
+	self := consistent.AgentID(a.id)
+	for v, p := range parts {
+		if m, ok := a.router.Master(v); !ok || m != self {
+			// A view change moved mastership; the partial is re-sent as
+			// a fresh partial to the new master.
+			if m2, ok2 := a.router.Master(v); ok2 {
+				if addr, ok3 := a.router.AddrOf(m2); ok3 {
+					a.sendGated(addr, wire.TReplicaPartial, wire.EncodeReplicaPartial(&wire.ReplicaPartial{
+						Step: r.step, Vertex: v, Agg: wire.Word(p.agg),
+						HaveMsgs: p.have, MsgCount: p.n, LocalOutDeg: p.outDeg,
+					}), a.phaseGate)
+				}
+			}
+			continue
+		}
+		old := a.valueOf(v)
+		nw, act := r.prog.Update(v, old, p.agg, p.have, &r.ctx)
+		a.values[v] = nw
+		a.totalOutDeg[v] = p.outDeg
+		r.residual += r.prog.Residual(old, nw)
+		if !act {
+			continue
+		}
+		r.activeNext++
+		r.active[v] = struct{}{}
+		// Master scatters its own out-copies...
+		batches := newMsgBatcher(a, r.step+1)
+		mv := r.prog.MessageValue(v, nw, p.outDeg, &r.ctx)
+		a.scatter(batches, v, mv)
+		batches.flush(a.phaseGate)
+		// ...and ships the authoritative state to the other replicas,
+		// which scatter their own copies (§3.4: "updates that are sent
+		// to their replicas").
+		vu := wire.EncodeValueUpdate(&wire.ValueUpdate{
+			Step: r.step, Vertex: v, State: wire.Word(nw),
+			TotalOutDeg: p.outDeg, Scatter: true,
+		})
+		for _, rep := range a.router.ReplicaSet(v) {
+			if rep == self {
+				continue
+			}
+			if addr, ok := a.router.AddrOf(rep); ok {
+				a.sendGated(addr, wire.TValueUpdate, vu, a.phaseGate)
+			}
+		}
+	}
+	r.doneLocal = true
+	a.maybeReady()
+}
+
+func (a *Agent) stashPartial(step uint32, v graph.VertexID, agg algorithm.Word, n uint64, have bool, outDeg uint64) {
+	m := a.partials[step]
+	if m == nil {
+		m = make(map[graph.VertexID]*partialEntry)
+		a.partials[step] = m
+	}
+	p := m[v]
+	if p == nil {
+		var prog algorithm.Program
+		if a.run != nil {
+			prog = a.run.prog
+		}
+		zero := algorithm.Word(0)
+		if prog != nil {
+			zero = prog.ZeroAgg()
+		}
+		p = &partialEntry{agg: zero}
+		m[v] = p
+	}
+	if a.run != nil {
+		p.agg = a.run.prog.MergeAgg(p.agg, agg)
+	}
+	p.n += n
+	p.have = p.have || have
+	p.outDeg += outDeg
+}
+
+// replayDeferred re-processes data-plane packets that arrived before the
+// run context existed.
+func (a *Agent) replayDeferred() {
+	if len(a.deferred) == 0 {
+		return
+	}
+	pkts := a.deferred
+	a.deferred = nil
+	for _, pkt := range pkts {
+		a.handlePacket(pkt)
+	}
+}
+
+// deferUntilRun stashes a packet until TAlgoStart, reporting true if it
+// was deferred. The ack is withheld, so the sender's barrier gate stays
+// open until the packet is really processed.
+func (a *Agent) deferUntilRun(pkt *wire.Packet) bool {
+	if a.run != nil {
+		return false
+	}
+	a.deferred = append(a.deferred, pkt)
+	return true
+}
+
+// handlePartial stores (or forwards) a replica partial.
+func (a *Agent) handlePartial(pkt *wire.Packet) {
+	if a.deferUntilRun(pkt) {
+		return
+	}
+	p, err := wire.DecodeReplicaPartial(pkt.Payload)
+	if err != nil {
+		a.node.Ack(pkt)
+		return
+	}
+	self := consistent.AgentID(a.id)
+	master, ok := a.router.Master(p.Vertex)
+	if ok && master != self {
+		// Stale sender view: forward to the true master and defer the
+		// ack so the sender's barrier covers the extra hop.
+		if addr, ok2 := a.router.AddrOf(master); ok2 {
+			atomic.AddUint64(&a.statForwarded, 1)
+			g := &ackGroup{origin: pkt}
+			a.sendGated(addr, wire.TReplicaPartial, pkt.Payload, g)
+			a.sealGroup(g)
+			return
+		}
+	}
+	a.stashPartial(p.Step, p.Vertex, algorithm.Word(p.Agg), p.MsgCount, p.HaveMsgs, p.LocalOutDeg)
+	// Pin the vertex: a master may hold no copies of a split vertex yet
+	// still owns its combination duties.
+	a.store.Pin(p.Vertex)
+	a.node.Ack(pkt)
+}
+
+// handleValueUpdate installs a master's combined state and scatters the
+// local out-copies; the ack is deferred until those scatters are acked so
+// the master's phase gate transitively covers them.
+func (a *Agent) handleValueUpdate(pkt *wire.Packet) {
+	if a.deferUntilRun(pkt) {
+		return
+	}
+	vu, err := wire.DecodeValueUpdate(pkt.Payload)
+	if err != nil {
+		a.node.Ack(pkt)
+		return
+	}
+	a.values[vu.Vertex] = algorithm.Word(vu.State)
+	a.totalOutDeg[vu.Vertex] = vu.TotalOutDeg
+	if !vu.Scatter || a.run == nil {
+		a.node.Ack(pkt)
+		return
+	}
+	r := a.run
+	g := &ackGroup{origin: pkt}
+	batches := newMsgBatcher(a, vu.Step+1)
+	mv := r.prog.MessageValue(vu.Vertex, algorithm.Word(vu.State), vu.TotalOutDeg, &r.ctx)
+	a.scatter(batches, vu.Vertex, mv)
+	batches.flush(g)
+	a.sealGroup(g)
+}
+
+// handleRegister pins a split vertex at its master.
+func (a *Agent) handleRegister(pkt *wire.Packet) {
+	rr, err := wire.DecodeReplicaRegister(pkt.Payload)
+	if err == nil {
+		a.store.Pin(rr.Vertex)
+	}
+	a.node.Ack(pkt)
+}
+
+// sealGroup fires a deferred-ack group that ended up with no members.
+func (a *Agent) sealGroup(g *ackGroup) {
+	if g.pending == 0 && g.origin != nil {
+		a.node.Ack(g.origin)
+	}
+}
+
+// msgBatcher accumulates scattered messages per destination agent and
+// flushes them as batched TVertexMsgs sends.
+type msgBatcher struct {
+	agent *Agent
+	step  uint32
+	byDst map[string][]wire.VertexMsg
+}
+
+func newMsgBatcher(a *Agent, step uint32) *msgBatcher {
+	return &msgBatcher{agent: a, step: step, byDst: make(map[string][]wire.VertexMsg)}
+}
+
+func (b *msgBatcher) add(dst consistent.AgentID, m wire.VertexMsg) {
+	a := b.agent
+	if dst == consistent.AgentID(a.id) {
+		// Local delivery: aggregate straight into the mailbox.
+		a.deliverLocal(b.step, graph.VertexID(m.Target), algorithm.Word(m.Value))
+		return
+	}
+	addr, ok := a.router.AddrOf(dst)
+	if !ok {
+		return
+	}
+	b.byDst[addr] = append(b.byDst[addr], m)
+}
+
+func (b *msgBatcher) flush(groups ...*ackGroup) {
+	for addr, msgs := range b.byDst {
+		payload := wire.EncodeVertexMsgBatch(&wire.VertexMsgBatch{Step: b.step, Msgs: msgs})
+		b.agent.sendGated(addr, wire.TVertexMsgs, payload, groups...)
+	}
+	b.byDst = make(map[string][]wire.VertexMsg)
+}
+
+// scatter sends v's message value along its locally stored edges, in the
+// directions the program uses.
+func (a *Agent) scatter(b *msgBatcher, v graph.VertexID, mv algorithm.Word) {
+	r := a.run
+	if r.prog.SendsOut() {
+		for _, w := range a.store.OutNeighbors(v) {
+			val := mv
+			if r.adjust != nil {
+				val = r.adjust.AdjustPerEdge(v, w, val)
+			}
+			if dst, ok := a.router.EdgeOwner(w, v); ok {
+				b.add(dst, wire.VertexMsg{Target: w, Via: v, Value: wire.Word(val)})
+			}
+		}
+	}
+	if r.prog.SendsIn() {
+		for _, u := range a.store.InNeighbors(v) {
+			val := mv
+			if r.adjust != nil {
+				// The traversed edge is (u, v); keep its orientation.
+				val = r.adjust.AdjustPerEdge(u, v, val)
+			}
+			if dst, ok := a.router.EdgeOwner(u, v); ok {
+				b.add(dst, wire.VertexMsg{Target: u, Via: v, Value: wire.Word(val)})
+			}
+		}
+	}
+}
+
+// deliverLocal aggregates one message into the mailbox for (step, v).
+// Works with or without an installed run: without one, values buffer raw
+// and fold at consumption, so delivery never blocks on run installation
+// (which would deadlock mid-run migrations).
+func (a *Agent) deliverLocal(step uint32, v graph.VertexID, val algorithm.Word) {
+	m := a.mailbox[step]
+	if m == nil {
+		m = make(map[graph.VertexID]*mailEntry)
+		a.mailbox[step] = m
+	}
+	e := m[v]
+	if e == nil {
+		e = &mailEntry{}
+		m[v] = e
+	}
+	if a.run != nil {
+		if !e.eager {
+			e.eager = true
+			e.agg = a.run.prog.ZeroAgg()
+		}
+		e.agg = a.run.prog.Gather(e.agg, val)
+	} else {
+		e.raw = append(e.raw, val)
+	}
+	e.n++
+	e.have = true
+	a.trace("mail-store v=%d step=%d run=%v", v, step, a.run != nil)
+}
+
+// handleVertexMsgs accepts a message batch: messages this agent can serve
+// (it is a replica of the target) are aggregated; the rest are forwarded
+// with deferred acknowledgement.
+func (a *Agent) handleVertexMsgs(pkt *wire.Packet) {
+	batch, err := wire.DecodeVertexMsgBatch(pkt.Payload)
+	if err != nil {
+		a.node.Ack(pkt)
+		return
+	}
+	if batch.Async {
+		// Async batches process immediately (no superstep). Batches
+		// racing ahead of TAlgoStart are stashed and replayed so the
+		// quiescence counters stay balanced.
+		if a.run == nil {
+			a.deferred = append(a.deferred, pkt)
+			return
+		}
+		a.handleAsyncMsgs(batch)
+		return
+	}
+	g := &ackGroup{origin: pkt}
+	var forwards map[consistent.AgentID][]wire.VertexMsg
+	self := consistent.AgentID(a.id)
+	for _, m := range batch.Msgs {
+		if a.isReplicaOf(graph.VertexID(m.Target)) {
+			a.deliverLocal(batch.Step, graph.VertexID(m.Target), algorithm.Word(m.Value))
+			continue
+		}
+		dst, ok := a.router.EdgeOwner(graph.VertexID(m.Target), graph.VertexID(m.Via))
+		if !ok || dst == self {
+			// No better owner known; accept to avoid loss.
+			a.deliverLocal(batch.Step, graph.VertexID(m.Target), algorithm.Word(m.Value))
+			continue
+		}
+		if forwards == nil {
+			forwards = make(map[consistent.AgentID][]wire.VertexMsg)
+		}
+		forwards[dst] = append(forwards[dst], m)
+	}
+	for dst, msgs := range forwards {
+		if addr, ok := a.router.AddrOf(dst); ok {
+			atomic.AddUint64(&a.statForwarded, uint64(len(msgs)))
+			a.sendGated(addr, wire.TVertexMsgs,
+				wire.EncodeVertexMsgBatch(&wire.VertexMsgBatch{Step: batch.Step, Msgs: msgs}), g)
+		}
+	}
+	a.sealGroup(g)
+}
+
+// isReplicaOf reports whether this agent is in the target's replica set.
+func (a *Agent) isReplicaOf(v graph.VertexID) bool {
+	self := consistent.AgentID(a.id)
+	for _, r := range a.router.ReplicaSet(v) {
+		if r == self {
+			return true
+		}
+	}
+	return false
+}
+
+// handleQuery answers a client vertex query from current state — the
+// low-latency path of §3.1.
+func (a *Agent) handleQuery(pkt *wire.Packet) {
+	q, err := wire.DecodeQuery(pkt.Payload)
+	if err != nil {
+		return
+	}
+	atomic.AddUint64(&a.statQueries, 1)
+	rep := &wire.QueryReply{}
+	if w, ok := a.values[q.Vertex]; ok {
+		rep.Found = true
+		rep.State = wire.Word(w)
+	} else if a.store.HasVertex(q.Vertex) {
+		rep.Found = true
+	}
+	if a.run != nil {
+		rep.Step = a.run.step
+	}
+	_ = a.node.Reply(pkt, wire.TQueryReply, wire.EncodeQueryReply(rep))
+}

@@ -1,0 +1,6 @@
+package agent
+
+// SetDebugTrapLazyInit toggles a tripwire that panics if vertex state is
+// lazily initialized in the middle of a from-scratch run — which would
+// mean a migration failed to ship state. Integration tests enable it.
+func SetDebugTrapLazyInit(on bool) { debugTrapLazyInit = on }

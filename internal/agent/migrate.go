@@ -1,0 +1,354 @@
+package agent
+
+import (
+	"sync/atomic"
+
+	"elga/internal/algorithm"
+	"elga/internal/autoscale"
+	"elga/internal/consistent"
+	"elga/internal/graph"
+	"elga/internal/wire"
+)
+
+// handleView installs a directory view and, if the epoch advanced, runs
+// the migration round of §3.4.3: re-evaluate the destination of every
+// held edge copy, forward misplaced ones, and vote the round complete.
+func (a *Agent) handleView(v *wire.View) {
+	changed, err := a.router.Update(v)
+	if err != nil || !changed {
+		return
+	}
+	epoch := a.router.Epoch()
+	if epoch <= a.migratedEpoch {
+		return
+	}
+	a.migratedEpoch = epoch
+	a.trace("view epoch=%d members=%v", epoch, v.Agents)
+	if !a.router.IsMember(consistent.AgentID(a.id)) {
+		// We are being removed: everything must leave (§3.4.3, "it
+		// evaluates its edges normally and determines they all need to
+		// leave").
+		a.leaving = true
+	}
+	a.migrate(uint32(epoch))
+}
+
+// migrationShipment accumulates copies and state headed to one agent.
+type migrationShipment struct {
+	changes []wire.EdgeChange
+	states  map[graph.VertexID]wire.VertexState
+}
+
+// migrate re-evaluates every held copy under the current view, ships the
+// misplaced ones (with vertex state and pending mailbox contributions),
+// refreshes replica registrations, and votes Ready(PhaseMigrate) once all
+// shipments are acknowledged.
+func (a *Agent) migrate(epochLow uint32) {
+	self := consistent.AgentID(a.id)
+	shipments := make(map[consistent.AgentID]*migrationShipment)
+	var drop []graph.EdgeCopy
+	a.store.Copies(func(c graph.EdgeCopy) bool {
+		owner, ok := a.router.CopyOwner(wire.EdgeChange{Src: c.Src, Dst: c.Dst, Dir: c.Dir})
+		if !ok || owner == self {
+			return true
+		}
+		s := shipments[owner]
+		if s == nil {
+			s = &migrationShipment{states: make(map[graph.VertexID]wire.VertexState)}
+			shipments[owner] = s
+		}
+		s.changes = append(s.changes, wire.EdgeChange{
+			Action: graph.Insert, Src: c.Src, Dst: c.Dst, Dir: c.Dir,
+		})
+		keyed := c.Src
+		if c.Dir == graph.In {
+			keyed = c.Dst
+		}
+		if w, ok := a.values[keyed]; ok {
+			active := a.store.IsActive(keyed)
+			if a.run != nil {
+				if _, on := a.run.active[keyed]; on {
+					active = true
+				}
+			}
+			s.states[keyed] = wire.VertexState{Vertex: keyed, State: wire.Word(w), Active: active}
+		}
+		a.trace("migrate-ship copy=(%d,%d,%d) to=%d", c.Src, c.Dst, c.Dir, owner)
+		drop = append(drop, c)
+		return true
+	})
+
+	// Remove moved copies; the receiver owns them once the send is
+	// acknowledged, and the ack gate holds our vote until then.
+	moved := make(map[graph.VertexID]bool)
+	for _, c := range drop {
+		a.store.RemoveEdge(c.Src, c.Dst, c.Dir)
+		if c.Dir == graph.In {
+			moved[c.Dst] = true
+		} else {
+			moved[c.Src] = true
+		}
+	}
+
+	gate := &ackGroup{}
+	a.phaseGate = gate
+	for owner, s := range shipments {
+		addr, ok := a.router.AddrOf(owner)
+		if !ok {
+			continue
+		}
+		states := make([]wire.VertexState, 0, len(s.states))
+		for _, st := range s.states {
+			states = append(states, st)
+		}
+		a.sendGated(addr, wire.TEdges, wire.EncodeEdgeBatch(&wire.EdgeBatch{
+			Epoch: a.router.Epoch(), Migration: true, Changes: s.changes, States: states,
+		}), gate)
+	}
+
+	// Re-route pending mailbox contributions for every vertex this agent
+	// is no longer a replica of (mid-run elasticity: messages follow the
+	// copies). This must work even before the agent has a run context —
+	// a mid-run joiner only learns the run at resume, after migrations —
+	// so entries without a program fold resend their raw values.
+	for step, m := range a.mailbox {
+		b := newMsgBatcher(a, step)
+		for v, e := range m {
+			if a.isReplicaOf(v) {
+				continue
+			}
+			dst, ok := a.router.AnyReplica(v, a.id)
+			if !ok || dst == self {
+				a.trace("migrate-reroute-kept v=%d step=%d", v, step)
+				continue
+			}
+			a.trace("migrate-reroute v=%d step=%d to=%d", v, step, dst)
+			if e.eager && a.run != nil {
+				// fold covers the raw tail too; one message suffices.
+				b.add(dst, wire.VertexMsg{Target: v, Via: v, Value: wire.Word(e.fold(a.run.prog))})
+			} else {
+				for _, rawVal := range e.raw {
+					b.add(dst, wire.VertexMsg{Target: v, Via: v, Value: wire.Word(rawVal)})
+				}
+			}
+			delete(m, v)
+		}
+		b.flush(gate)
+	}
+	// Pending partials whose mastership moved are re-shipped during
+	// the combine phase (processCombine handles stale masters).
+
+	// Drop cached state and activity for vertices with no remaining
+	// local presence; the new owner received both.
+	for v := range moved {
+		if !a.store.HasVertex(v) {
+			delete(a.values, v)
+			delete(a.totalOutDeg, v)
+			delete(a.registered, v)
+			a.store.ClearActive(v)
+			if a.run != nil {
+				delete(a.run.active, v)
+			}
+		}
+	}
+
+	a.refreshRegistrations(gate)
+
+	// Vote once all shipments are acknowledged.
+	a.voteWhenDrained(gate, func() {
+		a.sendReady(epochLow, wire.PhaseMigrate, 0)
+	})
+}
+
+// voteWhenDrained invokes vote once the gate is empty. For non-empty
+// gates the vote fires from onAck via the pendingVotes list.
+func (a *Agent) voteWhenDrained(gate *ackGroup, vote func()) {
+	if gate.pending == 0 {
+		vote()
+		return
+	}
+	a.pendingVotes = append(a.pendingVotes, pendingVote{gate: gate, fire: vote})
+}
+
+type pendingVote struct {
+	gate *ackGroup
+	fire func()
+}
+
+// refreshRegistrations announces this agent to the masters of split
+// vertices it holds, so masters pin them for counting and value updates.
+func (a *Agent) refreshRegistrations(gate *ackGroup) {
+	self := consistent.AgentID(a.id)
+	a.store.Vertices(func(v graph.VertexID) bool {
+		if !a.router.Split(v) || a.registered[v] {
+			return true
+		}
+		master, ok := a.router.Master(v)
+		if !ok || master == self {
+			return true
+		}
+		if addr, ok2 := a.router.AddrOf(master); ok2 {
+			a.registered[v] = true
+			a.sendGated(addr, wire.TReplicaRegister, wire.EncodeReplicaRegister(&wire.ReplicaRegister{
+				Vertex: v, AgentID: a.id,
+			}), gate)
+		}
+		return true
+	})
+}
+
+// handleEdges processes an edge batch: migrations apply immediately;
+// stream changes apply when idle and buffer during a run.
+func (a *Agent) handleEdges(pkt *wire.Packet) {
+	batch, err := wire.DecodeEdgeBatch(pkt.Payload)
+	if err != nil {
+		a.node.Ack(pkt)
+		return
+	}
+	if batch.Migration {
+		states := make(map[graph.VertexID]wire.VertexState, len(batch.States))
+		for _, st := range batch.States {
+			states[st.Vertex] = st
+		}
+		g := &ackGroup{origin: pkt}
+		a.applyChanges(batch.Changes, true, g, states)
+		a.sealGroup(g)
+		return
+	}
+	if a.run != nil {
+		// Batch running: buffer (§3.4). The ack means "durably held".
+		a.buffered = append(a.buffered, batch.Changes...)
+		a.node.Ack(pkt)
+		return
+	}
+	g := &ackGroup{origin: pkt}
+	a.applyChanges(batch.Changes, false, g, nil)
+	a.sealGroup(g)
+}
+
+// keyedVertex returns the vertex a copy is stored under.
+func keyedVertex(c wire.EdgeChange) graph.VertexID {
+	if c.Dir == graph.In {
+		return c.Dst
+	}
+	return c.Src
+}
+
+// applyChanges validates and applies routed edge-change copies. Misplaced
+// copies are forwarded with deferred acknowledgement — including, for
+// migrations, the vertex state of the forwarded copies, so state always
+// travels with the copies it belongs to. Applied stream inserts feed the
+// local sketch delta: the Out-copy owner counts the source endpoint, the
+// In-copy owner the destination, so each endpoint of each inserted edge is
+// counted exactly once cluster-wide.
+func (a *Agent) applyChanges(changes []wire.EdgeChange, migration bool, g *ackGroup, states map[graph.VertexID]wire.VertexState) {
+	self := consistent.AgentID(a.id)
+	type shipment struct {
+		changes []wire.EdgeChange
+		states  map[graph.VertexID]wire.VertexState
+	}
+	var forwards map[consistent.AgentID]*shipment
+	for _, c := range changes {
+		owner, ok := a.router.CopyOwner(c)
+		if ok && owner != self {
+			if forwards == nil {
+				forwards = make(map[consistent.AgentID]*shipment)
+			}
+			s := forwards[owner]
+			if s == nil {
+				s = &shipment{states: make(map[graph.VertexID]wire.VertexState)}
+				forwards[owner] = s
+			}
+			s.changes = append(s.changes, c)
+			a.trace("edges-forward copy=(%d,%d,%d) to=%d mig=%v", c.Src, c.Dst, c.Dir, owner, migration)
+			if st, okSt := states[keyedVertex(c)]; okSt {
+				s.states[st.Vertex] = st
+			}
+			continue
+		}
+		var applied bool
+		if migration {
+			// Moves are topology-neutral: do not mark vertices active,
+			// but install the accompanying state and preserved
+			// activation for copies kept here.
+			if c.Action == graph.Insert {
+				applied = a.store.AddEdge(c.Src, c.Dst, c.Dir)
+			} else {
+				applied = a.store.RemoveEdge(c.Src, c.Dst, c.Dir)
+			}
+			if st, okSt := states[keyedVertex(c)]; okSt {
+				if _, exists := a.values[st.Vertex]; !exists {
+					a.values[st.Vertex] = algorithm.Word(st.State)
+				}
+				if st.Active {
+					a.store.MarkActive(st.Vertex)
+				}
+			}
+		} else {
+			applied = a.store.Apply(graph.Change{Action: c.Action, Src: c.Src, Dst: c.Dst}, c.Dir)
+			if applied && c.Action == graph.Insert {
+				if c.Dir == graph.Out {
+					a.skDelta.Add(uint64(c.Src))
+				} else {
+					a.skDelta.Add(uint64(c.Dst))
+				}
+			}
+		}
+		if applied {
+			atomic.AddUint64(&a.statApplied, 1)
+		}
+		a.trace("edges-apply copy=(%d,%d,%d) mig=%v applied=%v", c.Src, c.Dst, c.Dir, migration, applied)
+	}
+	for owner, s := range forwards {
+		if addr, ok := a.router.AddrOf(owner); ok {
+			atomic.AddUint64(&a.statForwarded, uint64(len(s.changes)))
+			stList := make([]wire.VertexState, 0, len(s.states))
+			for _, st := range s.states {
+				stList = append(stList, st)
+			}
+			a.sendGated(addr, wire.TEdges, wire.EncodeEdgeBatch(&wire.EdgeBatch{
+				Epoch: a.router.Epoch(), Migration: migration,
+				Changes: s.changes, States: stList,
+			}), g)
+		}
+	}
+}
+
+// flushBuffered applies changes buffered during a run.
+func (a *Agent) flushBuffered() {
+	if len(a.buffered) == 0 {
+		return
+	}
+	changes := a.buffered
+	a.buffered = nil
+	g := &ackGroup{}
+	a.applyChanges(changes, false, g, nil)
+}
+
+// handleBatchOpen is the batch-boundary round (PhaseBatch): apply
+// buffered changes, flush the sketch delta to the coordinator, refresh
+// replica registrations, and report the local master count.
+func (a *Agent) handleBatchOpen() {
+	a.flushBuffered()
+	// Metric collection (§3.4.3): graph change and client query volumes
+	// since the previous batch boundary.
+	_, applied, queries := a.Stats()
+	a.sendMetric(autoscale.MetricChangeRate, float64(applied-a.lastApplied))
+	a.sendMetric(autoscale.MetricQueryRate, float64(queries-a.lastQueries))
+	a.lastApplied, a.lastQueries = applied, queries
+	gate := &ackGroup{}
+	a.phaseGate = gate
+	if a.skDelta.Count() > 0 {
+		data, err := a.skDelta.MarshalBinary()
+		if err == nil {
+			a.sendGated(a.coordAddr, wire.TSketchDelta, data, gate)
+		}
+		a.skDelta.Reset()
+	}
+	a.refreshRegistrations(gate)
+	masters := a.countMasters()
+	batchID := uint32(a.router.BatchID())
+	a.voteWhenDrained(gate, func() {
+		a.sendReady(batchID, wire.PhaseBatch, masters)
+	})
+}

@@ -1,0 +1,16 @@
+package agent
+
+import (
+	"fmt"
+	"os"
+)
+
+// traceEnabled turns on the event trace used to debug routing issues.
+var traceEnabled = os.Getenv("ELGA_TRACE") != ""
+
+func (a *Agent) trace(format string, args ...any) {
+	if !traceEnabled {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "TRACE a%d "+format+"\n", append([]any{a.id}, args...)...)
+}

@@ -1,0 +1,356 @@
+package algorithm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"elga/internal/graph"
+)
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("program %q reports name %q", name, p.Name())
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Error("unknown program accepted")
+	}
+}
+
+func TestWordF64RoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		return FromF64(x).F64() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+func diamond() graph.EdgeList {
+	return graph.EdgeList{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3}}
+}
+
+func TestPageRankProperties(t *testing.T) {
+	pr := PageRank{}
+	ctx := &Context{N: 4}
+	if got := pr.Init(0, ctx).F64(); got != 0.25 {
+		t.Errorf("Init = %v", got)
+	}
+	agg := pr.Gather(pr.ZeroAgg(), FromF64(0.1))
+	agg = pr.Gather(agg, FromF64(0.2))
+	if math.Abs(agg.F64()-0.3) > 1e-12 {
+		t.Errorf("Gather sum = %v", agg.F64())
+	}
+	st, act := pr.Update(0, FromF64(0), agg, true, ctx)
+	want := (1-Damping)/4 + Damping*0.3
+	if math.Abs(st.F64()-want) > 1e-12 || !act {
+		t.Errorf("Update = %v, %v", st.F64(), act)
+	}
+	if pr.MessageValue(0, FromF64(0.5), 2, ctx).F64() != 0.25 {
+		t.Error("MessageValue should divide by out-degree")
+	}
+	if pr.MessageValue(0, FromF64(0.5), 0, ctx).F64() != 0 {
+		t.Error("dangling vertex should send zero")
+	}
+	if pr.SendsIn() || !pr.SendsOut() || pr.HaltOnQuiescence() {
+		t.Error("PageRank direction/halt flags wrong")
+	}
+	if pr.Residual(FromF64(1), FromF64(0.25)) != 0.75 {
+		t.Error("Residual wrong")
+	}
+}
+
+func TestPageRankRunMatchesDense(t *testing.T) {
+	// Dense reference: power iteration on the diamond graph.
+	el := diamond()
+	res := Run(PageRank{}, el, RunOptions{MaxSteps: 30})
+	if res.Steps != 30 {
+		t.Fatalf("steps = %d", res.Steps)
+	}
+	// Hand power iteration.
+	n := 4
+	rank := []float64{0.25, 0.25, 0.25, 0.25}
+	outDeg := []float64{2, 1, 1, 0}
+	for it := 0; it < 30; it++ {
+		next := make([]float64, n)
+		for i := range next {
+			next[i] = (1 - Damping) / float64(n)
+		}
+		for _, e := range el {
+			next[e.Dst] += Damping * rank[e.Src] / outDeg[e.Src]
+		}
+		rank = next
+	}
+	for v := 0; v < n; v++ {
+		if got := res.State[graph.VertexID(v)].F64(); math.Abs(got-rank[v]) > 1e-10 {
+			t.Errorf("vertex %d rank %v, want %v", v, got, rank[v])
+		}
+	}
+}
+
+func TestPageRankEpsilonHalt(t *testing.T) {
+	res := Run(PageRank{}, diamond(), RunOptions{MaxSteps: 100, Epsilon: 1e-12})
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.Steps >= 100 {
+		t.Fatal("epsilon halt never fired")
+	}
+}
+
+func TestWCCTwoComponents(t *testing.T) {
+	el := graph.EdgeList{{Src: 5, Dst: 3}, {Src: 3, Dst: 7}, {Src: 10, Dst: 11}}
+	res := Run(WCC{}, el, RunOptions{})
+	if !res.Converged {
+		t.Fatal("WCC did not converge")
+	}
+	for _, v := range []graph.VertexID{3, 5, 7} {
+		if res.State[v] != 3 {
+			t.Errorf("vertex %d label %d, want 3", v, res.State[v])
+		}
+	}
+	for _, v := range []graph.VertexID{10, 11} {
+		if res.State[v] != 10 {
+			t.Errorf("vertex %d label %d, want 10", v, res.State[v])
+		}
+	}
+}
+
+func TestWCCWeaklyConnectedViaDirection(t *testing.T) {
+	// 1 -> 0 and 1 -> 2: weak connectivity must join 0 and 2.
+	el := graph.EdgeList{{Src: 1, Dst: 0}, {Src: 1, Dst: 2}}
+	res := Run(WCC{}, el, RunOptions{})
+	if res.State[0] != 0 || res.State[1] != 0 || res.State[2] != 0 {
+		t.Errorf("labels %v, want all 0", res.State)
+	}
+}
+
+func TestWCCIncrementalMerge(t *testing.T) {
+	// Two components, then a bridge insert merges them.
+	el := graph.EdgeList{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}}
+	first := Run(WCC{}, el, RunOptions{})
+	if first.State[2] != 2 {
+		t.Fatalf("setup: %v", first.State)
+	}
+	el2 := append(el, graph.Edge{Src: 1, Dst: 2})
+	res := RunIncremental(WCC{}, el2, first.State, []graph.VertexID{1, 2}, RunOptions{})
+	for v := graph.VertexID(0); v < 4; v++ {
+		if res.State[v] != 0 {
+			t.Errorf("vertex %d label %d after merge, want 0", v, res.State[v])
+		}
+	}
+	// Incremental run should take no more steps than from-scratch.
+	scratch := Run(WCC{}, el2, RunOptions{})
+	if res.Steps > scratch.Steps {
+		t.Errorf("incremental took %d steps, scratch %d", res.Steps, scratch.Steps)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3 and a shortcut 0 -> 2.
+	el := graph.EdgeList{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 0, Dst: 2}}
+	res := Run(BFS{}, el, RunOptions{Source: 0})
+	want := map[graph.VertexID]Word{0: 0, 1: 1, 2: 1, 3: 2}
+	for v, w := range want {
+		if res.State[v] != w {
+			t.Errorf("dist[%d] = %d, want %d", v, res.State[v], w)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	el := graph.EdgeList{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}}
+	res := Run(BFS{}, el, RunOptions{Source: 0})
+	if res.State[2] != Unreached || res.State[3] != Unreached {
+		t.Error("unreachable vertices should stay Unreached")
+	}
+	if !res.Converged {
+		t.Error("BFS should converge by quiescence")
+	}
+}
+
+func TestBFSDirected(t *testing.T) {
+	// Edge 1 -> 0 must not let BFS from 0 reach 1.
+	el := graph.EdgeList{{Src: 1, Dst: 0}}
+	res := Run(BFS{}, el, RunOptions{Source: 0})
+	if res.State[1] != Unreached {
+		t.Error("BFS followed an in-edge")
+	}
+}
+
+func TestSSSPWeights(t *testing.T) {
+	s := SSSP{}
+	// Weight must be deterministic and in [1, 16].
+	for u := graph.VertexID(0); u < 50; u++ {
+		for v := graph.VertexID(0); v < 10; v++ {
+			w := s.Weight(u, v)
+			if w < 1 || w > 16 {
+				t.Fatalf("Weight(%d,%d) = %d out of range", u, v, w)
+			}
+			if w != s.Weight(u, v) {
+				t.Fatal("Weight not deterministic")
+			}
+		}
+	}
+	if s.AdjustPerEdge(0, 1, Unreached) != Unreached {
+		t.Error("Unreached must stay Unreached through adjustment")
+	}
+}
+
+func TestSSSPShorterPathWins(t *testing.T) {
+	el := graph.EdgeList{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}}
+	res := Run(SSSP{}, el, RunOptions{Source: 0})
+	s := SSSP{}
+	direct := s.Weight(0, 2)
+	twoHop := s.Weight(0, 1) + s.Weight(1, 2)
+	want := direct
+	if twoHop < direct {
+		want = twoHop
+	}
+	if uint64(res.State[2]) != want {
+		t.Errorf("dist[2] = %d, want %d", res.State[2], want)
+	}
+}
+
+func TestDegreeCounts(t *testing.T) {
+	el := diamond()
+	res := Run(Degree{}, el, RunOptions{})
+	// Total degree (in + out) per vertex on the diamond.
+	want := map[graph.VertexID]Word{0: 2, 1: 2, 2: 2, 3: 2}
+	for v, w := range want {
+		if res.State[v] != w {
+			t.Errorf("degree[%d] = %d, want %d", v, res.State[v], w)
+		}
+	}
+	if !res.Converged {
+		t.Error("degree should converge")
+	}
+	if res.Steps > 3 {
+		t.Errorf("degree took %d steps", res.Steps)
+	}
+}
+
+// Property: WCC labels form a valid partition — every edge's endpoints
+// share a label, and every label is the minimum vertex ID of its group.
+func TestWCCPartitionProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var el graph.EdgeList
+		for i := 0; i+1 < len(raw); i += 2 {
+			el = append(el, graph.Edge{Src: graph.VertexID(raw[i] % 64), Dst: graph.VertexID(raw[i+1] % 64)})
+		}
+		res := Run(WCC{}, el, RunOptions{})
+		for _, e := range el {
+			if res.State[e.Src] != res.State[e.Dst] {
+				return false
+			}
+		}
+		// Label must be a member of its own component and minimal.
+		for v, l := range res.State {
+			if l > Word(v) && res.State[graph.VertexID(l)] != l {
+				return false
+			}
+			if Word(v) < l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PageRank total mass stays <= 1 (no dangling redistribution)
+// and every rank is positive.
+func TestPageRankMassProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var el graph.EdgeList
+		for i := 0; i+1 < len(raw); i += 2 {
+			el = append(el, graph.Edge{Src: graph.VertexID(raw[i] % 32), Dst: graph.VertexID(raw[i+1] % 32)})
+		}
+		el = el.Dedupe()
+		res := Run(PageRank{}, el, RunOptions{MaxSteps: 10})
+		total := 0.0
+		for _, w := range res.State {
+			if w.F64() <= 0 {
+				return false
+			}
+			total += w.F64()
+		}
+		return total <= 1.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunIncrementalNewVerticesGetInit(t *testing.T) {
+	el := graph.EdgeList{{Src: 0, Dst: 1}}
+	first := Run(WCC{}, el, RunOptions{})
+	el2 := append(el, graph.Edge{Src: 8, Dst: 9})
+	res := RunIncremental(WCC{}, el2, first.State, []graph.VertexID{8, 9}, RunOptions{})
+	if res.State[8] != 8 || res.State[9] != 8 {
+		t.Errorf("new component labels: %v", res.State)
+	}
+	if res.State[0] != 0 {
+		t.Error("prior state lost")
+	}
+}
+
+func BenchmarkReferencePageRank(b *testing.B) {
+	var el graph.EdgeList
+	for i := 0; i < 2000; i++ {
+		el = append(el, graph.Edge{Src: graph.VertexID(i % 500), Dst: graph.VertexID((i * 7) % 500)})
+	}
+	el = el.Dedupe()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(PageRank{}, el, RunOptions{MaxSteps: 5})
+	}
+}
+
+func TestPPRConcentratesMassNearSource(t *testing.T) {
+	// Star with chains: source 0 -> {1,2}, 1 -> 3, 3 -> 4.
+	el := graph.EdgeList{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 3, Dst: 4}}
+	res := Run(PPR{}, el, RunOptions{Source: 0, MaxSteps: 30})
+	src := res.State[0].F64()
+	far := res.State[4].F64()
+	if src <= far {
+		t.Fatalf("source rank %v should exceed distant rank %v", src, far)
+	}
+	// Teleport mass returns only to the source.
+	if res.State[2].F64() <= 0 {
+		t.Error("reachable vertex has zero mass")
+	}
+	total := 0.0
+	for _, w := range res.State {
+		total += w.F64()
+	}
+	if total > 1+1e-9 {
+		t.Errorf("total mass %v exceeds 1", total)
+	}
+}
+
+func TestPPRUnreachableGetsNoMass(t *testing.T) {
+	el := graph.EdgeList{{Src: 0, Dst: 1}, {Src: 5, Dst: 6}}
+	res := Run(PPR{}, el, RunOptions{Source: 0, MaxSteps: 10})
+	if res.State[5].F64() != 0 || res.State[6].F64() != 0 {
+		t.Error("unreachable component accumulated personalized mass")
+	}
+}

@@ -1,0 +1,171 @@
+package algorithm
+
+import (
+	"sort"
+
+	"elga/internal/graph"
+)
+
+// RunOptions configures a reference run.
+type RunOptions struct {
+	// MaxSteps bounds the superstep count (0 = unlimited for
+	// quiescence-halting programs, 20 for residual-halting ones).
+	MaxSteps uint32
+	// Epsilon halts residual-driven programs when the global residual
+	// drops below it (0 disables).
+	Epsilon float64
+	// Source is the traversal root.
+	Source graph.VertexID
+}
+
+// Result is the outcome of a reference run.
+type Result struct {
+	// State maps every vertex to its final state.
+	State map[graph.VertexID]Word
+	// Steps is the number of supersteps executed.
+	Steps uint32
+	// Converged reports a quiescence or epsilon halt (vs. MaxSteps).
+	Converged bool
+}
+
+// Run executes the program on a single machine over the given edge list,
+// faithfully emulating the distributed BSP semantics: per-superstep
+// message delivery, gather → update → scatter, activation rules, and halt
+// conditions. Integration tests compare the distributed engine against
+// this executor, and the paper's correctness methodology ("all results
+// were checked for correctness among the baselines") is reproduced by
+// comparing every engine against it.
+func Run(p Program, el graph.EdgeList, opts RunOptions) *Result {
+	return RunIncremental(p, el, nil, nil, opts)
+}
+
+// RunIncremental executes the program starting from previous state
+// (nil = from scratch) with the given initially active vertices
+// (nil + nil prior = all InitActive vertices). It implements
+// Definition 2.5's dynamic algorithm contract on a single machine.
+func RunIncremental(p Program, el graph.EdgeList, prior map[graph.VertexID]Word, seeds []graph.VertexID, opts RunOptions) *Result {
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		if p.HaltOnQuiescence() {
+			maxSteps = 1 << 30
+		} else {
+			maxSteps = 20
+		}
+	}
+
+	// Adjacency and vertex universe.
+	out := make(map[graph.VertexID][]graph.VertexID)
+	in := make(map[graph.VertexID][]graph.VertexID)
+	verts := make(map[graph.VertexID]struct{})
+	for _, e := range el {
+		out[e.Src] = append(out[e.Src], e.Dst)
+		in[e.Dst] = append(in[e.Dst], e.Src)
+		verts[e.Src] = struct{}{}
+		verts[e.Dst] = struct{}{}
+	}
+	order := make([]graph.VertexID, 0, len(verts))
+	for v := range verts {
+		order = append(order, v)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	ctx := &Context{N: uint64(len(verts)), Source: opts.Source}
+	state := make(map[graph.VertexID]Word, len(verts))
+	active := make(map[graph.VertexID]struct{})
+	if prior == nil {
+		for _, v := range order {
+			state[v] = p.Init(v, ctx)
+			if p.InitActive(v, ctx) {
+				active[v] = struct{}{}
+			}
+		}
+	} else {
+		for _, v := range order {
+			if s, ok := prior[v]; ok {
+				state[v] = s
+			} else {
+				state[v] = p.Init(v, ctx)
+			}
+		}
+		for _, v := range seeds {
+			if _, ok := verts[v]; ok {
+				active[v] = struct{}{}
+			}
+		}
+	}
+
+	adj, hasAdj := p.(PerEdgeAdjuster)
+	mailbox := make(map[graph.VertexID][]Word)
+	res := &Result{}
+	for step := uint32(0); step < maxSteps; step++ {
+		ctx.Step = step
+		next := make(map[graph.VertexID][]Word)
+		nextActive := make(map[graph.VertexID]struct{})
+		residual := 0.0
+
+		// Process active vertices and vertices with mail, in ID order
+		// for determinism.
+		work := make(map[graph.VertexID]struct{}, len(active)+len(mailbox))
+		for v := range active {
+			work[v] = struct{}{}
+		}
+		for v := range mailbox {
+			work[v] = struct{}{}
+		}
+		workList := make([]graph.VertexID, 0, len(work))
+		for v := range work {
+			workList = append(workList, v)
+		}
+		sort.Slice(workList, func(i, j int) bool { return workList[i] < workList[j] })
+
+		scatter := func(from graph.VertexID, val Word) {
+			deliver := func(to graph.VertexID, via graph.VertexID, v Word) {
+				if hasAdj {
+					v = adj.AdjustPerEdge(via, to, v)
+				}
+				next[to] = append(next[to], v)
+			}
+			if p.SendsOut() {
+				for _, w := range out[from] {
+					deliver(w, from, val)
+				}
+			}
+			if p.SendsIn() {
+				for _, u := range in[from] {
+					deliver(u, from, val)
+				}
+			}
+		}
+
+		for _, v := range workList {
+			agg := p.ZeroAgg()
+			msgs := mailbox[v]
+			for _, m := range msgs {
+				agg = p.Gather(agg, m)
+			}
+			old := state[v]
+			nw, activate := p.Update(v, old, agg, len(msgs) > 0, ctx)
+			state[v] = nw
+			residual += p.Residual(old, nw)
+			if activate {
+				scatter(v, p.MessageValue(v, nw, uint64(len(out[v])), ctx))
+				nextActive[v] = struct{}{}
+			}
+		}
+
+		res.Steps = step + 1
+		mailbox = next
+		active = nextActive
+		if p.HaltOnQuiescence() {
+			if len(nextActive) == 0 && len(next) == 0 {
+				res.Converged = true
+				break
+			}
+		} else if opts.Epsilon > 0 && residual < opts.Epsilon && step > 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.State = state
+	return res
+}

@@ -1,0 +1,257 @@
+// Package bsp is the Blogel-role baseline: a from-scratch static
+// distributed BSP graph engine. Like Blogel (§4.2), it loads a static
+// graph into per-worker CSR structures (fast to iterate, impossible to
+// update cheaply), partitions vertices by hash, and runs bulk-synchronous
+// supersteps with a global barrier between steps — the architecture whose
+// per-iteration performance ElGA is compared against in Figures 11/12.
+//
+// The engine executes the same algorithm.Program implementations as ElGA,
+// satisfying the paper's methodology of identical algorithms across
+// systems.
+package bsp
+
+import (
+	"sync"
+
+	"elga/internal/algorithm"
+	"elga/internal/graph"
+	"elga/internal/hashing"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the parallel worker count ("MPI ranks"); 0 means 8,
+	// the paper's best Blogel setting (8 ranks per node).
+	Workers int
+	// MaxSteps and Epsilon mirror algorithm.RunOptions.
+	MaxSteps uint32
+	Epsilon  float64
+	// Source is the traversal root.
+	Source graph.VertexID
+}
+
+// Engine is a loaded static BSP instance. Build once with New (the
+// loading/partitioning cost excluded from the paper's timings), then Run
+// repeatedly.
+type Engine struct {
+	workers int
+	csr     *graph.CSR
+	present []bool
+	// owner[v] = worker that processes v.
+	owner []int
+	// verts[w] lists worker w's vertices.
+	verts [][]graph.VertexID
+	n     uint64
+}
+
+// New partitions the edge list across workers and builds the CSR.
+func New(el graph.EdgeList, workers int) *Engine {
+	if workers <= 0 {
+		workers = 8
+	}
+	csr := graph.BuildCSR(el)
+	e := &Engine{
+		workers: workers,
+		csr:     csr,
+		present: make([]bool, csr.N),
+		owner:   make([]int, csr.N),
+		verts:   make([][]graph.VertexID, workers),
+	}
+	for _, edge := range el {
+		e.present[edge.Src] = true
+		e.present[edge.Dst] = true
+	}
+	for v := 0; v < csr.N; v++ {
+		if !e.present[v] {
+			continue
+		}
+		w := int(hashing.Wang(uint64(v)) % uint64(workers))
+		e.owner[v] = w
+		e.verts[w] = append(e.verts[w], graph.VertexID(v))
+		e.n++
+	}
+	return e
+}
+
+// NumVertices returns the loaded vertex count.
+func (e *Engine) NumVertices() uint64 { return e.n }
+
+// Result is the outcome of one Run.
+type Result struct {
+	State     []algorithm.Word // indexed by vertex ID; valid where present
+	Steps     uint32
+	Converged bool
+}
+
+type mailbox struct {
+	agg  algorithm.Word
+	n    int
+	have bool
+}
+
+// Run executes the program to completion, from scratch.
+func (e *Engine) Run(p algorithm.Program, opts Options) *Result {
+	return e.run(p, opts, nil, nil)
+}
+
+// RunIncremental executes the program from prior state with the given
+// active seeds — the snapshot-style restart strategy of §4.9 reuses it.
+func (e *Engine) RunIncremental(p algorithm.Program, opts Options, prior []algorithm.Word, seeds []graph.VertexID) *Result {
+	return e.run(p, opts, prior, seeds)
+}
+
+func (e *Engine) run(p algorithm.Program, opts Options, prior []algorithm.Word, seeds []graph.VertexID) *Result {
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		if p.HaltOnQuiescence() {
+			maxSteps = 1 << 30
+		} else {
+			maxSteps = 20
+		}
+	}
+	ctx := &algorithm.Context{N: e.n, Source: opts.Source}
+	state := make([]algorithm.Word, e.csr.N)
+	active := make([]bool, e.csr.N)
+	if prior == nil {
+		for v := 0; v < e.csr.N; v++ {
+			if !e.present[v] {
+				continue
+			}
+			state[v] = p.Init(graph.VertexID(v), ctx)
+			active[v] = p.InitActive(graph.VertexID(v), ctx)
+		}
+	} else {
+		copy(state, prior)
+		for v := 0; v < e.csr.N; v++ {
+			if e.present[v] && v >= len(prior) {
+				state[v] = p.Init(graph.VertexID(v), ctx)
+			}
+		}
+		for _, s := range seeds {
+			if int(s) < len(active) && e.present[s] {
+				active[s] = true
+			}
+		}
+	}
+	adjust, hasAdjust := p.(algorithm.PerEdgeAdjuster)
+
+	// Per-worker outgoing message buffers, exchanged at the barrier.
+	cur := make([]map[graph.VertexID]*mailbox, e.workers)
+	for w := range cur {
+		cur[w] = map[graph.VertexID]*mailbox{}
+	}
+
+	res := &Result{}
+	var mu sync.Mutex
+	for step := uint32(0); step < maxSteps; step++ {
+		ctx.Step = step
+		next := make([]map[graph.VertexID]*mailbox, e.workers)
+		for w := range next {
+			next[w] = map[graph.VertexID]*mailbox{}
+		}
+		nextActive := make([]bool, e.csr.N)
+		globalResidual := 0.0
+		anyActive := false
+
+		var wg sync.WaitGroup
+		for w := 0; w < e.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Worker-local outgoing buffers, one per peer, merged
+				// under the peer's lock at the end (the "combiner"
+				// optimization Pregel-family systems use).
+				out := make([]map[graph.VertexID]*mailbox, e.workers)
+				for i := range out {
+					out[i] = map[graph.VertexID]*mailbox{}
+				}
+				stepCtx := *ctx
+				residual := 0.0
+				localActive := false
+
+				deliver := func(to graph.VertexID, val algorithm.Word) {
+					dst := e.owner[to]
+					mb := out[dst][to]
+					if mb == nil {
+						mb = &mailbox{agg: p.ZeroAgg()}
+						out[dst][to] = mb
+					}
+					mb.agg = p.Gather(mb.agg, val)
+					mb.n++
+					mb.have = true
+				}
+				for _, v := range e.verts[w] {
+					mb := cur[w][v]
+					if !active[v] && mb == nil {
+						continue
+					}
+					agg := p.ZeroAgg()
+					have := false
+					if mb != nil {
+						agg, have = mb.agg, mb.have
+					}
+					old := state[v]
+					nw, act := p.Update(v, old, agg, have, &stepCtx)
+					state[v] = nw
+					residual += p.Residual(old, nw)
+					if !act {
+						continue
+					}
+					nextActive[v] = true
+					localActive = true
+					mv := p.MessageValue(v, nw, uint64(e.csr.OutDegree(v)), &stepCtx)
+					if p.SendsOut() {
+						for _, t := range e.csr.Out(v) {
+							val := mv
+							if hasAdjust {
+								val = adjust.AdjustPerEdge(v, t, val)
+							}
+							deliver(t, val)
+						}
+					}
+					if p.SendsIn() {
+						for _, t := range e.csr.In(v) {
+							val := mv
+							if hasAdjust {
+								val = adjust.AdjustPerEdge(t, v, val)
+							}
+							deliver(t, val)
+						}
+					}
+				}
+				mu.Lock()
+				globalResidual += residual
+				anyActive = anyActive || localActive
+				for dst, msgs := range out {
+					for v, mb := range msgs {
+						tgt := next[dst][v]
+						if tgt == nil {
+							next[dst][v] = mb
+							continue
+						}
+						tgt.agg = p.MergeAgg(tgt.agg, mb.agg)
+						tgt.n += mb.n
+						tgt.have = tgt.have || mb.have
+					}
+				}
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait() // the global superstep barrier ("MPI allreduce")
+
+		res.Steps = step + 1
+		cur = next
+		active = nextActive
+		if p.HaltOnQuiescence() {
+			if !anyActive {
+				res.Converged = true
+				break
+			}
+		} else if opts.Epsilon > 0 && step > 0 && globalResidual < opts.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+	res.State = state
+	return res
+}

@@ -1,0 +1,119 @@
+package bsp
+
+import (
+	"math"
+	"testing"
+
+	"elga/internal/algorithm"
+	"elga/internal/gen"
+	"elga/internal/graph"
+)
+
+func compare(t *testing.T, el graph.EdgeList, p algorithm.Program, opts Options, refOpts algorithm.RunOptions, tol float64) {
+	t.Helper()
+	e := New(el, opts.Workers)
+	got := e.Run(p, opts)
+	ref := algorithm.Run(p, el, refOpts)
+	if got.Steps != ref.Steps {
+		t.Fatalf("steps %d != reference %d", got.Steps, ref.Steps)
+	}
+	for v, want := range ref.State {
+		g := got.State[v]
+		if tol > 0 {
+			if math.Abs(algorithm.Word(g).F64()-want.F64()) > tol {
+				t.Fatalf("vertex %d: %v vs %v", v, g.F64(), want.F64())
+			}
+		} else if g != want {
+			t.Fatalf("vertex %d: %d vs %d", v, g, want)
+		}
+	}
+}
+
+func TestBSPPageRankMatchesReference(t *testing.T) {
+	el := gen.Uniform(200, 900, 1)
+	compare(t, el, algorithm.PageRank{}, Options{Workers: 4, MaxSteps: 10},
+		algorithm.RunOptions{MaxSteps: 10}, 1e-10)
+}
+
+func TestBSPWCCMatchesReference(t *testing.T) {
+	el := gen.RMAT(10, 3000, gen.Graph500Params(), 2)
+	compare(t, el, algorithm.WCC{}, Options{Workers: 4},
+		algorithm.RunOptions{}, 0)
+}
+
+func TestBSPBFSMatchesReference(t *testing.T) {
+	el := gen.Uniform(150, 700, 3)
+	compare(t, el, algorithm.BFS{}, Options{Workers: 3, Source: 5},
+		algorithm.RunOptions{Source: 5}, 0)
+}
+
+func TestBSPSSSPMatchesReference(t *testing.T) {
+	el := gen.Uniform(100, 400, 4)
+	compare(t, el, algorithm.SSSP{}, Options{Workers: 2, Source: 1},
+		algorithm.RunOptions{Source: 1}, 0)
+}
+
+func TestBSPWorkerCountInvariance(t *testing.T) {
+	el := gen.RMAT(9, 2000, gen.Graph500Params(), 5)
+	var first *Result
+	for _, w := range []int{1, 2, 7, 16} {
+		e := New(el, w)
+		r := e.Run(algorithm.WCC{}, Options{Workers: w})
+		if first == nil {
+			first = r
+			continue
+		}
+		if r.Steps != first.Steps {
+			t.Fatalf("worker count changed step count: %d vs %d", r.Steps, first.Steps)
+		}
+		for v := range r.State {
+			if r.State[v] != first.State[v] {
+				t.Fatalf("worker count changed result at %d", v)
+			}
+		}
+	}
+}
+
+func TestBSPIncremental(t *testing.T) {
+	el := graph.EdgeList{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}}
+	e := New(el, 2)
+	r1 := e.Run(algorithm.WCC{}, Options{})
+	if r1.State[2] != 2 {
+		t.Fatalf("setup: %v", r1.State)
+	}
+	el2 := append(el, graph.Edge{Src: 1, Dst: 2})
+	e2 := New(el2, 2)
+	r2 := e2.RunIncremental(algorithm.WCC{}, Options{}, r1.State, []graph.VertexID{1, 2})
+	for v := graph.VertexID(0); v < 4; v++ {
+		if r2.State[v] != 0 {
+			t.Fatalf("vertex %d = %d after incremental merge", v, r2.State[v])
+		}
+	}
+}
+
+func TestBSPEmptyGraph(t *testing.T) {
+	e := New(nil, 4)
+	r := e.Run(algorithm.WCC{}, Options{})
+	if !r.Converged && r.Steps > 1 {
+		t.Error("empty graph should converge immediately")
+	}
+	if e.NumVertices() != 0 {
+		t.Error("vertex count wrong")
+	}
+}
+
+func TestBSPDefaultWorkers(t *testing.T) {
+	e := New(graph.EdgeList{{Src: 0, Dst: 1}}, 0)
+	if e.workers != 8 {
+		t.Errorf("default workers = %d, want 8 (the paper's Blogel setting)", e.workers)
+	}
+}
+
+func BenchmarkBSPPageRankIteration(b *testing.B) {
+	el := gen.RMAT(13, 60000, gen.Graph500Params(), 6)
+	e := New(el, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(algorithm.PageRank{}, Options{Workers: 8, MaxSteps: 1})
+	}
+}

@@ -1,0 +1,64 @@
+package gap
+
+import (
+	"testing"
+
+	"elga/internal/algorithm"
+	"elga/internal/gen"
+	"elga/internal/graph"
+)
+
+func TestCCMatchesReference(t *testing.T) {
+	el := gen.RMAT(10, 4000, gen.Graph500Params(), 21)
+	res := ConnectedComponents(el, 4)
+	ref := algorithm.Run(algorithm.WCC{}, el, algorithm.RunOptions{})
+	for v, want := range ref.State {
+		if res.Labels[v] != graph.VertexID(want) {
+			t.Fatalf("label(%d) = %d, reference %d", v, res.Labels[v], want)
+		}
+	}
+	if res.Elapsed() <= 0 {
+		t.Error("elapsed not measured")
+	}
+	if res.Iterations == 0 {
+		t.Error("iterations not counted")
+	}
+}
+
+func TestCCWorkerInvariance(t *testing.T) {
+	el := gen.Uniform(500, 2000, 22)
+	a := ConnectedComponents(el, 1)
+	b := ConnectedComponents(el, 8)
+	for v := range a.Labels {
+		if a.Labels[v] != b.Labels[v] {
+			t.Fatalf("worker count changed label at %d", v)
+		}
+	}
+}
+
+func TestCCEmptyAndSingleEdge(t *testing.T) {
+	empty := ConnectedComponents(nil, 2)
+	if len(empty.Labels) != 0 {
+		t.Error("empty graph labels")
+	}
+	one := ConnectedComponents(graph.EdgeList{{Src: 3, Dst: 5}}, 2)
+	if one.Labels[3] != 3 || one.Labels[5] != 3 {
+		t.Errorf("labels %v", one.Labels)
+	}
+}
+
+func TestCCDirectionIgnored(t *testing.T) {
+	// 5 -> 0: weakly connected either way.
+	res := ConnectedComponents(graph.EdgeList{{Src: 5, Dst: 0}}, 1)
+	if res.Labels[5] != 0 {
+		t.Errorf("label(5) = %d", res.Labels[5])
+	}
+}
+
+func BenchmarkGAPConnectedComponents(b *testing.B) {
+	el := gen.RMAT(13, 80000, gen.Graph500Params(), 23)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConnectedComponents(el, 0)
+	}
+}

@@ -1,0 +1,78 @@
+package snapshot
+
+import (
+	"testing"
+	"time"
+
+	"elga/internal/algorithm"
+	"elga/internal/baseline/bsp"
+	"elga/internal/gen"
+	"elga/internal/graph"
+)
+
+func TestFromScratchMatchesReference(t *testing.T) {
+	el := gen.Uniform(120, 500, 31)
+	e := New(el, 4)
+	res := e.RunFromScratch(algorithm.WCC{}, bsp.Options{Workers: 4})
+	ref := algorithm.Run(algorithm.WCC{}, el, algorithm.RunOptions{})
+	for v, want := range ref.State {
+		if res.State[v] != want {
+			t.Fatalf("label(%d) = %d, want %d", v, res.State[v], want)
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not measured")
+	}
+}
+
+func TestBatchMaintenance(t *testing.T) {
+	el := graph.EdgeList{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}}
+	e := New(el, 2)
+	e.RunFromScratch(algorithm.WCC{}, bsp.Options{})
+	res := e.ApplyBatch(algorithm.WCC{}, graph.Batch{
+		{Action: graph.Insert, Src: 1, Dst: 2},
+	}, bsp.Options{})
+	for v := graph.VertexID(0); v < 4; v++ {
+		if res.State[v] != 0 {
+			t.Fatalf("label(%d) = %d after merge", v, res.State[v])
+		}
+	}
+	if e.NumEdges() != 3 {
+		t.Errorf("edges = %d", e.NumEdges())
+	}
+}
+
+func TestBatchDeletion(t *testing.T) {
+	el := graph.EdgeList{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}
+	e := New(el, 2)
+	e.RunFromScratch(algorithm.WCC{}, bsp.Options{})
+	e.ApplyBatch(algorithm.WCC{}, graph.Batch{
+		{Action: graph.Delete, Src: 1, Dst: 2},
+	}, bsp.Options{})
+	if e.NumEdges() != 1 {
+		t.Errorf("edges = %d after delete", e.NumEdges())
+	}
+}
+
+func TestIncrementalFasterThanScratchOnSmallChange(t *testing.T) {
+	// Not a timing test (too flaky): incremental convergence must take
+	// no more iterations than from-scratch.
+	el := gen.PreferentialAttachment(800, 4, 33)
+	e := New(el, 4)
+	scratch := e.RunFromScratch(algorithm.WCC{}, bsp.Options{})
+	inc := e.ApplyBatch(algorithm.WCC{}, graph.Batch{
+		{Action: graph.Insert, Src: 1, Dst: 2},
+	}, bsp.Options{})
+	if inc.Steps > scratch.Steps {
+		t.Errorf("incremental took %d steps, scratch %d", inc.Steps, scratch.Steps)
+	}
+}
+
+func TestFixedStartupAdds(t *testing.T) {
+	e := New(graph.EdgeList{{Src: 0, Dst: 1}}, 1)
+	e.FixedStartup = 50 * time.Millisecond
+	res := e.RunFromScratch(algorithm.WCC{}, bsp.Options{})
+	if res.Elapsed < 50*time.Millisecond {
+		t.Errorf("fixed startup not included: %v", res.Elapsed)
+	}
+}

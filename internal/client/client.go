@@ -1,0 +1,194 @@
+// Package client implements ElGA's ClientProxies: the Participants that
+// proxy end-user queries to Agents and trigger computations through the
+// directory system (§3.1). Queries use the low-latency REQ/REP path and
+// are served by a random replica of the target vertex (§3.4.1).
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"elga/internal/algorithm"
+	"elga/internal/config"
+	"elga/internal/graph"
+	"elga/internal/route"
+	"elga/internal/transport"
+	"elga/internal/wire"
+)
+
+// Options configures a ClientProxy.
+type Options struct {
+	// Config is the shared cluster configuration.
+	Config config.Config
+	// Network is the transport.
+	Network transport.Network
+	// MasterAddr locates the DirectoryMaster.
+	MasterAddr string
+}
+
+// Client is a client proxy. It is not safe for concurrent use.
+type Client struct {
+	opts      Options
+	node      *transport.Node
+	router    *route.Router
+	coordAddr string
+	dirAddr   string
+	salt      uint64
+}
+
+// Start boots a client proxy and waits for a directory view.
+func Start(opts Options) (*Client, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	node, err := transport.NewNode(opts.Network, "", 0)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{opts: opts, node: node, router: route.New(opts.Config)}
+	reply, err := node.Request(opts.MasterAddr, wire.TGetDirectory, nil, opts.Config.RequestTimeout)
+	if err != nil {
+		node.Close()
+		return nil, fmt.Errorf("client: bootstrap: %w", err)
+	}
+	dirs, err := wire.DecodeStringList(reply.Payload)
+	if err != nil || len(dirs) == 0 {
+		node.Close()
+		return nil, fmt.Errorf("client: no directories")
+	}
+	c.coordAddr = dirs[0]
+	c.dirAddr = dirs[len(dirs)-1]
+	if err := node.Send(c.dirAddr, wire.TSubscribe, wire.SubscribeTypes(wire.TDirUpdate)); err != nil {
+		node.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close unsubscribes from directory broadcasts and releases the client.
+func (c *Client) Close() {
+	_ = c.node.Send(c.dirAddr, wire.TUnsubscribe, nil)
+	c.node.Close()
+}
+
+func (c *Client) drainViews(block bool) error {
+	deadline := time.Now().Add(c.opts.Config.RequestTimeout)
+	for {
+		select {
+		case pkt, ok := <-c.node.Inbox():
+			if !ok {
+				return transport.ErrClosed
+			}
+			if pkt.Type == wire.TDirUpdate {
+				if v, err := wire.DecodeView(pkt.Payload); err == nil {
+					_, _ = c.router.Update(v)
+				}
+				block = false
+			}
+		default:
+			if !block {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("client: timed out waiting for a view")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// WaitReady blocks until at least one agent is visible.
+func (c *Client) WaitReady() error {
+	deadline := time.Now().Add(c.opts.Config.RequestTimeout)
+	for c.router.NumAgents() == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("client: no agents before timeout")
+		}
+		if err := c.drainViews(true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSpec describes an algorithm run request.
+type RunSpec struct {
+	// Algo names the vertex program ("pagerank", "wcc", "bfs", ...).
+	Algo string
+	// Async selects the asynchronous engine (monotone
+	// quiescence-halting programs only: wcc, bfs, sssp).
+	Async bool
+	// MaxSteps bounds supersteps (0 = program default).
+	MaxSteps uint32
+	// Epsilon is the residual halt threshold for non-quiescing programs.
+	Epsilon float64
+	// FromScratch re-initializes state; false runs incrementally from
+	// persisted state and batch-touched seeds.
+	FromScratch bool
+	// Source is the traversal root.
+	Source graph.VertexID
+	// Timeout bounds the blocking wait (0 = 10 minutes).
+	Timeout time.Duration
+}
+
+// Run asks the directory system to execute an algorithm and blocks until
+// it completes, returning the run statistics.
+func (c *Client) Run(spec RunSpec) (*wire.RunStats, error) {
+	timeout := spec.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Minute
+	}
+	payload := wire.EncodeAlgoStart(&wire.AlgoStart{
+		Algo:        spec.Algo,
+		Async:       spec.Async,
+		MaxSteps:    spec.MaxSteps,
+		Epsilon:     spec.Epsilon,
+		FromScratch: spec.FromScratch,
+		Source:      spec.Source,
+	})
+	reply, err := c.node.Request(c.coordAddr, wire.TRunAlgo, payload, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeRunStats(reply.Payload)
+}
+
+// Seal asks the directory system to reach a batch boundary: all buffered
+// changes applied, sketch deltas merged, and any resulting rebalance
+// completed. It blocks until the cluster is quiescent.
+func (c *Client) Seal() error {
+	_, err := c.node.Request(c.coordAddr, wire.TIngest, nil, c.opts.Config.RequestTimeout)
+	return err
+}
+
+// Query returns vertex v's current algorithm state from a random replica.
+func (c *Client) Query(v graph.VertexID) (algorithm.Word, bool, error) {
+	if err := c.drainViews(false); err != nil {
+		return 0, false, err
+	}
+	c.salt++
+	agentID, ok := c.router.AnyReplica(v, c.salt)
+	if !ok {
+		return 0, false, fmt.Errorf("client: no agents")
+	}
+	addr, ok := c.router.AddrOf(agentID)
+	if !ok {
+		return 0, false, fmt.Errorf("client: unknown agent %d", agentID)
+	}
+	reply, err := c.node.Request(addr, wire.TQuery,
+		wire.EncodeQuery(&wire.Query{Vertex: v}), c.opts.Config.RequestTimeout)
+	if err != nil {
+		return 0, false, err
+	}
+	qr, err := wire.DecodeQueryReply(reply.Payload)
+	if err != nil {
+		return 0, false, err
+	}
+	return algorithm.Word(qr.State), qr.Found, nil
+}
+
+// QueryFloat is Query for float64-valued programs (PageRank).
+func (c *Client) QueryFloat(v graph.VertexID) (float64, bool, error) {
+	w, found, err := c.Query(v)
+	return w.F64(), found, err
+}

@@ -1,0 +1,276 @@
+// Package cluster boots and drives a complete in-process ElGA deployment:
+// a DirectoryMaster, one or more Directories, a set of Agents, plus
+// Streamers and ClientProxies on demand. It is the entry point used by the
+// examples, the integration tests, and every benchmark in the paper
+// reproduction — the stand-in for the pdsh-launched 65-node deployment of
+// the artifact appendix.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"elga/internal/agent"
+	"elga/internal/client"
+	"elga/internal/config"
+	"elga/internal/directory"
+	"elga/internal/graph"
+	"elga/internal/streamer"
+	"elga/internal/transport"
+	"elga/internal/wire"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Config is the shared cluster configuration (zero value: Default).
+	Config config.Config
+	// Network selects the transport; nil uses a fresh in-process
+	// network namespace.
+	Network transport.Network
+	// Directories is the directory server count (default 1).
+	Directories int
+	// Agents is the initial agent count (default 4).
+	Agents int
+	// MetricHandler receives autoscaler metrics on the coordinator's
+	// event loop.
+	MetricHandler func(*wire.Metric)
+}
+
+// Cluster is a running ElGA deployment.
+type Cluster struct {
+	opts   Options
+	net    transport.Network
+	master *directory.Master
+	dirs   []*directory.Directory
+	agents []*agent.Agent
+	ctl    *client.Client     // internal control client for Seal/Run
+	stream *streamer.Streamer // persistent streamer for Load/ApplyBatch
+}
+
+// New boots a cluster and waits until every initial agent has joined.
+func New(opts Options) (*Cluster, error) {
+	if opts.Config.Virtual == 0 {
+		opts.Config = config.Default()
+	}
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Directories <= 0 {
+		opts.Directories = 1
+	}
+	if opts.Agents < 0 {
+		return nil, fmt.Errorf("cluster: negative agent count")
+	}
+	net := opts.Network
+	if net == nil {
+		net = transport.NewInproc()
+	}
+	c := &Cluster{opts: opts, net: net}
+	m, err := directory.StartMaster(net, "")
+	if err != nil {
+		return nil, err
+	}
+	c.master = m
+	for i := 0; i < opts.Directories; i++ {
+		var mh func(*wire.Metric)
+		if i == 0 {
+			mh = opts.MetricHandler
+		}
+		d, err := directory.Start(directory.Options{
+			Config:        opts.Config,
+			Network:       net,
+			MasterAddr:    m.Addr(),
+			MetricHandler: mh,
+		})
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		c.dirs = append(c.dirs, d)
+	}
+	for i := 0; i < opts.Agents; i++ {
+		if _, err := c.AddAgent(); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+	}
+	ctl, err := client.Start(client.Options{Config: opts.Config, Network: net, MasterAddr: m.Addr()})
+	if err != nil {
+		c.Shutdown()
+		return nil, err
+	}
+	c.ctl = ctl
+	if opts.Agents > 0 {
+		if err := ctl.WaitReady(); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Config returns the shared configuration.
+func (c *Cluster) Config() config.Config { return c.opts.Config }
+
+// Network returns the cluster's transport.
+func (c *Cluster) Network() transport.Network { return c.net }
+
+// MasterAddr returns the DirectoryMaster address for external clients.
+func (c *Cluster) MasterAddr() string { return c.master.Addr() }
+
+// NumAgents returns the live agent count.
+func (c *Cluster) NumAgents() int { return len(c.agents) }
+
+// Agents returns the live agents (do not mutate).
+func (c *Cluster) Agents() []*agent.Agent { return c.agents }
+
+// AddAgent elastically adds one agent, returning it once joined. The
+// join, view broadcast, and migration round complete before any queued
+// computation resumes.
+func (c *Cluster) AddAgent() (*agent.Agent, error) {
+	a, err := agent.Start(agent.Options{
+		Config:     c.opts.Config,
+		Network:    c.net,
+		MasterAddr: c.master.Addr(),
+		DirIndex:   len(c.agents),
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.agents = append(c.agents, a)
+	return a, nil
+}
+
+// RemoveAgent gracefully removes the i-th agent: it migrates its edges
+// away and exits once the directory confirms the rebalance.
+func (c *Cluster) RemoveAgent(i int) error {
+	if i < 0 || i >= len(c.agents) {
+		return fmt.Errorf("cluster: no agent %d", i)
+	}
+	a := c.agents[i]
+	c.agents = append(c.agents[:i], c.agents[i+1:]...)
+	if err := a.Leave(); err != nil {
+		return err
+	}
+	select {
+	case <-a.Done():
+	case <-time.After(c.opts.Config.RequestTimeout):
+		a.Close()
+		return fmt.Errorf("cluster: agent %d leave timed out", a.ID())
+	}
+	return nil
+}
+
+// NewStreamer creates a streamer attached to this cluster.
+func (c *Cluster) NewStreamer() (*streamer.Streamer, error) {
+	s, err := streamer.Start(streamer.Options{
+		Config: c.opts.Config, Network: c.net, MasterAddr: c.master.Addr(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.WaitReady(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewClient creates a client proxy attached to this cluster.
+func (c *Cluster) NewClient() (*client.Client, error) {
+	cl, err := client.Start(client.Options{
+		Config: c.opts.Config, Network: c.net, MasterAddr: c.master.Addr(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.WaitReady(); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// streamer returns the cluster's persistent streamer, creating it on
+// first use. Reuse matters: a streamer subscribes to directory
+// broadcasts, so per-batch streamers would accumulate dead subscribers.
+func (c *Cluster) streamer() (*streamer.Streamer, error) {
+	if c.stream != nil {
+		return c.stream, nil
+	}
+	s, err := c.NewStreamer()
+	if err != nil {
+		return nil, err
+	}
+	c.stream = s
+	return s, nil
+}
+
+// Load streams an edge list into the cluster (as insertions) and seals
+// the batch: after Load returns, every change is applied, the sketch is
+// merged and broadcast, and any replication-driven rebalance is done.
+func (c *Cluster) Load(el graph.EdgeList) error {
+	return c.ApplyBatch(el.Changes())
+}
+
+// ApplyBatch streams a change batch and seals it.
+func (c *Cluster) ApplyBatch(b graph.Batch) error {
+	s, err := c.streamer()
+	if err != nil {
+		return err
+	}
+	if err := s.SendBatch(b); err != nil {
+		return err
+	}
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return c.Seal()
+}
+
+// Seal reaches a batch boundary (see client.Client.Seal).
+func (c *Cluster) Seal() error { return c.ctl.Seal() }
+
+// Run executes an algorithm and blocks for its statistics.
+func (c *Cluster) Run(spec client.RunSpec) (*wire.RunStats, error) { return c.ctl.Run(spec) }
+
+// Query reads one vertex's state through the control client.
+func (c *Cluster) Query(v graph.VertexID) (float64, bool, error) { return c.ctl.QueryFloat(v) }
+
+// QueryWord reads one vertex's raw state.
+func (c *Cluster) QueryWord(v graph.VertexID) (uint64, bool, error) {
+	w, found, err := c.ctl.Query(v)
+	return uint64(w), found, err
+}
+
+// EdgeCounts returns the per-agent stored copy counts, the load-balance
+// observable of Figures 5b and 6.
+func (c *Cluster) EdgeCounts() map[uint64]int {
+	out := make(map[uint64]int, len(c.agents))
+	for _, a := range c.agents {
+		out[a.ID()] = a.EdgeCopies()
+	}
+	return out
+}
+
+// Shutdown stops every entity.
+func (c *Cluster) Shutdown() {
+	if c.stream != nil {
+		_ = c.stream.Close()
+		c.stream = nil
+	}
+	if c.ctl != nil {
+		c.ctl.Close()
+	}
+	for _, a := range c.agents {
+		a.Close()
+	}
+	c.agents = nil
+	for _, d := range c.dirs {
+		d.Close()
+	}
+	c.dirs = nil
+	if c.master != nil {
+		c.master.Close()
+	}
+}

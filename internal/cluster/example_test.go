@@ -1,0 +1,62 @@
+package cluster_test
+
+import (
+	"fmt"
+	"log"
+
+	"elga/internal/client"
+	"elga/internal/cluster"
+	"elga/internal/graph"
+)
+
+// Example boots a minimal cluster, loads a three-edge graph, runs weakly
+// connected components, and queries a label — the complete public-API
+// round trip.
+func Example() {
+	c, err := cluster.New(cluster.Options{Agents: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	el := graph.EdgeList{{Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 10, Dst: 11}}
+	if err := c.Load(el); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Run(client.RunSpec{Algo: "wcc", FromScratch: true}); err != nil {
+		log.Fatal(err)
+	}
+	label, _, err := c.QueryWord(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("component of 3:", label)
+	// Output: component of 3: 1
+}
+
+// Example_incremental maintains components across a change batch without
+// recomputing from scratch — the dynamic-graph workflow of the paper's
+// §4.3 incremental case.
+func Example_incremental() {
+	c, err := cluster.New(cluster.Options{Agents: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Load(graph.EdgeList{{Src: 1, Dst: 2}, {Src: 8, Dst: 9}}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Run(client.RunSpec{Algo: "wcc", FromScratch: true}); err != nil {
+		log.Fatal(err)
+	}
+	// A bridge merges the two components; only touched vertices recompute.
+	if err := c.ApplyBatch(graph.Batch{{Action: graph.Insert, Src: 2, Dst: 8}}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Run(client.RunSpec{Algo: "wcc"}); err != nil {
+		log.Fatal(err)
+	}
+	label, _, _ := c.QueryWord(9)
+	fmt.Println("component of 9 after merge:", label)
+	// Output: component of 9 after merge: 1
+}

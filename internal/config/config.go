@@ -1,0 +1,77 @@
+// Package config holds the cluster-wide parameters every Participant must
+// agree on for routing to be consistent: the ring hash function, the
+// virtual agent count, the sketch dimensions and the replication policy.
+// The harness and the CLI construct every entity from one Config, which is
+// how real ElGA deployments share settings via compile-time CONFIG flags
+// (artifact appendix).
+package config
+
+import (
+	"fmt"
+	"time"
+
+	"elga/internal/hashing"
+	"elga/internal/sketch"
+)
+
+// Config is the shared cluster configuration.
+type Config struct {
+	// Hash is the ring hash function (paper default: Wang, §4.5).
+	Hash hashing.Func
+	// Virtual is the virtual-agent count per agent (paper default: 100).
+	Virtual int
+	// SketchWidth and SketchDepth size the count-min sketch. Scaled-down
+	// experiments use small widths; the paper's production numbers are
+	// 2^18 x 8.
+	SketchWidth int
+	SketchDepth int
+	// ReplicationThreshold is the estimated degree above which a
+	// vertex's edges split across agents. Zero disables splitting.
+	ReplicationThreshold uint64
+	// MaxReplicas caps the split factor.
+	MaxReplicas int
+	// RequestTimeout bounds every blocking request in the cluster.
+	RequestTimeout time.Duration
+}
+
+// Default returns the laptop-scale default configuration: Wang hash, 100
+// virtual agents, a 4096x4 sketch, and a replication threshold of 256.
+func Default() Config {
+	return Config{
+		Hash:                 hashing.Wang64,
+		Virtual:              100,
+		SketchWidth:          4096,
+		SketchDepth:          4,
+		ReplicationThreshold: 256,
+		MaxReplicas:          8,
+		RequestTimeout:       30 * time.Second,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Virtual <= 0 {
+		return fmt.Errorf("config: virtual agents must be positive, got %d", c.Virtual)
+	}
+	if c.SketchWidth <= 0 || c.SketchDepth <= 0 {
+		return fmt.Errorf("config: sketch dimensions %dx%d invalid", c.SketchWidth, c.SketchDepth)
+	}
+	if c.MaxReplicas < 1 {
+		return fmt.Errorf("config: max replicas must be >= 1, got %d", c.MaxReplicas)
+	}
+	if c.RequestTimeout <= 0 {
+		return fmt.Errorf("config: request timeout must be positive")
+	}
+	return nil
+}
+
+// NewSketch creates a sketch with the configured dimensions.
+func (c *Config) NewSketch() *sketch.Sketch {
+	return sketch.New(c.SketchWidth, c.SketchDepth)
+}
+
+// Replicas returns the replica count for a degree estimate under this
+// configuration.
+func (c *Config) Replicas(estimate uint64) int {
+	return sketch.Replicas(estimate, c.ReplicationThreshold, c.MaxReplicas)
+}

@@ -1,0 +1,59 @@
+package config
+
+import (
+	"testing"
+
+	"elga/internal/hashing"
+)
+
+func TestDefaultIsValid(t *testing.T) {
+	cfg := Default()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Virtual != 100 {
+		t.Errorf("default virtual = %d, paper uses 100", cfg.Virtual)
+	}
+	if cfg.Hash != hashing.Wang64 {
+		t.Error("default hash should be Wang (paper §4.5)")
+	}
+}
+
+func TestValidateRejectsBadValues(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Virtual = 0 },
+		func(c *Config) { c.SketchWidth = 0 },
+		func(c *Config) { c.SketchDepth = -1 },
+		func(c *Config) { c.MaxReplicas = 0 },
+		func(c *Config) { c.RequestTimeout = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := Default()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestNewSketchUsesDimensions(t *testing.T) {
+	cfg := Default()
+	cfg.SketchWidth, cfg.SketchDepth = 128, 3
+	sk := cfg.NewSketch()
+	if sk.Width() != 128 || sk.Depth() != 3 {
+		t.Errorf("sketch %dx%d", sk.Width(), sk.Depth())
+	}
+}
+
+func TestReplicasPolicy(t *testing.T) {
+	cfg := Default()
+	cfg.ReplicationThreshold = 100
+	cfg.MaxReplicas = 4
+	if cfg.Replicas(50) != 1 || cfg.Replicas(150) != 2 || cfg.Replicas(10000) != 4 {
+		t.Error("replica policy wrong")
+	}
+	cfg.ReplicationThreshold = 0
+	if cfg.Replicas(1<<40) != 1 {
+		t.Error("threshold 0 should disable splitting")
+	}
+}

@@ -1,0 +1,37 @@
+package consistent_test
+
+import (
+	"fmt"
+
+	"elga/internal/consistent"
+)
+
+// Example demonstrates the elasticity property the ring provides: adding
+// one agent to a ring of 9 moves roughly 1/10 of the key space and
+// nothing else.
+func Example() {
+	members := make([]consistent.AgentID, 9)
+	for i := range members {
+		members[i] = consistent.AgentID(i + 1)
+	}
+	ring := consistent.New(members, consistent.Options{Virtual: 100})
+	grown := ring.WithMember(10)
+
+	moved := consistent.MovedFraction(ring, grown, 100000)
+	fmt.Println("moved under 2/10:", moved < 0.2)
+	fmt.Println("moved over 1/20:", moved > 0.05)
+
+	// The two-level lookup of the paper's Figure 3: a split vertex's
+	// edges spread over its k ring successors.
+	owner, _ := ring.EdgeOwner(42, 7, 3)
+	set := ring.ReplicaSet(42, 3)
+	in := false
+	for _, a := range set {
+		in = in || a == owner
+	}
+	fmt.Println("edge owner within replica set:", in)
+	// Output:
+	// moved under 2/10: true
+	// moved over 1/20: true
+	// edge owner within replica set: true
+}

@@ -1,0 +1,341 @@
+package consistent
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"elga/internal/hashing"
+)
+
+func ids(n int) []AgentID {
+	out := make([]AgentID, n)
+	for i := range out {
+		out[i] = AgentID(i + 1)
+	}
+	return out
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(nil, Options{})
+	if r.Size() != 0 {
+		t.Fatal("empty ring has members")
+	}
+	if _, ok := r.Owner(42); ok {
+		t.Error("Owner on empty ring reported ok")
+	}
+	if _, ok := r.EdgeOwner(1, 2, 3); ok {
+		t.Error("EdgeOwner on empty ring reported ok")
+	}
+	if s := r.Successors(1, 3); s != nil {
+		t.Error("Successors on empty ring not nil")
+	}
+}
+
+func TestSingleAgentOwnsEverything(t *testing.T) {
+	r := New([]AgentID{7}, Options{Virtual: 4})
+	for k := uint64(0); k < 1000; k += 13 {
+		a, ok := r.Owner(k)
+		if !ok || a != 7 {
+			t.Fatalf("Owner(%d) = %d, %v", k, a, ok)
+		}
+	}
+}
+
+func TestDuplicateMembersIgnored(t *testing.T) {
+	r := New([]AgentID{3, 3, 3, 5}, Options{Virtual: 2})
+	if r.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", r.Size())
+	}
+	if len(r.Members()) != 2 {
+		t.Fatalf("Members = %v", r.Members())
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := New(ids(10), Options{Virtual: 3})
+	for _, m := range ids(10) {
+		if !r.Contains(m) {
+			t.Errorf("Contains(%d) = false", m)
+		}
+	}
+	if r.Contains(999) {
+		t.Error("Contains(999) = true")
+	}
+}
+
+func TestDeterministicLookup(t *testing.T) {
+	a := New(ids(16), Options{})
+	b := New(ids(16), Options{})
+	for k := uint64(0); k < 500; k++ {
+		oa, _ := a.Owner(k)
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("rings built identically disagree at key %d", k)
+		}
+	}
+}
+
+func TestSuccessorsDistinct(t *testing.T) {
+	r := New(ids(8), Options{Virtual: 50})
+	for h := uint64(0); h < 100; h++ {
+		s := r.Successors(hashing.Wang(h), 4)
+		if len(s) != 4 {
+			t.Fatalf("Successors returned %d agents, want 4", len(s))
+		}
+		seen := map[AgentID]bool{}
+		for _, a := range s {
+			if seen[a] {
+				t.Fatalf("duplicate agent %d in successor set %v", a, s)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestSuccessorsClampedToMembership(t *testing.T) {
+	r := New(ids(3), Options{Virtual: 10})
+	s := r.Successors(12345, 10)
+	if len(s) != 3 {
+		t.Fatalf("got %d successors, want 3 (all members)", len(s))
+	}
+}
+
+func TestEdgeOwnerInReplicaSet(t *testing.T) {
+	r := New(ids(32), Options{})
+	for u := uint64(0); u < 50; u++ {
+		set := r.ReplicaSet(u, 4)
+		for v := uint64(0); v < 50; v++ {
+			owner, ok := r.EdgeOwner(u, v, 4)
+			if !ok {
+				t.Fatal("EdgeOwner not ok")
+			}
+			found := false
+			for _, a := range set {
+				if a == owner {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("EdgeOwner(%d,%d) = %d not in replica set %v", u, v, owner, set)
+			}
+		}
+	}
+}
+
+func TestEdgeOwnerSpreadsAcrossReplicas(t *testing.T) {
+	r := New(ids(32), Options{})
+	const u, k = 99, 4
+	counts := map[AgentID]int{}
+	for v := uint64(0); v < 4000; v++ {
+		owner, _ := r.EdgeOwner(u, v, k)
+		counts[owner]++
+	}
+	if len(counts) != k {
+		t.Fatalf("edges of split vertex landed on %d agents, want %d", len(counts), k)
+	}
+	for a, c := range counts {
+		if c < 4000/k/3 {
+			t.Errorf("replica %d got only %d/4000 edges", a, c)
+		}
+	}
+}
+
+func TestEdgeOwnerK1MatchesVertexOwner(t *testing.T) {
+	r := New(ids(16), Options{})
+	for u := uint64(0); u < 200; u++ {
+		vo, _ := r.OwnerOfVertex(u)
+		eo, _ := r.EdgeOwner(u, u+1, 1)
+		if vo != eo {
+			t.Fatalf("k=1 EdgeOwner %d != vertex owner %d", eo, vo)
+		}
+	}
+}
+
+func TestAnyReplica(t *testing.T) {
+	r := New(ids(16), Options{})
+	set := r.ReplicaSet(5, 3)
+	hit := map[AgentID]bool{}
+	for salt := uint64(0); salt < 64; salt++ {
+		a, ok := r.AnyReplica(5, 3, salt)
+		if !ok {
+			t.Fatal("AnyReplica not ok")
+		}
+		inSet := false
+		for _, m := range set {
+			if m == a {
+				inSet = true
+			}
+		}
+		if !inSet {
+			t.Fatalf("AnyReplica returned %d outside replica set %v", a, set)
+		}
+		hit[a] = true
+	}
+	if len(hit) != len(set) {
+		t.Errorf("salting only reached %d/%d replicas", len(hit), len(set))
+	}
+}
+
+func TestWithMemberWithoutMember(t *testing.T) {
+	r := New(ids(5), Options{Virtual: 7})
+	r2 := r.WithMember(100)
+	if r2.Size() != 6 || !r2.Contains(100) {
+		t.Fatal("WithMember failed")
+	}
+	if r.Size() != 5 {
+		t.Fatal("WithMember mutated original")
+	}
+	if r.WithMember(3) != r {
+		t.Error("WithMember of existing member should return same ring")
+	}
+	r3 := r2.WithoutMember(100)
+	if r3.Size() != 5 || r3.Contains(100) {
+		t.Fatal("WithoutMember failed")
+	}
+	if r2.WithoutMember(12345) != r2 {
+		t.Error("WithoutMember of non-member should return same ring")
+	}
+	if r2.Virtual() != 7 {
+		t.Error("virtual count not preserved")
+	}
+}
+
+// TestMinimalMovement is the consistent-hashing contract: adding one agent
+// to a P-agent ring moves roughly 1/(P+1) of keys, never a large fraction,
+// and removing it restores the original assignment exactly.
+func TestMinimalMovement(t *testing.T) {
+	base := New(ids(16), Options{})
+	grown := base.WithMember(999)
+	frac := MovedFraction(base, grown, 20000)
+	ideal := 1.0 / 17
+	if frac > 3*ideal {
+		t.Errorf("adding one of 17 agents moved %.3f of keys (ideal %.3f)", frac, ideal)
+	}
+	if frac == 0 {
+		t.Error("adding an agent moved nothing; ring is broken")
+	}
+	back := grown.WithoutMember(999)
+	if f := MovedFraction(base, back, 20000); f != 0 {
+		t.Errorf("remove after add did not restore assignment: %.4f moved", f)
+	}
+}
+
+// TestMonotonicity: keys that do not map to the new agent must keep their
+// old owner (the "only neighbouring data moves" property of §2.3).
+func TestMonotonicity(t *testing.T) {
+	base := New(ids(12), Options{})
+	grown := base.WithMember(500)
+	for i := 0; i < 20000; i++ {
+		key := hashing.Wang(uint64(i))
+		newOwner, _ := grown.Owner(key)
+		if newOwner == 500 {
+			continue
+		}
+		oldOwner, _ := base.Owner(key)
+		if newOwner != oldOwner {
+			t.Fatalf("key %d moved %d->%d without involving the new agent", i, oldOwner, newOwner)
+		}
+	}
+}
+
+// TestVirtualAgentsImproveBalance reproduces the Figure 6 effect in miniature:
+// the coefficient of variation of per-agent load must drop as virtual
+// points increase.
+func TestVirtualAgentsImproveBalance(t *testing.T) {
+	cv := func(virtual int) float64 {
+		r := New(ids(64), Options{Virtual: virtual})
+		counts := r.LoadCounts(200000)
+		var sum, sumsq float64
+		for _, c := range counts {
+			sum += float64(c)
+			sumsq += float64(c) * float64(c)
+		}
+		n := float64(len(counts))
+		mean := sum / n
+		return math.Sqrt(sumsq/n-mean*mean) / mean
+	}
+	lo, hi := cv(100), cv(1)
+	if lo >= hi {
+		t.Errorf("100 virtual agents (cv=%.3f) should balance better than 1 (cv=%.3f)", lo, hi)
+	}
+	if lo > 0.35 {
+		t.Errorf("cv at 100 virtual agents is %.3f, expected < 0.35", lo)
+	}
+}
+
+func TestLoadCountsCoverAllAgents(t *testing.T) {
+	r := New(ids(8), Options{})
+	counts := r.LoadCounts(10000)
+	if len(counts) != 8 {
+		t.Fatalf("LoadCounts returned %d agents", len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10000 {
+		t.Fatalf("LoadCounts total %d != 10000", total)
+	}
+}
+
+func TestHashFuncOptionRespected(t *testing.T) {
+	a := New(ids(8), Options{Hash: hashing.Wang64})
+	b := New(ids(8), Options{Hash: hashing.CRC64})
+	diff := 0
+	for k := uint64(0); k < 1000; k++ {
+		oa, _ := a.OwnerOfVertex(k)
+		ob, _ := b.OwnerOfVertex(k)
+		if oa != ob {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different hash functions produced identical placements")
+	}
+}
+
+// Property: EdgeOwner is deterministic and always a member.
+func TestEdgeOwnerProperty(t *testing.T) {
+	r := New(ids(20), Options{Virtual: 20})
+	f := func(u, v uint64, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		a1, ok1 := r.EdgeOwner(u, v, k)
+		a2, ok2 := r.EdgeOwner(u, v, k)
+		return ok1 && ok2 && a1 == a2 && r.Contains(a1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringDescribes(t *testing.T) {
+	s := New(ids(3), Options{Virtual: 5}).String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func BenchmarkOwnerLookup(b *testing.B) {
+	r := New(ids(256), Options{})
+	b.ResetTimer()
+	var sink AgentID
+	for i := 0; i < b.N; i++ {
+		a, _ := r.OwnerOfVertex(uint64(i))
+		sink = a
+	}
+	benchSink = sink
+}
+
+func BenchmarkEdgeOwnerSplit(b *testing.B) {
+	r := New(ids(256), Options{})
+	b.ResetTimer()
+	var sink AgentID
+	for i := 0; i < b.N; i++ {
+		a, _ := r.EdgeOwner(uint64(i%100), uint64(i), 4)
+		sink = a
+	}
+	benchSink = sink
+}
+
+var benchSink AgentID

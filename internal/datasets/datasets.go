@@ -1,0 +1,208 @@
+// Package datasets defines laptop-scale stand-ins for the graphs of the
+// paper's Table 2. Each stand-in preserves the *family* of the original —
+// skew, density, and relative size ordering — at 10^4-10^6 edges so the
+// full experiment matrix runs on one machine. The generators are
+// deterministic, so every benchmark sees identical inputs.
+package datasets
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"elga/internal/gen"
+	"elga/internal/graph"
+)
+
+// Dataset describes one Table 2 stand-in.
+type Dataset struct {
+	// Name matches the paper's dataset label.
+	Name string
+	// Kind describes the generator family.
+	Kind string
+	// PaperVertices and PaperEdges record the original scale (Table 2).
+	PaperVertices string
+	PaperEdges    string
+	// Build generates the stand-in edge list.
+	Build func() graph.EdgeList
+}
+
+// registry lists the stand-ins in Table 2 order.
+var registry = []Dataset{
+	{
+		Name: "twitter", Kind: "social/rmat",
+		PaperVertices: "42M", PaperEdges: "1.5B",
+		Build: func() graph.EdgeList { return gen.RMAT(14, 120_000, gen.Graph500Params(), 101) },
+	},
+	{
+		Name: "friendster", Kind: "social/rmat",
+		PaperVertices: "65M", PaperEdges: "1.8B",
+		Build: func() graph.EdgeList { return gen.RMAT(14, 150_000, gen.Graph500Params(), 102) },
+	},
+	{
+		Name: "uk-2007", Kind: "web/pa",
+		PaperVertices: "105M", PaperEdges: "3.7B",
+		Build: func() graph.EdgeList { return gen.PreferentialAttachment(30_000, 6, 103) },
+	},
+	{
+		Name: "datagen-zf", Kind: "ldbc/uniform",
+		PaperVertices: "555M", PaperEdges: "1.3B",
+		Build: func() graph.EdgeList { return gen.Uniform(60_000, 110_000, 104) },
+	},
+	{
+		Name: "datagen-fb", Kind: "ldbc/pa",
+		PaperVertices: "29M", PaperEdges: "2.6B",
+		Build: func() graph.EdgeList { return gen.PreferentialAttachment(20_000, 10, 105) },
+	},
+	{
+		Name: "email-euall", Kind: "email/pa x5000",
+		PaperVertices: "1.3B", PaperEdges: "5.6B",
+		Build: func() graph.EdgeList { return gen.PreferentialAttachment(50_000, 5, 106) },
+	},
+	{
+		Name: "skitter", Kind: "topology/rmat x200",
+		PaperVertices: "339M", PaperEdges: "6.3B",
+		Build: func() graph.EdgeList { return gen.RMAT(15, 280_000, gen.Graph500Params(), 107) },
+	},
+	{
+		Name: "livejournal", Kind: "social/pa x100",
+		PaperVertices: "484M", PaperEdges: "8.6B",
+		Build: func() graph.EdgeList { return gen.PreferentialAttachment(45_000, 8, 108) },
+	},
+	{
+		Name: "amazon", Kind: "purchase/uniform x2000",
+		PaperVertices: "807M", PaperEdges: "9.8B",
+		Build: func() graph.EdgeList { return gen.Uniform(90_000, 400_000, 109) },
+	},
+	{
+		Name: "graph500-30", Kind: "rmat scale-matched",
+		PaperVertices: "448M", PaperEdges: "17B",
+		Build: func() graph.EdgeList { return gen.RMAT(16, 600_000, gen.Graph500Params(), 110) },
+	},
+	{
+		Name: "gowalla", Kind: "location/pa x10000",
+		PaperVertices: "2.0B", PaperEdges: "28B",
+		Build: func() graph.EdgeList { return gen.PreferentialAttachment(120_000, 6, 111) },
+	},
+	{
+		Name: "patents", Kind: "citation/uniform x1000",
+		PaperVertices: "3.7B", PaperEdges: "33B",
+		Build: func() graph.EdgeList { return gen.Uniform(200_000, 900_000, 112) },
+	},
+	{
+		Name: "pokec", Kind: "social/rmat x1000",
+		PaperVertices: "1.6B", PaperEdges: "44B",
+		Build: func() graph.EdgeList { return gen.RMAT(17, 1_000_000, gen.Graph500Params(), 113) },
+	},
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]graph.EdgeList{}
+)
+
+// Names returns the dataset names in Table 2 order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, d := range registry {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// All returns the dataset descriptors in Table 2 order.
+func All() []Dataset { return append([]Dataset(nil), registry...) }
+
+// Get returns a dataset descriptor by name.
+func Get(name string) (Dataset, error) {
+	for _, d := range registry {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("datasets: unknown dataset %q", name)
+}
+
+// Load builds (and caches) the stand-in edge list for name.
+func Load(name string) (graph.EdgeList, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if el, ok := cache[name]; ok {
+		return el, nil
+	}
+	d, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	el := d.Build()
+	cache[name] = el
+	return el, nil
+}
+
+// Small returns a subset of fast datasets for smoke benchmarks.
+func Small() []string { return []string{"twitter", "datagen-zf", "livejournal"} }
+
+// SummaryRow captures the Table 2 row for a built dataset.
+type SummaryRow struct {
+	Name         string
+	Kind         string
+	PaperN       string
+	PaperM       string
+	StandInN     int
+	StandInM     int
+	MaxDegree    int
+	SkewQuotient float64 // max degree / mean degree, a skew indicator
+}
+
+// Summarize builds a dataset and reports its stand-in statistics.
+func Summarize(name string) (SummaryRow, error) {
+	d, err := Get(name)
+	if err != nil {
+		return SummaryRow{}, err
+	}
+	el, err := Load(name)
+	if err != nil {
+		return SummaryRow{}, err
+	}
+	degs := el.Degrees()
+	maxDeg := 0
+	for _, dg := range degs {
+		if dg > maxDeg {
+			maxDeg = dg
+		}
+	}
+	row := SummaryRow{
+		Name: d.Name, Kind: d.Kind, PaperN: d.PaperVertices, PaperM: d.PaperEdges,
+		StandInN: el.NumVertices(), StandInM: len(el), MaxDegree: maxDeg,
+	}
+	if row.StandInN > 0 {
+		mean := float64(row.StandInM) / float64(row.StandInN)
+		if mean > 0 {
+			row.SkewQuotient = float64(maxDeg) / mean
+		}
+	}
+	return row, nil
+}
+
+// SortedBySize returns names ordered by stand-in edge count, matching the
+// small-to-large presentation of the paper's figures.
+func SortedBySize() ([]string, error) {
+	type pair struct {
+		name string
+		m    int
+	}
+	pairs := make([]pair, 0, len(registry))
+	for _, d := range registry {
+		el, err := Load(d.Name)
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, pair{d.Name, len(el)})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].m < pairs[j].m })
+	out := make([]string, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.name
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package datasets
+
+import "testing"
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Names()) < 13 {
+		t.Fatalf("registry has %d datasets, Table 2 lists 13+", len(Names()))
+	}
+	for _, name := range Names() {
+		d, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.PaperEdges == "" || d.Kind == "" {
+			t.Errorf("%s missing metadata", name)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestLoadSmallDatasets(t *testing.T) {
+	for _, name := range Small() {
+		el, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(el) < 1000 {
+			t.Errorf("%s stand-in too small: %d edges", name, len(el))
+		}
+		// Cache returns the identical slice.
+		el2, _ := Load(name)
+		if &el[0] != &el2[0] {
+			t.Errorf("%s not cached", name)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	row, err := Summarize("twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.StandInM == 0 || row.StandInN == 0 {
+		t.Fatal("empty summary")
+	}
+	// Social stand-ins must be skewed.
+	if row.SkewQuotient < 5 {
+		t.Errorf("twitter stand-in skew %f too low", row.SkewQuotient)
+	}
+}
+
+func TestSortedBySize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds all datasets")
+	}
+	names, err := SortedBySize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(Names()) {
+		t.Fatal("missing datasets in sorted list")
+	}
+	prev := -1
+	for _, n := range names {
+		el, _ := Load(n)
+		if len(el) < prev {
+			t.Fatal("not sorted")
+		}
+		prev = len(el)
+	}
+}

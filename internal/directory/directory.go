@@ -1,0 +1,637 @@
+package directory
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"elga/internal/algorithm"
+	"elga/internal/config"
+	"elga/internal/sketch"
+	"elga/internal/transport"
+	"elga/internal/wire"
+)
+
+// Options configures a Directory.
+type Options struct {
+	// Config is the shared cluster configuration.
+	Config config.Config
+	// Network is the transport to listen and dial on.
+	Network transport.Network
+	// MasterAddr is the DirectoryMaster's address.
+	MasterAddr string
+	// Addr is the listen address ("" auto-allocates).
+	Addr string
+	// MetricHandler, if set, receives autoscaler metric samples on the
+	// directory's event loop (coordinator only).
+	MetricHandler func(*wire.Metric)
+}
+
+// Directory is one directory server. The first Directory registered with
+// the master becomes the coordinator and owns the canonical cluster
+// state; later ones relay coordinator broadcasts to their subscribers.
+type Directory struct {
+	opts        Options
+	node        *transport.Node
+	pub         *transport.Publisher
+	coordinator bool
+	coordAddr   string
+	done        chan struct{}
+
+	// Coordinator state; touched only by the event loop.
+	epoch       uint64
+	batchID     uint64
+	nextAgentID uint64
+	nextRunID   uint32
+	agents      map[uint64]string
+	sk          *sketch.Sketch
+	skDirty     bool
+	n           uint64
+	lastView    []byte
+
+	pendingJoins  []*wire.Packet
+	pendingLeaves []*wire.Packet
+	pendingRuns   []*wire.Packet
+	pendingSeals  []*wire.Packet
+	sealDone      []*wire.Packet // seals awaiting post-seal migration
+
+	migration *migrationState
+	seal      *sealState
+	run       *runState
+}
+
+type migrationState struct {
+	epochLow uint32
+	expected map[uint64]bool
+	votes    map[uint64]bool
+}
+
+type sealState struct {
+	votes   map[uint64]bool
+	masters uint64
+}
+
+type runState struct {
+	req        *wire.Packet
+	spec       *wire.AlgoStart
+	quiesce    bool
+	step       uint32
+	phase      uint8
+	paused     bool
+	votes      map[uint64]bool
+	activeSum  uint64
+	residual   float64
+	splitAny   bool
+	mastersSum uint64
+	start      time.Time
+	stepStart  time.Time
+	stepTimes  []time.Duration
+
+	// Asynchronous-mode quiescence probing.
+	probeSeq     uint32
+	probeSent    uint64
+	probeRecv    uint64
+	prevSent     uint64
+	prevRecv     uint64
+	prevValid    bool
+	probePending bool
+}
+
+// asyncProbeInterval paces quiescence probes.
+const asyncProbeInterval = 2 * time.Millisecond
+
+// Start launches a Directory: it registers with the master (becoming the
+// coordinator if it is first), subscribes to the coordinator if it is a
+// relay, and begins its event loop.
+func Start(opts Options) (*Directory, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	node, err := transport.NewNode(opts.Network, opts.Addr, 0)
+	if err != nil {
+		return nil, err
+	}
+	d := &Directory{
+		opts:   opts,
+		node:   node,
+		pub:    transport.NewPublisher(node),
+		done:   make(chan struct{}),
+		agents: make(map[uint64]string),
+		sk:     opts.Config.NewSketch(),
+	}
+	reply, err := node.Request(opts.MasterAddr, wire.TRegisterDirectory,
+		wire.EncodeJoin(&wire.Join{Addr: node.Addr()}), opts.Config.RequestTimeout)
+	if err != nil {
+		node.Close()
+		return nil, fmt.Errorf("directory: register with master: %w", err)
+	}
+	dirs, err := wire.DecodeStringList(reply.Payload)
+	if err != nil || len(dirs) == 0 {
+		node.Close()
+		return nil, fmt.Errorf("directory: bad master reply: %v", err)
+	}
+	d.coordAddr = dirs[0]
+	d.coordinator = d.coordAddr == node.Addr()
+	if d.coordinator {
+		d.lastView = wire.EncodeView(d.view())
+	} else {
+		// Relays subscribe to every coordinator broadcast and fan it
+		// out to their own subscribers.
+		if err := node.Send(d.coordAddr, wire.TSubscribe, wire.SubscribeTypes()); err != nil {
+			node.Close()
+			return nil, err
+		}
+	}
+	go d.runLoop()
+	return d, nil
+}
+
+// Addr returns the directory's dialable address.
+func (d *Directory) Addr() string { return d.node.Addr() }
+
+// IsCoordinator reports whether this directory sequences cluster state.
+func (d *Directory) IsCoordinator() bool { return d.coordinator }
+
+// CoordinatorAddr returns the coordinator directory's address.
+func (d *Directory) CoordinatorAddr() string { return d.coordAddr }
+
+// Close shuts the directory down.
+func (d *Directory) Close() {
+	d.node.Close()
+	<-d.done
+}
+
+func (d *Directory) view() *wire.View {
+	ids := make([]uint64, 0, len(d.agents))
+	for id := range d.agents {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	infos := make([]wire.AgentInfo, 0, len(ids))
+	for _, id := range ids {
+		infos = append(infos, wire.AgentInfo{ID: id, Addr: d.agents[id]})
+	}
+	skBytes, _ := d.sk.MarshalBinary()
+	return &wire.View{Epoch: d.epoch, BatchID: d.batchID, N: d.n, Agents: infos, Sketch: skBytes}
+}
+
+func (d *Directory) broadcastView() {
+	d.lastView = wire.EncodeView(d.view())
+	d.pub.Publish(wire.TDirUpdate, d.lastView)
+}
+
+func (d *Directory) runLoop() {
+	defer close(d.done)
+	for pkt := range d.node.Inbox() {
+		if d.coordinator {
+			d.handleCoordinator(pkt)
+		} else {
+			d.handleRelay(pkt)
+		}
+	}
+}
+
+func (d *Directory) handleRelay(pkt *wire.Packet) {
+	switch pkt.Type {
+	case wire.TSubscribe:
+		d.pub.Subscribe(pkt.From, wire.DecodeSubscribeTypes(pkt.Payload)...)
+		if d.lastView != nil {
+			_ = d.node.Send(pkt.From, wire.TDirUpdate, d.lastView)
+		}
+	case wire.TUnsubscribe:
+		d.pub.Unsubscribe(pkt.From)
+	case wire.TDirUpdate:
+		d.lastView = pkt.Payload
+		d.pub.Publish(pkt.Type, pkt.Payload)
+	case wire.TAdvance, wire.TAlgoStart, wire.TAlgoDone, wire.TBatchOpen:
+		d.pub.Publish(pkt.Type, pkt.Payload)
+	case wire.TDirectoryList:
+		// Peer list refresh from the master; relays have no use for it
+		// beyond knowing the coordinator, which cannot change.
+	case wire.TPing:
+		_ = d.node.Reply(pkt, wire.TPong, nil)
+	default:
+		// Control packets sent to a relay by mistake are forwarded to
+		// the coordinator so stale participants still make progress.
+		_ = d.node.Send(d.coordAddr, pkt.Type, pkt.Payload)
+	}
+}
+
+func (d *Directory) handleCoordinator(pkt *wire.Packet) {
+	switch pkt.Type {
+	case wire.TSubscribe:
+		d.pub.Subscribe(pkt.From, wire.DecodeSubscribeTypes(pkt.Payload)...)
+		if d.lastView != nil {
+			_ = d.node.Send(pkt.From, wire.TDirUpdate, d.lastView)
+		}
+	case wire.TUnsubscribe:
+		d.pub.Unsubscribe(pkt.From)
+	case wire.TJoin:
+		d.pendingJoins = append(d.pendingJoins, pkt)
+		d.advanceWork()
+	case wire.TLeave:
+		d.pendingLeaves = append(d.pendingLeaves, pkt)
+		d.advanceWork()
+	case wire.TSketchDelta:
+		var delta sketch.Sketch
+		if err := delta.UnmarshalBinary(pkt.Payload); err == nil {
+			if err := d.sk.Merge(&delta); err == nil && delta.Count() > 0 {
+				d.skDirty = true
+			}
+		}
+		d.node.Ack(pkt)
+	case wire.TReady:
+		m, err := wire.DecodeReady(pkt.Payload)
+		if err != nil {
+			return
+		}
+		d.handleReady(m)
+	case wire.TRunAlgo:
+		d.pendingRuns = append(d.pendingRuns, pkt)
+		d.advanceWork()
+	case wire.TIngest:
+		d.pendingSeals = append(d.pendingSeals, pkt)
+		d.advanceWork()
+	case wire.TMetric:
+		if d.opts.MetricHandler != nil {
+			if m, err := wire.DecodeMetric(pkt.Payload); err == nil {
+				d.opts.MetricHandler(m)
+			}
+		}
+	case wire.TDirectoryList:
+		// Peer directories fan out on their own; nothing to track here.
+	case wire.TTick:
+		d.sendAsyncProbe()
+	case wire.TPing:
+		_ = d.node.Reply(pkt, wire.TPong, nil)
+	default:
+	}
+}
+
+// busy reports whether a blocking activity owns the cluster.
+func (d *Directory) busy() bool {
+	if d.migration != nil || d.seal != nil {
+		return true
+	}
+	return d.run != nil && !d.run.paused
+}
+
+// advanceWork runs queued activities when the cluster reaches a safe
+// point: membership first (it changes the barrier population), then
+// seals, then algorithm runs.
+func (d *Directory) advanceWork() {
+	if d.busy() {
+		return
+	}
+	if len(d.pendingJoins) > 0 || len(d.pendingLeaves) > 0 {
+		d.applyMembership()
+		return
+	}
+	if d.run != nil && d.run.paused {
+		d.resumeRun()
+		return
+	}
+	if len(d.pendingSeals) > 0 || len(d.pendingRuns) > 0 {
+		d.startSeal()
+	}
+}
+
+func (d *Directory) applyMembership() {
+	leavers := make(map[uint64]bool)
+	for _, pkt := range d.pendingJoins {
+		j, err := wire.DecodeJoin(pkt.Payload)
+		if err != nil {
+			continue
+		}
+		d.nextAgentID++
+		id := d.nextAgentID
+		d.agents[id] = j.Addr
+		// Reply after the view is final so the new agent sees itself.
+		defer func(p *wire.Packet, assigned uint64) {
+			_ = d.node.Reply(p, wire.TJoinReply, wire.EncodeJoinReply(&wire.JoinReply{
+				AgentID: assigned,
+				View:    d.view(),
+			}))
+		}(pkt, id)
+	}
+	for _, pkt := range d.pendingLeaves {
+		l, err := wire.DecodeLeave(pkt.Payload)
+		if err != nil {
+			continue
+		}
+		if _, ok := d.agents[l.AgentID]; ok {
+			delete(d.agents, l.AgentID)
+			leavers[l.AgentID] = true
+		}
+	}
+	d.pendingJoins = nil
+	d.pendingLeaves = nil
+	d.epoch++
+	d.broadcastView()
+
+	expected := make(map[uint64]bool, len(d.agents)+len(leavers))
+	for id := range d.agents {
+		expected[id] = true
+	}
+	for id := range leavers {
+		expected[id] = true
+	}
+	d.migration = &migrationState{
+		epochLow: uint32(d.epoch),
+		expected: expected,
+		votes:    make(map[uint64]bool),
+	}
+	d.maybeFinishMigration()
+}
+
+func (d *Directory) maybeFinishMigration() {
+	m := d.migration
+	if m == nil || len(m.votes) < len(m.expected) {
+		return
+	}
+	d.migration = nil
+	// Migration-complete broadcast: leavers may now disconnect, agents
+	// may resume.
+	d.pub.Publish(wire.TAdvance, wire.EncodeAdvance(&wire.Advance{
+		Step: m.epochLow, Phase: wire.PhaseMigrate, Halt: true, N: d.n,
+	}))
+	for _, pkt := range d.sealDone {
+		_ = d.node.Reply(pkt, wire.TPong, nil)
+	}
+	d.sealDone = nil
+	d.advanceWork()
+}
+
+func (d *Directory) startSeal() {
+	d.batchID++
+	d.seal = &sealState{votes: make(map[uint64]bool)}
+	var w wire.Writer
+	w.U64(d.batchID)
+	d.pub.Publish(wire.TBatchOpen, w.Bytes())
+	d.maybeFinishSeal()
+}
+
+func (d *Directory) maybeFinishSeal() {
+	s := d.seal
+	if s == nil || len(s.votes) < len(d.agents) {
+		return
+	}
+	d.seal = nil
+	if len(d.agents) > 0 {
+		d.n = s.masters
+	}
+	if d.skDirty {
+		// The merged sketch may change replica counts; rebroadcast and
+		// run a migration round before starting work (§3.4.3).
+		d.skDirty = false
+		d.epoch++
+		d.broadcastView()
+		expected := make(map[uint64]bool, len(d.agents))
+		for id := range d.agents {
+			expected[id] = true
+		}
+		d.migration = &migrationState{
+			epochLow: uint32(d.epoch),
+			expected: expected,
+			votes:    make(map[uint64]bool),
+		}
+		// Defer the ingest replies until the migration round finishes.
+		d.sealDone = append(d.sealDone, d.pendingSeals...)
+		d.pendingSeals = nil
+		d.maybeFinishMigration()
+		return
+	}
+	for _, pkt := range d.pendingSeals {
+		_ = d.node.Reply(pkt, wire.TPong, nil)
+	}
+	d.pendingSeals = nil
+	d.maybeStartRun()
+}
+
+func (d *Directory) maybeStartRun() {
+	if d.busy() || d.run != nil || len(d.pendingRuns) == 0 {
+		return
+	}
+	pkt := d.pendingRuns[0]
+	d.pendingRuns = d.pendingRuns[1:]
+	spec, err := wire.DecodeAlgoStart(pkt.Payload)
+	if err != nil {
+		_ = d.node.Reply(pkt, wire.TRunReply, wire.EncodeRunStats(&wire.RunStats{}))
+		return
+	}
+	prog, err := algorithm.New(spec.Algo)
+	if err != nil {
+		_ = d.node.Reply(pkt, wire.TRunReply, wire.EncodeRunStats(&wire.RunStats{}))
+		return
+	}
+	d.nextRunID++
+	spec.RunID = d.nextRunID
+	if spec.MaxSteps == 0 {
+		if prog.HaltOnQuiescence() {
+			spec.MaxSteps = 1 << 30
+		} else {
+			spec.MaxSteps = 20
+		}
+	}
+	if spec.Async && !prog.HaltOnQuiescence() {
+		// Asynchronous execution requires a monotone quiescence-halting
+		// program (WCC/BFS/SSSP); reject others.
+		_ = d.node.Reply(pkt, wire.TRunReply, wire.EncodeRunStats(&wire.RunStats{}))
+		return
+	}
+	now := time.Now()
+	d.run = &runState{
+		req: pkt, spec: spec, quiesce: prog.HaltOnQuiescence(),
+		votes: make(map[uint64]bool), start: now, stepStart: now,
+	}
+	d.pub.Publish(wire.TAlgoStart, wire.EncodeAlgoStart(spec))
+	if spec.Async {
+		// No superstep driving: agents compute as messages arrive; the
+		// coordinator probes for quiescence until the counters settle.
+		d.scheduleAsyncProbe()
+		if len(d.agents) == 0 {
+			d.finishRun(true)
+		}
+		return
+	}
+	d.run.phase = wire.PhaseCompute
+	d.pub.Publish(wire.TAdvance, wire.EncodeAdvance(&wire.Advance{
+		Step: 0, Phase: wire.PhaseCompute, N: d.n, RunID: spec.RunID,
+	}))
+	if len(d.agents) == 0 {
+		d.finishRun(false)
+	}
+}
+
+// scheduleAsyncProbe arms the self-tick that triggers the next probe.
+func (d *Directory) scheduleAsyncProbe() {
+	addr := d.node.Addr()
+	time.AfterFunc(asyncProbeInterval, func() {
+		_ = d.node.Send(addr, wire.TTick, nil)
+	})
+}
+
+// sendAsyncProbe broadcasts a quiescence probe to all agents.
+func (d *Directory) sendAsyncProbe() {
+	r := d.run
+	if r == nil || !r.spec.Async || r.probePending {
+		return
+	}
+	r.probeSeq++
+	r.probePending = true
+	r.votes = make(map[uint64]bool)
+	r.probeSent, r.probeRecv = 0, 0
+	d.pub.Publish(wire.TAdvance, wire.EncodeAdvance(&wire.Advance{
+		Step: r.probeSeq, Phase: wire.PhaseAsyncProbe, N: d.n, RunID: r.spec.RunID,
+	}))
+}
+
+// handleAsyncProbeVote folds one agent's probe answer; when all agents
+// report idle with balanced, unchanged counters across two consecutive
+// probes, the system is quiescent and the run completes.
+func (d *Directory) handleAsyncProbeVote(m *wire.Ready) {
+	r := d.run
+	if r == nil || !r.spec.Async || !r.probePending || m.Step != r.probeSeq {
+		return
+	}
+	if _, ok := d.agents[m.AgentID]; !ok || r.votes[m.AgentID] {
+		return
+	}
+	r.votes[m.AgentID] = true
+	r.probeSent += m.Sent
+	r.probeRecv += m.Received
+	if len(r.votes) < len(d.agents) {
+		return
+	}
+	r.probePending = false
+	balanced := r.probeSent == r.probeRecv
+	unchanged := r.prevValid && r.probeSent == r.prevSent && r.probeRecv == r.prevRecv
+	r.prevSent, r.prevRecv, r.prevValid = r.probeSent, r.probeRecv, true
+	if balanced && unchanged {
+		r.stepTimes = append(r.stepTimes, time.Since(r.stepStart))
+		d.finishRun(true)
+		return
+	}
+	d.scheduleAsyncProbe()
+}
+
+func (d *Directory) handleReady(m *wire.Ready) {
+	switch m.Phase {
+	case wire.PhaseMigrate:
+		if mg := d.migration; mg != nil && m.Step == mg.epochLow && mg.expected[m.AgentID] {
+			mg.votes[m.AgentID] = true
+			d.maybeFinishMigration()
+		}
+	case wire.PhaseBatch:
+		if s := d.seal; s != nil {
+			if _, ok := d.agents[m.AgentID]; ok && !s.votes[m.AgentID] {
+				s.votes[m.AgentID] = true
+				s.masters += m.Masters
+				d.maybeFinishSeal()
+			}
+		}
+	case wire.PhaseAsyncProbe:
+		d.handleAsyncProbeVote(m)
+	case wire.PhaseCompute, wire.PhaseCombine:
+		r := d.run
+		if r == nil || r.paused || m.Step != r.step || m.Phase != r.phase {
+			return
+		}
+		if _, ok := d.agents[m.AgentID]; !ok || r.votes[m.AgentID] {
+			return
+		}
+		r.votes[m.AgentID] = true
+		r.activeSum += m.ActiveNext
+		r.residual += m.Residual
+		r.splitAny = r.splitAny || m.SplitWork
+		r.mastersSum += m.Masters
+		if len(r.votes) == len(d.agents) {
+			d.finishPhase()
+		}
+	}
+}
+
+func (d *Directory) finishPhase() {
+	r := d.run
+	if r.phase == wire.PhaseCompute && r.splitAny {
+		// Split vertices exist: run the combine phase before closing
+		// the superstep.
+		r.phase = wire.PhaseCombine
+		r.votes = make(map[uint64]bool)
+		r.splitAny = false
+		r.mastersSum = 0 // recounted next compute phase
+		d.pub.Publish(wire.TAdvance, wire.EncodeAdvance(&wire.Advance{
+			Step: r.step, Phase: wire.PhaseCombine, N: d.n, RunID: r.spec.RunID,
+		}))
+		return
+	}
+	// Superstep complete.
+	r.stepTimes = append(r.stepTimes, time.Since(r.stepStart))
+	if r.mastersSum > 0 {
+		d.n = r.mastersSum
+	}
+	halt := false
+	converged := false
+	if r.quiesce && r.activeSum == 0 {
+		halt, converged = true, true
+	}
+	if !r.quiesce && r.spec.Epsilon > 0 && r.step > 0 && r.residual < r.spec.Epsilon {
+		halt, converged = true, true
+	}
+	if r.step+1 >= r.spec.MaxSteps {
+		halt = true
+	}
+	if halt {
+		d.finishRun(converged)
+		return
+	}
+	r.step++
+	r.votes = make(map[uint64]bool)
+	r.activeSum, r.residual, r.splitAny, r.mastersSum = 0, 0, false, 0
+	r.phase = wire.PhaseCompute
+	if len(d.pendingJoins) > 0 || len(d.pendingLeaves) > 0 {
+		// Elastic event mid-run: pause at the superstep boundary, apply
+		// membership + migration, then resume (Fig. 17).
+		r.paused = true
+		d.advanceWork()
+		return
+	}
+	r.stepStart = time.Now()
+	d.pub.Publish(wire.TAdvance, wire.EncodeAdvance(&wire.Advance{
+		Step: r.step, Phase: wire.PhaseCompute, N: d.n, RunID: r.spec.RunID,
+	}))
+}
+
+func (d *Directory) resumeRun() {
+	r := d.run
+	r.paused = false
+	// Re-announce the run so agents that joined mid-run learn the spec;
+	// agents already in the run ignore the duplicate RunID.
+	resume := *r.spec
+	resume.Resume = true
+	d.pub.Publish(wire.TAlgoStart, wire.EncodeAlgoStart(&resume))
+	r.stepStart = time.Now()
+	d.pub.Publish(wire.TAdvance, wire.EncodeAdvance(&wire.Advance{
+		Step: r.step, Phase: wire.PhaseCompute, N: d.n, RunID: r.spec.RunID,
+	}))
+}
+
+func (d *Directory) finishRun(converged bool) {
+	r := d.run
+	d.run = nil
+	steps := r.step
+	if len(r.stepTimes) > 0 {
+		steps = uint32(len(r.stepTimes))
+	}
+	d.pub.Publish(wire.TAdvance, wire.EncodeAdvance(&wire.Advance{
+		Step: r.step, Phase: wire.PhaseCompute, Halt: true, N: d.n, RunID: r.spec.RunID,
+	}))
+	d.pub.Publish(wire.TAlgoDone, wire.EncodeAlgoDone(&wire.AlgoDone{
+		RunID: r.spec.RunID, Steps: steps, Converged: converged,
+	}))
+	_ = d.node.Reply(r.req, wire.TRunReply, wire.EncodeRunStats(&wire.RunStats{
+		RunID: r.spec.RunID, Steps: steps, Converged: converged,
+		Wall: time.Since(r.start), StepTimes: r.stepTimes,
+	}))
+	d.advanceWork()
+}

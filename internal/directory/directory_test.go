@@ -1,0 +1,294 @@
+package directory
+
+import (
+	"testing"
+	"time"
+
+	"elga/internal/config"
+	"elga/internal/sketch"
+	"elga/internal/transport"
+	"elga/internal/wire"
+)
+
+func testCfg() config.Config {
+	cfg := config.Default()
+	cfg.SketchWidth = 128
+	cfg.SketchDepth = 2
+	cfg.Virtual = 4
+	cfg.RequestTimeout = 5 * time.Second
+	return cfg
+}
+
+func startMaster(t *testing.T, nw transport.Network) *Master {
+	t.Helper()
+	m, err := StartMaster(nw, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func startDir(t *testing.T, nw transport.Network, masterAddr string) *Directory {
+	t.Helper()
+	d, err := Start(Options{Config: testCfg(), Network: nw, MasterAddr: masterAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestFirstDirectoryIsCoordinator(t *testing.T) {
+	nw := transport.NewInproc()
+	m := startMaster(t, nw)
+	d1 := startDir(t, nw, m.Addr())
+	if !d1.IsCoordinator() {
+		t.Fatal("first directory should coordinate")
+	}
+	d2 := startDir(t, nw, m.Addr())
+	if d2.IsCoordinator() {
+		t.Fatal("second directory should relay")
+	}
+	if d2.CoordinatorAddr() != d1.Addr() {
+		t.Fatal("relay does not know the coordinator")
+	}
+}
+
+func TestMasterDirectoryList(t *testing.T) {
+	nw := transport.NewInproc()
+	m := startMaster(t, nw)
+	d1 := startDir(t, nw, m.Addr())
+	d2 := startDir(t, nw, m.Addr())
+	node, err := transport.NewNode(nw, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	reply, err := node.Request(m.Addr(), wire.TGetDirectory, nil, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := wire.DecodeStringList(reply.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 2 || dirs[0] != d1.Addr() || dirs[1] != d2.Addr() {
+		t.Fatalf("directory list %v", dirs)
+	}
+}
+
+func TestMasterPing(t *testing.T) {
+	nw := transport.NewInproc()
+	m := startMaster(t, nw)
+	node, _ := transport.NewNode(nw, "", 0)
+	defer node.Close()
+	reply, err := node.Request(m.Addr(), wire.TPing, nil, 5*time.Second)
+	if err != nil || reply.Type != wire.TPong {
+		t.Fatalf("ping: %v %v", reply, err)
+	}
+}
+
+// fakeAgent joins and answers barrier traffic just enough to exercise the
+// coordinator's state machine without real agents.
+type fakeAgent struct {
+	node *transport.Node
+	id   uint64
+}
+
+func joinFake(t *testing.T, nw transport.Network, coord string) *fakeAgent {
+	t.Helper()
+	node, err := transport.NewNode(nw, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	if err := node.Send(coord, wire.TSubscribe, wire.SubscribeTypes()); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := node.Request(coord, wire.TJoin,
+		wire.EncodeJoin(&wire.Join{Addr: node.Addr()}), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, err := wire.DecodeJoinReply(reply.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeAgent{node: node, id: jr.AgentID}
+	// Answer migration rounds and batch rounds forever.
+	go func() {
+		for pkt := range node.Inbox() {
+			switch pkt.Type {
+			case wire.TDirUpdate:
+				v, err := wire.DecodeView(pkt.Payload)
+				if err == nil {
+					_ = node.Send(coord, wire.TReady, wire.EncodeReady(&wire.Ready{
+						AgentID: f.id, Step: uint32(v.Epoch), Phase: wire.PhaseMigrate,
+					}))
+				}
+			case wire.TBatchOpen:
+				r := wire.NewReader(pkt.Payload)
+				batchID := r.U64()
+				_ = node.Send(coord, wire.TReady, wire.EncodeReady(&wire.Ready{
+					AgentID: f.id, Step: uint32(batchID), Phase: wire.PhaseBatch, Masters: 10,
+				}))
+			case wire.TSketchDelta, wire.TEdges:
+				node.Ack(pkt)
+			}
+		}
+	}()
+	return f
+}
+
+func TestJoinAssignsMonotonicIDs(t *testing.T) {
+	nw := transport.NewInproc()
+	m := startMaster(t, nw)
+	d := startDir(t, nw, m.Addr())
+	a1 := joinFake(t, nw, d.Addr())
+	a2 := joinFake(t, nw, d.Addr())
+	if a1.id == 0 || a2.id <= a1.id {
+		t.Fatalf("ids %d, %d not monotonic", a1.id, a2.id)
+	}
+}
+
+func TestSealAggregatesMasters(t *testing.T) {
+	nw := transport.NewInproc()
+	m := startMaster(t, nw)
+	d := startDir(t, nw, m.Addr())
+	joinFake(t, nw, d.Addr())
+	joinFake(t, nw, d.Addr())
+	client, err := transport.NewNode(nw, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Request(d.Addr(), wire.TIngest, nil, 10*time.Second); err != nil {
+		t.Fatalf("seal failed: %v", err)
+	}
+}
+
+func TestSketchDeltaMergesIntoView(t *testing.T) {
+	nw := transport.NewInproc()
+	m := startMaster(t, nw)
+	d := startDir(t, nw, m.Addr())
+	joinFake(t, nw, d.Addr())
+
+	// Push a delta, then seal; the next view broadcast must carry the
+	// merged sketch (skDirty triggers a rebroadcast during seal).
+	sender, err := transport.NewNode(nw, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	cfgv := testCfg()
+	delta := cfgv.NewSketch()
+	delta.AddN(42, 99)
+	data, _ := delta.MarshalBinary()
+	if err := sender.SendAcked(d.Addr(), wire.TSketchDelta, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Subscribe a watcher and seal.
+	watcher, err := transport.NewNode(nw, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer watcher.Close()
+	if err := watcher.Send(d.Addr(), wire.TSubscribe, wire.SubscribeTypes(wire.TDirUpdate)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sender.Request(d.Addr(), wire.TIngest, nil, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case pkt := <-watcher.Inbox():
+			if pkt.Type != wire.TDirUpdate {
+				continue
+			}
+			v, err := wire.DecodeView(pkt.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sk sketch.Sketch
+			if err := sk.UnmarshalBinary(v.Sketch); err != nil {
+				t.Fatal(err)
+			}
+			if sk.Estimate(42) >= 99 {
+				return // merged sketch observed
+			}
+		case <-deadline:
+			t.Fatal("merged sketch never broadcast")
+		}
+	}
+}
+
+func TestMetricHandlerInvoked(t *testing.T) {
+	nw := transport.NewInproc()
+	m := startMaster(t, nw)
+	got := make(chan *wire.Metric, 1)
+	d, err := Start(Options{
+		Config: testCfg(), Network: nw, MasterAddr: m.Addr(),
+		MetricHandler: func(mt *wire.Metric) {
+			select {
+			case got <- mt:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	node, _ := transport.NewNode(nw, "", 0)
+	defer node.Close()
+	_ = node.Send(d.Addr(), wire.TMetric, wire.EncodeMetric(&wire.Metric{AgentID: 1, Name: "qps", Value: 7}))
+	select {
+	case mt := <-got:
+		if mt.Name != "qps" || mt.Value != 7 {
+			t.Fatalf("metric %+v", mt)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("metric never delivered")
+	}
+}
+
+func TestRelayForwardsSubscriptionsAndViews(t *testing.T) {
+	nw := transport.NewInproc()
+	m := startMaster(t, nw)
+	coord := startDir(t, nw, m.Addr())
+	relay := startDir(t, nw, m.Addr())
+	// Subscriber attaches to the relay; a membership change at the
+	// coordinator must still reach it.
+	sub, err := transport.NewNode(nw, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Send(relay.Addr(), wire.TSubscribe, wire.SubscribeTypes(wire.TDirUpdate)); err != nil {
+		t.Fatal(err)
+	}
+	joinFake(t, nw, coord.Addr())
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case pkt := <-sub.Inbox():
+			if pkt.Type != wire.TDirUpdate {
+				continue
+			}
+			v, err := wire.DecodeView(pkt.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(v.Agents) == 1 {
+				return
+			}
+		case <-deadline:
+			t.Fatal("relay never delivered the view")
+		}
+	}
+}

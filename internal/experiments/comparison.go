@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"elga/internal/algorithm"
+	"elga/internal/baseline/bsp"
+	"elga/internal/baseline/gap"
+	"elga/internal/baseline/snapshot"
+	"elga/internal/baseline/stinger"
+	"elga/internal/client"
+	"elga/internal/datasets"
+	"elga/internal/gen"
+	"elga/internal/graph"
+	"elga/internal/stats"
+)
+
+// comparisonDatasets picks the evaluation graphs for Figures 11/12.
+func comparisonDatasets(s Scale) []string {
+	if s == Quick {
+		return []string{"twitter"}
+	}
+	return []string{"twitter", "datagen-zf", "livejournal", "skitter", "graph500-30"}
+}
+
+// Fig11 compares per-iteration PageRank across ElGA, the Blogel-role BSP
+// baseline, and the GraphX-role snapshot baseline, with the paper's
+// 5-trial t-test methodology.
+func Fig11(s Scale) (*Report, error) {
+	r := &Report{
+		ID:     "fig11",
+		Title:  "PageRank per-iteration time vs static baselines (5 trials, 95% CI)",
+		Header: []string{"graph", "elga", "blogel-role", "graphx-role", "winner", "significant"},
+	}
+	for _, name := range comparisonDatasets(s) {
+		el, err := datasets.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		elga, blogel, graphx, err := comparePerIteration(s, el, "pagerank", 5)
+		if err != nil {
+			return nil, err
+		}
+		winner := "elga"
+		if stats.Mean(blogel) < stats.Mean(elga) {
+			winner = "blogel-role"
+		}
+		if stats.Mean(graphx) < stats.Mean(elga) && stats.Mean(graphx) < stats.Mean(blogel) {
+			winner = "graphx-role"
+		}
+		sig := stats.SignificantlyFaster(elga, blogel) && stats.SignificantlyFaster(elga, graphx)
+		r.AddRow(name, fmtSummary(stats.Summarize(elga)), fmtSummary(stats.Summarize(blogel)),
+			fmtSummary(stats.Summarize(graphx)), winner, fmt.Sprintf("%v", sig))
+	}
+	r.AddNote("paper Fig. 11: ElGA fastest with p<0.0005 on all datasets except Graph500-30 (inconclusive); at laptop scale the static CSR engine is advantaged on tiny graphs, so expect the shape to favour ElGA as graphs grow")
+	return r, nil
+}
+
+// Fig12 is the WCC comparison on symmetrized graphs.
+func Fig12(s Scale) (*Report, error) {
+	r := &Report{
+		ID:     "fig12",
+		Title:  "WCC runtime vs static baselines (symmetrized inputs, 5 trials)",
+		Header: []string{"graph", "elga", "blogel-role", "graphx-role", "winner"},
+	}
+	for _, name := range comparisonDatasets(s) {
+		el, err := datasets.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		sym := el.Symmetrized()
+		elga, blogel, graphx, err := compareWholeRun(s, sym, "wcc")
+		if err != nil {
+			return nil, err
+		}
+		winner := "elga"
+		if stats.Mean(blogel) < stats.Mean(elga) {
+			winner = "blogel-role"
+		}
+		if stats.Mean(graphx) < stats.Mean(elga) && stats.Mean(graphx) < stats.Mean(blogel) {
+			winner = "graphx-role"
+		}
+		r.AddRow(name, fmtSummary(stats.Summarize(elga)), fmtSummary(stats.Summarize(blogel)),
+			fmtSummary(stats.Summarize(graphx)), winner)
+	}
+	r.AddNote("paper Fig. 12: ElGA fastest with p<0.0005 (Graph500-30 at p<0.03)")
+	return r, nil
+}
+
+func comparePerIteration(s Scale, el graph.EdgeList, algo string, iters uint32) (elga, blogel, graphx []float64, err error) {
+	c, err := newCluster(baseConfig(), 4, el)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	elga, err = repeatSeconds(s.trials(), func() (time.Duration, error) {
+		st, err := c.Run(client.RunSpec{Algo: algo, MaxSteps: iters, FromScratch: true})
+		if err != nil {
+			return 0, err
+		}
+		return st.PerStep(), nil
+	})
+	c.Shutdown()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	prog, err := algorithm.New(algo)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	engine := bsp.New(el, 8)
+	blogel, err = repeatSeconds(s.trials(), func() (time.Duration, error) {
+		start := time.Now()
+		engine.Run(prog, bsp.Options{Workers: 8, MaxSteps: iters})
+		return time.Since(start) / time.Duration(iters), nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	graphx, err = repeatSeconds(s.trials(), func() (time.Duration, error) {
+		// GraphX-role pays the snapshot rebuild every run.
+		snap := snapshot.New(el, 8)
+		res := snap.RunFromScratch(prog, bsp.Options{Workers: 8, MaxSteps: iters})
+		return res.Elapsed / time.Duration(iters), nil
+	})
+	return elga, blogel, graphx, err
+}
+
+func compareWholeRun(s Scale, el graph.EdgeList, algo string) (elga, blogel, graphx []float64, err error) {
+	c, err := newCluster(baseConfig(), 4, el)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	elga, err = repeatSeconds(s.trials(), func() (time.Duration, error) {
+		st, err := c.Run(client.RunSpec{Algo: algo, FromScratch: true})
+		if err != nil {
+			return 0, err
+		}
+		return st.Wall, nil
+	})
+	c.Shutdown()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	prog, err := algorithm.New(algo)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	engine := bsp.New(el, 8)
+	blogel, err = repeatSeconds(s.trials(), func() (time.Duration, error) {
+		start := time.Now()
+		engine.Run(prog, bsp.Options{Workers: 8})
+		return time.Since(start), nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	graphx, err = repeatSeconds(s.trials(), func() (time.Duration, error) {
+		snap := snapshot.New(el, 8)
+		res := snap.RunFromScratch(prog, bsp.Options{Workers: 8})
+		return res.Elapsed, nil
+	})
+	return elga, blogel, graphx, err
+}
+
+// Fig13 is the single-node COST comparison: ElGA vs the STINGER-role
+// dynamic CC maintaining components over the last 1000 single-edge
+// inserts, plus the GAP-role static end-to-end time.
+func Fig13(s Scale) (*Report, error) {
+	r := &Report{
+		ID:     "fig13",
+		Title:  "Single-node dynamic components: last-N single-edge insert times",
+		Header: []string{"graph", "system", "median", "p90", "max"},
+	}
+	inserts := 1000
+	if s == Quick {
+		inserts = 50
+	}
+	for _, name := range []string{"livejournal", "email-euall"} {
+		el, err := datasets.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		if inserts >= len(el) {
+			inserts = len(el) / 2
+		}
+		preload, tail := el[:len(el)-inserts], el[len(el)-inserts:]
+
+		// ElGA on a single node (4 agents sharing it).
+		c, err := newCluster(baseConfig(), 4, preload)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.Run(client.RunSpec{Algo: "wcc", FromScratch: true}); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		var elgaTimes []float64
+		for _, e := range tail {
+			start := time.Now()
+			if err := c.ApplyBatch(graph.Batch{{Action: graph.Insert, Src: e.Src, Dst: e.Dst}}); err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+			if _, err := c.Run(client.RunSpec{Algo: "wcc"}); err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+			elgaTimes = append(elgaTimes, time.Since(start).Seconds())
+		}
+		c.Shutdown()
+		r.AddRow(name, "elga",
+			fmtDur(stats.Percentile(elgaTimes, 50)),
+			fmtDur(stats.Percentile(elgaTimes, 90)),
+			fmtDur(stats.Percentile(elgaTimes, 100)))
+
+		// STINGER-role shared-memory dynamic CC.
+		g := stinger.New()
+		for _, e := range preload {
+			g.InsertEdge(e.Src, e.Dst)
+		}
+		var stingerTimes []float64
+		for _, e := range tail {
+			start := time.Now()
+			g.InsertEdge(e.Src, e.Dst)
+			stingerTimes = append(stingerTimes, time.Since(start).Seconds())
+		}
+		r.AddRow(name, "stinger-role",
+			fmtDur(stats.Percentile(stingerTimes, 50)),
+			fmtDur(stats.Percentile(stingerTimes, 90)),
+			fmtDur(stats.Percentile(stingerTimes, 100)))
+
+		// GAP-role static recompute, end to end.
+		res := gap.ConnectedComponents(el, 0)
+		r.AddRow(name, "gap-role (full recompute)",
+			fmtDur(res.Elapsed().Seconds()), "-", "-")
+	}
+	r.AddNote("paper Fig. 13: ElGA median 0.027s vs STINGER 0.032s on LiveJournal; GAPbs full recompute 0.94s — the dynamic systems are orders of magnitude under full recomputation, with the shared-memory system slightly faster per single edge than the distributed one at small scale")
+	return r, nil
+}
+
+// Fig14 measures the edge insertion rate as the agent count varies.
+func Fig14(s Scale) (*Report, error) {
+	r := &Report{
+		ID:     "fig14",
+		Title:  "Edge insertion rate (Skitter-like stream) vs agents",
+		Header: []string{"agents", "edges", "seconds", "edges/sec"},
+	}
+	el, err := datasets.Load("skitter")
+	if err != nil {
+		return nil, err
+	}
+	if s == Quick {
+		el = el[:len(el)/4]
+	}
+	counts := []int{1, 2, 4, 8}
+	if s == Quick {
+		counts = []int{1, 4}
+	}
+	var rates []float64
+	for _, n := range counts {
+		c, err := newCluster(baseConfig(), n, nil)
+		if err != nil {
+			return nil, err
+		}
+		st, err := c.NewStreamer()
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		start := time.Now()
+		if err := gen.Stream(el, st.Send); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		if err := st.Flush(); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		dur := time.Since(start)
+		st.Close()
+		c.Shutdown()
+		rate := float64(len(el)) / dur.Seconds()
+		rates = append(rates, rate)
+		r.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", len(el)),
+			fmt.Sprintf("%.3f", dur.Seconds()), fmt.Sprintf("%.0f", rate))
+	}
+	if rates[len(rates)-1] > rates[0] {
+		r.AddNote("ingest rate scales with agents (paper Fig. 14: >2M edges/s/agent on hardware; in-process stand-in shows the same upward shape)")
+	} else {
+		r.AddNote("ingest rate did not scale upward at this size; single streamer is the bottleneck at laptop scale")
+	}
+	return r, nil
+}

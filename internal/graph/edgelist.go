@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Edge is a directed edge in an edge list (the at-rest interchange format,
+// matching the "EL Size" column of the paper's Table 2).
+type Edge struct {
+	Src VertexID
+	Dst VertexID
+}
+
+// EdgeList is an in-memory edge list used by generators, baselines, and
+// file I/O. It may contain duplicates until Dedupe is called.
+type EdgeList []Edge
+
+// MaxVertex returns the largest vertex ID referenced, or 0 for empty lists.
+func (el EdgeList) MaxVertex() VertexID {
+	var max VertexID
+	for _, e := range el {
+		if e.Src > max {
+			max = e.Src
+		}
+		if e.Dst > max {
+			max = e.Dst
+		}
+	}
+	return max
+}
+
+// NumVertices returns the count of distinct vertex IDs referenced.
+func (el EdgeList) NumVertices() int {
+	seen := make(map[VertexID]struct{}, len(el))
+	for _, e := range el {
+		seen[e.Src] = struct{}{}
+		seen[e.Dst] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Sort orders edges by (Src, Dst).
+func (el EdgeList) Sort() {
+	sort.Slice(el, func(i, j int) bool {
+		if el[i].Src != el[j].Src {
+			return el[i].Src < el[j].Src
+		}
+		return el[i].Dst < el[j].Dst
+	})
+}
+
+// Dedupe sorts and removes duplicate edges in place, returning the
+// shortened list.
+func (el EdgeList) Dedupe() EdgeList {
+	if len(el) == 0 {
+		return el
+	}
+	el.Sort()
+	out := el[:1]
+	for _, e := range el[1:] {
+		if e != out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Symmetrized returns a new edge list containing both directions of every
+// edge, deduplicated. The paper symmetrizes inputs for WCC (§4.7, fixing
+// the Blogel undirected bug).
+func (el EdgeList) Symmetrized() EdgeList {
+	out := make(EdgeList, 0, 2*len(el))
+	for _, e := range el {
+		out = append(out, e)
+		if e.Src != e.Dst {
+			out = append(out, Edge{Src: e.Dst, Dst: e.Src})
+		}
+	}
+	return out.Dedupe()
+}
+
+// Changes converts the list into an insertion batch.
+func (el EdgeList) Changes() Batch {
+	b := make(Batch, len(el))
+	for i, e := range el {
+		b[i] = Change{Action: Insert, Src: e.Src, Dst: e.Dst}
+	}
+	return b
+}
+
+// Degrees returns the out-degree of every vertex (by ID, dense up to
+// MaxVertex). Useful for generators and sketch validation.
+func (el EdgeList) Degrees() []int {
+	if len(el) == 0 {
+		return nil
+	}
+	deg := make([]int, el.MaxVertex()+1)
+	for _, e := range el {
+		deg[e.Src]++
+	}
+	return deg
+}
+
+// WriteTo writes the list as "src dst\n" text, the universal edge-list
+// interchange the paper's datasets ship in. It reports bytes written.
+func (el EdgeList) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, e := range el {
+		c, err := fmt.Fprintf(bw, "%d %d\n", e.Src, e.Dst)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadEdgeList parses "src dst" lines, skipping blank lines and lines
+// starting with '#' or '%' (SNAP and Matrix Market comment styles).
+func ReadEdgeList(r io.Reader) (EdgeList, error) {
+	var el EdgeList
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := sc.Text()
+		if len(txt) == 0 || txt[0] == '#' || txt[0] == '%' {
+			continue
+		}
+		var u, v uint64
+		if _, err := fmt.Sscanf(txt, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: %w", line, err)
+		}
+		el = append(el, Edge{Src: VertexID(u), Dst: VertexID(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return el, nil
+}
+
+// CSR is a compressed sparse row view of a static graph, the
+// representation the Blogel- and GAP-style baselines iterate over (the
+// paper notes CSR "is faster than our flat hash maps (but do not easily
+// support dynamic graphs)", §4.7).
+type CSR struct {
+	// N is the number of vertices (IDs 0..N-1).
+	N int
+	// OutOffsets has length N+1; out-neighbours of v are
+	// OutAdj[OutOffsets[v]:OutOffsets[v+1]].
+	OutOffsets []int64
+	OutAdj     []VertexID
+	// InOffsets/InAdj mirror the structure for in-edges.
+	InOffsets []int64
+	InAdj     []VertexID
+}
+
+// BuildCSR constructs a CSR over vertex IDs 0..max(el). Duplicate edges
+// are kept as-is (callers Dedupe first if needed).
+func BuildCSR(el EdgeList) *CSR {
+	n := 0
+	if len(el) > 0 {
+		n = int(el.MaxVertex()) + 1
+	}
+	c := &CSR{
+		N:          n,
+		OutOffsets: make([]int64, n+1),
+		OutAdj:     make([]VertexID, len(el)),
+		InOffsets:  make([]int64, n+1),
+		InAdj:      make([]VertexID, len(el)),
+	}
+	for _, e := range el {
+		c.OutOffsets[e.Src+1]++
+		c.InOffsets[e.Dst+1]++
+	}
+	for i := 0; i < n; i++ {
+		c.OutOffsets[i+1] += c.OutOffsets[i]
+		c.InOffsets[i+1] += c.InOffsets[i]
+	}
+	outPos := make([]int64, n)
+	inPos := make([]int64, n)
+	for _, e := range el {
+		c.OutAdj[c.OutOffsets[e.Src]+outPos[e.Src]] = e.Dst
+		outPos[e.Src]++
+		c.InAdj[c.InOffsets[e.Dst]+inPos[e.Dst]] = e.Src
+		inPos[e.Dst]++
+	}
+	return c
+}
+
+// Out returns v's out-neighbours.
+func (c *CSR) Out(v VertexID) []VertexID {
+	return c.OutAdj[c.OutOffsets[v]:c.OutOffsets[v+1]]
+}
+
+// In returns v's in-neighbours.
+func (c *CSR) In(v VertexID) []VertexID {
+	return c.InAdj[c.InOffsets[v]:c.InOffsets[v+1]]
+}
+
+// OutDegree returns v's out-degree.
+func (c *CSR) OutDegree(v VertexID) int {
+	return int(c.OutOffsets[v+1] - c.OutOffsets[v])
+}
+
+// NumEdges returns the number of directed edges.
+func (c *CSR) NumEdges() int { return len(c.OutAdj) }

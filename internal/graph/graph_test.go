@@ -1,0 +1,268 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyStore(t *testing.T) {
+	s := NewStore()
+	if s.NumVertices() != 0 || s.NumEdgeCopies() != 0 || s.ActiveCount() != 0 {
+		t.Fatal("fresh store not empty")
+	}
+	if s.HasVertex(1) {
+		t.Error("HasVertex on empty store")
+	}
+	if s.OutNeighbors(1) != nil || s.InNeighbors(1) != nil {
+		t.Error("neighbors of absent vertex not nil")
+	}
+}
+
+func TestAddEdgeBothDirections(t *testing.T) {
+	s := NewStore()
+	if !s.AddEdge(1, 2, Out) {
+		t.Fatal("AddEdge Out returned false")
+	}
+	if !s.AddEdge(1, 2, In) {
+		t.Fatal("AddEdge In returned false")
+	}
+	if s.NumOutEdges() != 1 || s.NumInEdges() != 1 {
+		t.Fatalf("counts out=%d in=%d", s.NumOutEdges(), s.NumInEdges())
+	}
+	if got := s.OutNeighbors(1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("OutNeighbors(1) = %v", got)
+	}
+	if got := s.InNeighbors(2); len(got) != 1 || got[0] != 1 {
+		t.Errorf("InNeighbors(2) = %v", got)
+	}
+	// Out copy lives under src; in copy under dst.
+	if s.InDegree(1) != 0 || s.OutDegree(2) != 0 {
+		t.Error("copies stored under wrong endpoint")
+	}
+}
+
+func TestDuplicateEdgeIgnored(t *testing.T) {
+	s := NewStore()
+	s.AddEdge(1, 2, Out)
+	if s.AddEdge(1, 2, Out) {
+		t.Error("duplicate AddEdge returned true")
+	}
+	if s.NumOutEdges() != 1 {
+		t.Errorf("NumOutEdges = %d", s.NumOutEdges())
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	s := NewStore()
+	s.AddEdge(1, 2, Out)
+	s.AddEdge(1, 3, Out)
+	if !s.RemoveEdge(1, 2, Out) {
+		t.Fatal("RemoveEdge returned false for present edge")
+	}
+	if s.RemoveEdge(1, 2, Out) {
+		t.Error("RemoveEdge returned true for absent edge")
+	}
+	if s.RemoveEdge(9, 9, In) {
+		t.Error("RemoveEdge on absent vertex returned true")
+	}
+	if got := s.OutNeighbors(1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("OutNeighbors after remove = %v", got)
+	}
+}
+
+func TestVertexDroppedWhenEmpty(t *testing.T) {
+	s := NewStore()
+	s.AddEdge(1, 2, Out)
+	s.RemoveEdge(1, 2, Out)
+	if s.HasVertex(1) {
+		t.Error("vertex 1 survived with no copies")
+	}
+	if s.NumVertices() != 0 {
+		t.Errorf("NumVertices = %d", s.NumVertices())
+	}
+}
+
+func TestPinKeepsVertexAlive(t *testing.T) {
+	s := NewStore()
+	s.Pin(5)
+	if !s.HasVertex(5) {
+		t.Fatal("pinned vertex absent")
+	}
+	s.AddEdge(5, 6, Out)
+	s.RemoveEdge(5, 6, Out)
+	if !s.HasVertex(5) {
+		t.Error("pinned vertex dropped after last edge removed")
+	}
+	s.Unpin(5)
+	if s.HasVertex(5) {
+		t.Error("vertex survived unpin with no edges")
+	}
+}
+
+func TestApplyMarksActive(t *testing.T) {
+	s := NewStore()
+	if !s.Apply(Change{Action: Insert, Src: 1, Dst: 2}, Out) {
+		t.Fatal("Apply insert failed")
+	}
+	if s.ActiveCount() != 1 {
+		t.Fatalf("ActiveCount = %d", s.ActiveCount())
+	}
+	act := s.TakeActive()
+	if len(act) != 1 || act[0] != 1 {
+		t.Fatalf("TakeActive = %v (Out copy should activate the src)", act)
+	}
+	if s.ActiveCount() != 0 {
+		t.Error("TakeActive did not clear")
+	}
+	s.Apply(Change{Action: Insert, Src: 3, Dst: 4}, In)
+	act = s.TakeActive()
+	if len(act) != 1 || act[0] != 4 {
+		t.Fatalf("In copy should activate dst, got %v", act)
+	}
+	// No-op apply must not activate.
+	s.Apply(Change{Action: Delete, Src: 8, Dst: 9}, Out)
+	if s.ActiveCount() != 0 {
+		t.Error("no-op change marked a vertex active")
+	}
+}
+
+func TestActivateAllAndTakeSorted(t *testing.T) {
+	s := NewStore()
+	s.AddEdge(5, 1, Out)
+	s.AddEdge(3, 1, Out)
+	s.AddEdge(9, 1, Out)
+	s.TakeActive() // drop insert activations
+	s.ActivateAll()
+	act := s.TakeActive()
+	if len(act) != 3 { // stored vertices are the sources 3, 5, 9
+		t.Fatalf("TakeActive len = %d, want 3", len(act))
+	}
+	for i := 1; i < len(act); i++ {
+		if act[i-1] >= act[i] {
+			t.Fatal("TakeActive not sorted")
+		}
+	}
+}
+
+func TestClearActive(t *testing.T) {
+	s := NewStore()
+	s.MarkActive(7)
+	s.ClearActive(7)
+	if s.ActiveCount() != 0 {
+		t.Error("ClearActive failed")
+	}
+}
+
+func TestCopiesEnumeratesEverything(t *testing.T) {
+	s := NewStore()
+	s.AddEdge(1, 2, Out)
+	s.AddEdge(3, 2, In)
+	s.AddEdge(2, 4, Out)
+	got := map[EdgeCopy]bool{}
+	s.Copies(func(c EdgeCopy) bool {
+		got[c] = true
+		return true
+	})
+	want := []EdgeCopy{{1, 2, Out}, {3, 2, In}, {2, 4, Out}}
+	if len(got) != len(want) {
+		t.Fatalf("Copies found %d, want %d", len(got), len(want))
+	}
+	for _, c := range want {
+		if !got[c] {
+			t.Errorf("missing copy %+v", c)
+		}
+	}
+	// Early termination.
+	n := 0
+	s.Copies(func(EdgeCopy) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stop visited %d copies", n)
+	}
+}
+
+func TestVertexListSorted(t *testing.T) {
+	s := NewStore()
+	for _, v := range []VertexID{9, 2, 5} {
+		s.AddEdge(v, 100, Out)
+	}
+	vl := s.VertexList()
+	if len(vl) != 3 { // 9,2,5; dst 100 is not stored under an Out copy
+		t.Fatalf("VertexList = %v", vl)
+	}
+	for i := 1; i < len(vl); i++ {
+		if vl[i-1] >= vl[i] {
+			t.Fatal("VertexList not sorted")
+		}
+	}
+}
+
+func TestVerticesEarlyStop(t *testing.T) {
+	s := NewStore()
+	s.AddEdge(1, 2, Out)
+	s.AddEdge(3, 4, Out)
+	n := 0
+	s.Vertices(func(VertexID) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Vertices early stop visited %d", n)
+	}
+}
+
+// Property: after an arbitrary interleaving of inserts and deletes of a
+// small edge universe, counts equal the reference set sizes.
+func TestStoreMatchesReferenceProperty(t *testing.T) {
+	type op struct {
+		U, V uint8
+		Del  bool
+		In   bool
+	}
+	f := func(ops []op) bool {
+		s := NewStore()
+		refOut := map[[2]VertexID]bool{}
+		refIn := map[[2]VertexID]bool{}
+		for _, o := range ops {
+			u, v := VertexID(o.U%8), VertexID(o.V%8)
+			key := [2]VertexID{u, v}
+			dir := Out
+			ref := refOut
+			if o.In {
+				dir = In
+				ref = refIn
+			}
+			if o.Del {
+				s.RemoveEdge(u, v, dir)
+				delete(ref, key)
+			} else {
+				s.AddEdge(u, v, dir)
+				ref[key] = true
+			}
+		}
+		return s.NumOutEdges() == len(refOut) && s.NumInEdges() == len(refIn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if NewStore().String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func BenchmarkAddEdge(b *testing.B) {
+	s := NewStore()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddEdge(VertexID(i%100000), VertexID(i), Out)
+	}
+}
+
+func BenchmarkApplyInsertDeleteCycle(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < b.N; i++ {
+		c := Change{Action: Insert, Src: VertexID(i % 1024), Dst: VertexID(i % 4096)}
+		s.Apply(c, Out)
+		c.Action = Delete
+		s.Apply(c, Out)
+	}
+}

@@ -1,0 +1,160 @@
+// Package hashing provides the 64-bit integer hash functions ElGA uses to
+// place agents and vertices on the consistent-hash ring.
+//
+// The hash function is on the critical path of every edge access: it is
+// evaluated for every ring lookup, so it must be fast, and its output must
+// be close to uniform or the edge partition degrades (paper §4.5, Fig. 5).
+// Four functions from the paper's comparison are provided:
+//
+//   - Wang64: Thomas Wang's 64-bit mix, the paper's best performer and the
+//     package default.
+//   - Mult: the fixed-multiplier Lea/Steele mix used by splittable PRNGs.
+//   - Abseil: a Mult-style mix with a per-process random seed, mirroring the
+//     non-deterministic hash of the Abseil C++ library.
+//   - CRC64: table-driven CRC-64 (ECMA polynomial), a deliberately slower
+//     high-quality reference point.
+package hashing
+
+import (
+	"hash/crc64"
+	"math/bits"
+)
+
+// Func identifies one of the provided hash functions.
+type Func int
+
+const (
+	// Wang64 is Thomas Wang's 64-bit integer hash (default).
+	Wang64 Func = iota
+	// Mult is a fixed-multiplier multiplicative hash.
+	Mult
+	// Abseil is a seeded multiplicative mix similar to absl::Hash.
+	Abseil
+	// CRC64 is a table-driven CRC-64/ECMA hash.
+	CRC64
+)
+
+// String returns the canonical lower-case name used in benchmarks and CLIs.
+func (f Func) String() string {
+	switch f {
+	case Wang64:
+		return "wang"
+	case Mult:
+		return "mult"
+	case Abseil:
+		return "abseil"
+	case CRC64:
+		return "crc64"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseFunc maps a name (as produced by Func.String) back to a Func.
+// It reports false for unknown names.
+func ParseFunc(name string) (Func, bool) {
+	switch name {
+	case "wang":
+		return Wang64, true
+	case "mult":
+		return Mult, true
+	case "abseil":
+		return Abseil, true
+	case "crc64":
+		return CRC64, true
+	}
+	return 0, false
+}
+
+// All lists every available hash function, in the order the paper's
+// Figure 5 presents them.
+func All() []Func { return []Func{Wang64, Mult, Abseil, CRC64} }
+
+// Hash applies the selected function to x.
+func (f Func) Hash(x uint64) uint64 {
+	switch f {
+	case Wang64:
+		return Wang(x)
+	case Mult:
+		return MultHash(x)
+	case Abseil:
+		return AbseilHash(x)
+	case CRC64:
+		return CRCHash(x)
+	default:
+		return Wang(x)
+	}
+}
+
+// Wang computes Thomas Wang's 64-bit integer hash. It is an invertible
+// mix of shifts, adds and multiplies with strong avalanche behaviour and
+// is the hash ElGA settled on (paper §4.5).
+func Wang(x uint64) uint64 {
+	x = ^x + (x << 21)
+	x ^= x >> 24
+	x = (x + (x << 3)) + (x << 8) // x * 265
+	x ^= x >> 14
+	x = (x + (x << 2)) + (x << 4) // x * 21
+	x ^= x >> 28
+	x += x << 31
+	return x
+}
+
+// multConst is the SplitMix64/Lea fixed multiplier.
+const multConst = 0x9e3779b97f4a7c15
+
+// MultHash is a fixed-multiplier multiplicative hash (Steele, Lea, Flood:
+// "Fast splittable pseudorandom number generators"). It is fast but mixes
+// the low bits less thoroughly than Wang.
+func MultHash(x uint64) uint64 {
+	x *= multConst
+	return bits.RotateLeft64(x, 31)
+}
+
+// abseilSeed emulates Abseil's process-non-deterministic hashing. It is a
+// package-level constant here so test runs are reproducible; SetAbseilSeed
+// perturbs it for experiments that want the non-deterministic flavour.
+var abseilSeed uint64 = 0x2545f4914f6cdd1d
+
+// SetAbseilSeed overrides the seed mixed into AbseilHash, returning the
+// previous seed. Benchmarks use it to emulate Abseil's per-process salt.
+func SetAbseilSeed(seed uint64) (old uint64) {
+	old = abseilSeed
+	abseilSeed = seed
+	return old
+}
+
+// AbseilHash is a seeded two-round multiplicative mix in the style of
+// absl::Hash's Mix primitive.
+func AbseilHash(x uint64) uint64 {
+	x ^= abseilSeed
+	hi, lo := bits.Mul64(x, multConst)
+	x = hi ^ lo
+	hi, lo = bits.Mul64(x, 0xc6a4a7935bd1e995)
+	return hi ^ lo
+}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// CRCHash hashes x with CRC-64/ECMA. CRC has excellent distribution but is
+// several times slower than the mixes above; the paper includes it as a
+// quality reference.
+func CRCHash(x uint64) uint64 {
+	var b [8]byte
+	b[0] = byte(x)
+	b[1] = byte(x >> 8)
+	b[2] = byte(x >> 16)
+	b[3] = byte(x >> 24)
+	b[4] = byte(x >> 32)
+	b[5] = byte(x >> 40)
+	b[6] = byte(x >> 48)
+	b[7] = byte(x >> 56)
+	return crc64.Checksum(b[:], crcTable)
+}
+
+// Combine mixes two already-hashed values into one, used for the second
+// level of ElGA's edge lookup (hashing the destination within a replica
+// set) and for seeding row hashes in the count-min sketch.
+func Combine(a, b uint64) uint64 {
+	return Wang(a ^ bits.RotateLeft64(b, 32) ^ multConst)
+}

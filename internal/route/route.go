@@ -1,0 +1,145 @@
+// Package route implements the Participant-side lookup of Figure 3: every
+// Participant combines the latest directory view (membership + sketch)
+// with the cluster configuration to resolve which agent owns any edge or
+// vertex, in O(log P) per lookup with O(P + d·w) state.
+package route
+
+import (
+	"fmt"
+
+	"elga/internal/config"
+	"elga/internal/consistent"
+	"elga/internal/graph"
+	"elga/internal/sketch"
+	"elga/internal/wire"
+)
+
+// Router resolves edge and vertex ownership under one directory view. A
+// Router is mutated only by its owning entity's event loop (Update); reads
+// are plain method calls, keeping with the shared-nothing design.
+type Router struct {
+	cfg   config.Config
+	epoch uint64
+	batch uint64
+	n     uint64
+	ring  *consistent.Ring
+	sk    *sketch.Sketch
+	addrs map[uint64]string
+}
+
+// New creates a Router with an empty view.
+func New(cfg config.Config) *Router {
+	return &Router{
+		cfg:   cfg,
+		ring:  consistent.New(nil, consistent.Options{Virtual: cfg.Virtual, Hash: cfg.Hash}),
+		sk:    cfg.NewSketch(),
+		addrs: map[uint64]string{},
+	}
+}
+
+// Update installs a directory view, rebuilding the ring and sketch.
+// Stale views (epoch older than current) are ignored and reported false.
+func (r *Router) Update(v *wire.View) (bool, error) {
+	if v.Epoch < r.epoch {
+		return false, nil
+	}
+	members := make([]consistent.AgentID, 0, len(v.Agents))
+	addrs := make(map[uint64]string, len(v.Agents))
+	for _, a := range v.Agents {
+		members = append(members, consistent.AgentID(a.ID))
+		addrs[a.ID] = a.Addr
+	}
+	sk := r.cfg.NewSketch()
+	if len(v.Sketch) > 0 {
+		if err := sk.UnmarshalBinary(v.Sketch); err != nil {
+			return false, fmt.Errorf("route: view sketch: %w", err)
+		}
+	}
+	r.epoch = v.Epoch
+	r.batch = v.BatchID
+	r.n = v.N
+	r.ring = consistent.New(members, consistent.Options{Virtual: r.cfg.Virtual, Hash: r.cfg.Hash})
+	r.sk = sk
+	r.addrs = addrs
+	return true, nil
+}
+
+// Epoch returns the installed view's epoch.
+func (r *Router) Epoch() uint64 { return r.epoch }
+
+// BatchID returns the installed view's batch clock.
+func (r *Router) BatchID() uint64 { return r.batch }
+
+// N returns the view's global vertex count estimate.
+func (r *Router) N() uint64 { return r.n }
+
+// NumAgents returns the member count.
+func (r *Router) NumAgents() int { return r.ring.Size() }
+
+// Agents returns the member IDs.
+func (r *Router) Agents() []consistent.AgentID { return r.ring.Members() }
+
+// AddrOf maps an agent ID to its listen address.
+func (r *Router) AddrOf(id consistent.AgentID) (string, bool) {
+	a, ok := r.addrs[uint64(id)]
+	return a, ok
+}
+
+// Replicas returns k for vertex v: the sketch degree estimate pushed
+// through the replication policy, capped by the ring size.
+func (r *Router) Replicas(v graph.VertexID) int {
+	k := r.cfg.Replicas(r.sk.Estimate(uint64(v)))
+	if n := r.ring.Size(); k > n && n > 0 {
+		k = n
+	}
+	return k
+}
+
+// DegreeEstimate exposes the sketch estimate (Fig. 7 instrumentation).
+func (r *Router) DegreeEstimate(v graph.VertexID) uint64 {
+	return r.sk.Estimate(uint64(v))
+}
+
+// EdgeOwner resolves the agent owning vertex u's copy of edge (u,other):
+// the two-level lookup of Figure 3.
+func (r *Router) EdgeOwner(u, other graph.VertexID) (consistent.AgentID, bool) {
+	return r.ring.EdgeOwner(uint64(u), uint64(other), r.Replicas(u))
+}
+
+// CopyOwner resolves the owner of one routed edge-change copy: Out copies
+// key on Src, In copies key on Dst.
+func (r *Router) CopyOwner(c wire.EdgeChange) (consistent.AgentID, bool) {
+	if c.Dir == graph.Out {
+		return r.EdgeOwner(c.Src, c.Dst)
+	}
+	return r.EdgeOwner(c.Dst, c.Src)
+}
+
+// ReplicaSet returns vertex v's replica agents; index 0 is the master.
+func (r *Router) ReplicaSet(v graph.VertexID) []consistent.AgentID {
+	return r.ring.ReplicaSet(uint64(v), r.Replicas(v))
+}
+
+// Master returns v's master replica.
+func (r *Router) Master(v graph.VertexID) (consistent.AgentID, bool) {
+	set := r.ReplicaSet(v)
+	if len(set) == 0 {
+		return 0, false
+	}
+	return set[0], true
+}
+
+// AnyReplica returns one of v's replicas, chosen by salt — the random-
+// replica query fast path of §3.4.1.
+func (r *Router) AnyReplica(v graph.VertexID, salt uint64) (consistent.AgentID, bool) {
+	return r.ring.AnyReplica(uint64(v), r.Replicas(v), salt)
+}
+
+// Split reports whether v is split across multiple agents.
+func (r *Router) Split(v graph.VertexID) bool { return r.Replicas(v) > 1 }
+
+// IsMember reports ring membership.
+func (r *Router) IsMember(id consistent.AgentID) bool { return r.ring.Contains(id) }
+
+// Config returns the shared cluster configuration.
+func (r *Router) Config() config.Config { return r.cfg }

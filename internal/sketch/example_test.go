@@ -1,0 +1,32 @@
+package sketch_test
+
+import (
+	"fmt"
+
+	"elga/internal/sketch"
+)
+
+// Example shows the degree-estimation workflow of the paper's §3.3.1: feed
+// edge endpoints, ask for one-sided degree estimates, and derive replica
+// counts from the replication policy.
+func Example() {
+	sk := sketch.New(1024, 4)
+	// A hub vertex (id 7) touches 500 edges; a leaf (id 9) touches 2.
+	for i := 0; i < 500; i++ {
+		sk.Add(7)
+	}
+	sk.Add(9)
+	sk.Add(9)
+
+	hub := sk.Estimate(7)
+	leaf := sk.Estimate(9)
+	fmt.Println("hub >= 500:", hub >= 500)
+	fmt.Println("leaf >= 2:", leaf >= 2)
+	fmt.Println("hub replicas:", sketch.Replicas(hub, 100, 8))
+	fmt.Println("leaf replicas:", sketch.Replicas(leaf, 100, 8))
+	// Output:
+	// hub >= 500: true
+	// leaf >= 2: true
+	// hub replicas: 5
+	// leaf replicas: 1
+}

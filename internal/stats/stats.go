@@ -1,0 +1,223 @@
+// Package stats implements the statistical methodology of the paper's §4:
+// five independent trials per experiment, means with 95% confidence
+// intervals from a t-distribution (the sample size is small), Welch
+// t-tests for the "ElGA is fastest with p < 0.0005" claims, and the
+// load-distribution summaries behind Figures 5b and 6.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Trials is the paper's trial count per experiment.
+const Trials = 5
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// tCritical95 holds two-sided 95% critical values of the t-distribution
+// by degrees of freedom (1-30); larger dof falls back to the normal 1.96.
+var tCritical95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% t critical value for the given
+// degrees of freedom.
+func TCritical95(dof int) float64 {
+	if dof <= 0 {
+		return math.NaN()
+	}
+	if dof < len(tCritical95) {
+		return tCritical95[dof]
+	}
+	return 1.96
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// assuming a t-distribution, as the paper reports (§4).
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return TCritical95(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// Summary couples a mean with its 95% CI half-width.
+type Summary struct {
+	N    int
+	Mean float64
+	CI   float64
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), CI: CI95(xs)}
+	if len(xs) > 0 {
+		s.Min, s.Max = xs[0], xs[0]
+		for _, x := range xs[1:] {
+			if x < s.Min {
+				s.Min = x
+			}
+			if x > s.Max {
+				s.Max = x
+			}
+		}
+	}
+	return s
+}
+
+// String formats "mean ± ci".
+func (s Summary) String() string { return fmt.Sprintf("%.6g ± %.2g", s.Mean, s.CI) }
+
+// SummarizeDurations converts durations to seconds and summarizes.
+func SummarizeDurations(ds []time.Duration) Summary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	return Summarize(xs)
+}
+
+// WelchT computes Welch's t statistic and degrees of freedom for two
+// samples (unequal variances). It reports ok=false when either sample is
+// degenerate.
+func WelchT(a, b []float64) (t float64, dof float64, ok bool) {
+	if len(a) < 2 || len(b) < 2 {
+		return 0, 0, false
+	}
+	va, vb := Variance(a)/float64(len(a)), Variance(b)/float64(len(b))
+	den := math.Sqrt(va + vb)
+	if den == 0 {
+		return 0, 0, false
+	}
+	t = (Mean(a) - Mean(b)) / den
+	num := (va + vb) * (va + vb)
+	d := va*va/float64(len(a)-1) + vb*vb/float64(len(b)-1)
+	if d == 0 {
+		return t, math.Inf(1), true
+	}
+	return t, num / d, true
+}
+
+// SignificantlyFaster reports whether sample a is faster (smaller) than b
+// at the 95% level under a one-sided Welch test (conservative: it uses
+// the two-sided critical value, strengthening the claim).
+func SignificantlyFaster(a, b []float64) bool {
+	t, dof, ok := WelchT(a, b)
+	if !ok {
+		return false
+	}
+	return t < -TCritical95(int(math.Floor(dof)))
+}
+
+// CoefficientOfVariation returns stddev/mean — the load-imbalance scalar
+// used to compare virtual-agent settings (Fig. 6).
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// CDF returns the empirical CDF points (sorted values with cumulative
+// fractions), the presentation of Figures 5b and 6.
+func CDF(xs []float64) (values, fractions []float64) {
+	values = append([]float64(nil), xs...)
+	sort.Float64s(values)
+	fractions = make([]float64, len(values))
+	for i := range values {
+		fractions[i] = float64(i+1) / float64(len(values))
+	}
+	return values, fractions
+}
+
+// Percentile returns the p-th percentile (0-100) by nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Histogram buckets xs into n equal-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds an n-bin histogram of xs.
+func NewHistogram(xs []float64, n int) Histogram {
+	h := Histogram{Counts: make([]int, n)}
+	if len(xs) == 0 || n == 0 {
+		return h
+	}
+	h.Min, h.Max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < h.Min {
+			h.Min = x
+		}
+		if x > h.Max {
+			h.Max = x
+		}
+	}
+	width := (h.Max - h.Min) / float64(n)
+	if width == 0 {
+		h.Counts[0] = len(xs)
+		return h
+	}
+	for _, x := range xs {
+		i := int((x - h.Min) / width)
+		if i >= n {
+			i = n - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}

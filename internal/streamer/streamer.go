@@ -1,0 +1,208 @@
+// Package streamer implements ElGA's Streamers: Participants that send
+// graph updates to Agents (§3.1). A Streamer routes each change of the
+// turnstile stream to the two agents owning its copies (the out-copy under
+// the source, the in-copy under the destination), batching per
+// destination and using acknowledged pushes so a Flush guarantees every
+// change is durably held by an agent.
+package streamer
+
+import (
+	"fmt"
+	"time"
+
+	"elga/internal/config"
+	"elga/internal/consistent"
+	"elga/internal/graph"
+	"elga/internal/route"
+	"elga/internal/transport"
+	"elga/internal/wire"
+)
+
+// DefaultBatchSize is the per-destination buffer flushed automatically.
+const DefaultBatchSize = 1024
+
+// Options configures a Streamer.
+type Options struct {
+	// Config is the shared cluster configuration.
+	Config config.Config
+	// Network is the transport.
+	Network transport.Network
+	// MasterAddr locates the DirectoryMaster.
+	MasterAddr string
+	// BatchSize overrides DefaultBatchSize when positive.
+	BatchSize int
+}
+
+// Streamer injects edge changes into the cluster. It is not safe for
+// concurrent use; run one Streamer per producing goroutine, exactly as
+// ElGA runs independent streamer processes.
+type Streamer struct {
+	opts    Options
+	node    *transport.Node
+	router  *route.Router
+	dirAddr string
+	pending map[consistent.AgentID][]wire.EdgeChange
+	count   int
+	sent    uint64
+}
+
+// Start boots a streamer: it discovers directories, subscribes to view
+// updates, and waits for a first view.
+func Start(opts Options) (*Streamer, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	node, err := transport.NewNode(opts.Network, "", 0)
+	if err != nil {
+		return nil, err
+	}
+	s := &Streamer{
+		opts:    opts,
+		node:    node,
+		router:  route.New(opts.Config),
+		pending: make(map[consistent.AgentID][]wire.EdgeChange),
+	}
+	reply, err := node.Request(opts.MasterAddr, wire.TGetDirectory, nil, opts.Config.RequestTimeout)
+	if err != nil {
+		node.Close()
+		return nil, fmt.Errorf("streamer: bootstrap: %w", err)
+	}
+	dirs, err := wire.DecodeStringList(reply.Payload)
+	if err != nil || len(dirs) == 0 {
+		node.Close()
+		return nil, fmt.Errorf("streamer: no directories")
+	}
+	s.dirAddr = dirs[0]
+	if err := node.Send(s.dirAddr, wire.TSubscribe, wire.SubscribeTypes(wire.TDirUpdate)); err != nil {
+		node.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// drainViews applies any queued directory updates. Called opportunistically
+// before routing; the streamer has no event loop of its own.
+func (s *Streamer) drainViews(block bool) error {
+	for {
+		select {
+		case pkt, ok := <-s.node.Inbox():
+			if !ok {
+				return transport.ErrClosed
+			}
+			if pkt.Type == wire.TDirUpdate {
+				if v, err := wire.DecodeView(pkt.Payload); err == nil {
+					_, _ = s.router.Update(v)
+				}
+			}
+			block = false
+		default:
+			if !block {
+				return nil
+			}
+			select {
+			case pkt, ok := <-s.node.Inbox():
+				if !ok {
+					return transport.ErrClosed
+				}
+				if pkt.Type == wire.TDirUpdate {
+					if v, err := wire.DecodeView(pkt.Payload); err == nil {
+						_, _ = s.router.Update(v)
+					}
+				}
+				block = false
+			case <-time.After(s.opts.Config.RequestTimeout):
+				return fmt.Errorf("streamer: timed out waiting for a directory view")
+			}
+		}
+	}
+}
+
+// WaitReady blocks until the streamer has a view with at least one agent.
+func (s *Streamer) WaitReady() error {
+	deadline := time.Now().Add(s.opts.Config.RequestTimeout)
+	for s.router.NumAgents() == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("streamer: no agents joined before timeout")
+		}
+		if err := s.drainViews(true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Send routes one change: the out-copy to EdgeOwner(src, dst) and the
+// in-copy to EdgeOwner(dst, src).
+func (s *Streamer) Send(c graph.Change) error {
+	if err := s.drainViews(false); err != nil {
+		return err
+	}
+	outOwner, ok1 := s.router.EdgeOwner(c.Src, c.Dst)
+	inOwner, ok2 := s.router.EdgeOwner(c.Dst, c.Src)
+	if !ok1 || !ok2 {
+		return fmt.Errorf("streamer: no agents available")
+	}
+	s.enqueue(outOwner, wire.EdgeChange{Action: c.Action, Src: c.Src, Dst: c.Dst, Dir: graph.Out})
+	s.enqueue(inOwner, wire.EdgeChange{Action: c.Action, Src: c.Src, Dst: c.Dst, Dir: graph.In})
+	if s.count >= s.opts.BatchSize {
+		return s.flushPending()
+	}
+	return nil
+}
+
+// SendBatch routes a whole batch.
+func (s *Streamer) SendBatch(b graph.Batch) error {
+	for _, c := range b {
+		if err := s.Send(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Streamer) enqueue(owner consistent.AgentID, c wire.EdgeChange) {
+	s.pending[owner] = append(s.pending[owner], c)
+	s.count++
+}
+
+func (s *Streamer) flushPending() error {
+	for owner, changes := range s.pending {
+		addr, ok := s.router.AddrOf(owner)
+		if !ok {
+			continue
+		}
+		payload := wire.EncodeEdgeBatch(&wire.EdgeBatch{Epoch: s.router.Epoch(), Changes: changes})
+		if err := s.node.SendAcked(addr, wire.TEdges, payload); err != nil {
+			return err
+		}
+		s.sent += uint64(len(changes))
+	}
+	s.pending = make(map[consistent.AgentID][]wire.EdgeChange)
+	s.count = 0
+	return nil
+}
+
+// Flush pushes all buffered changes and blocks until every send is
+// acknowledged — i.e. every change is held (applied or buffered) by the
+// owning agent.
+func (s *Streamer) Flush() error {
+	if err := s.flushPending(); err != nil {
+		return err
+	}
+	return s.node.Flush(s.opts.Config.RequestTimeout)
+}
+
+// Sent returns the number of edge-change copies flushed so far.
+func (s *Streamer) Sent() uint64 { return s.sent }
+
+// Close flushes, unsubscribes from directory broadcasts, and releases the
+// streamer.
+func (s *Streamer) Close() error {
+	err := s.Flush()
+	_ = s.node.Send(s.dirAddr, wire.TUnsubscribe, nil)
+	s.node.Close()
+	return err
+}

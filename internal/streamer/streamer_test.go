@@ -1,0 +1,141 @@
+package streamer_test
+
+import (
+	"testing"
+
+	"elga/internal/client"
+	"elga/internal/cluster"
+	"elga/internal/config"
+	"elga/internal/graph"
+)
+
+func testCluster(t *testing.T, agents int) *cluster.Cluster {
+	t.Helper()
+	cfg := config.Default()
+	cfg.SketchWidth = 256
+	cfg.SketchDepth = 2
+	cfg.Virtual = 8
+	cfg.ReplicationThreshold = 0
+	c, err := cluster.New(cluster.Options{Config: cfg, Agents: agents})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func TestStreamerRoutesBothCopies(t *testing.T) {
+	c := testCluster(t, 3)
+	s, err := c.NewStreamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := s.Send(graph.Change{Action: graph.Insert,
+			Src: graph.VertexID(i), Dst: graph.VertexID(i + 1000)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Sent(); got != 2*n {
+		t.Fatalf("Sent = %d, want %d (two copies per change)", got, 2*n)
+	}
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, cnt := range c.EdgeCounts() {
+		total += cnt
+	}
+	if total != 2*n {
+		t.Fatalf("stored copies = %d, want %d", total, 2*n)
+	}
+}
+
+func TestStreamerDeletions(t *testing.T) {
+	c := testCluster(t, 2)
+	s, err := c.NewStreamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ins := graph.Change{Action: graph.Insert, Src: 5, Dst: 6}
+	del := graph.Change{Action: graph.Delete, Src: 5, Dst: 6}
+	if err := s.SendBatch(graph.Batch{ins, del}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, cnt := range c.EdgeCounts() {
+		total += cnt
+	}
+	if total != 0 {
+		t.Fatalf("copies after insert+delete = %d", total)
+	}
+}
+
+func TestStreamerSurvivesScaleUp(t *testing.T) {
+	c := testCluster(t, 2)
+	s, err := c.NewStreamer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	send := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if err := s.Send(graph.Change{Action: graph.Insert,
+				Src: graph.VertexID(i), Dst: graph.VertexID(i + 5000)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(0, 100)
+	if _, err := c.AddAgent(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	send(100, 200) // the streamer must pick up the new view (or forward)
+	if err := c.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, cnt := range c.EdgeCounts() {
+		total += cnt
+	}
+	if total != 400 {
+		t.Fatalf("copies = %d, want 400", total)
+	}
+}
+
+func TestClientQueryStalenessStep(t *testing.T) {
+	c := testCluster(t, 2)
+	if err := c.Load(graph.EdgeList{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(client.RunSpec{Algo: "wcc", FromScratch: true}); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	w, found, err := cl.Query(2)
+	if err != nil || !found || uint64(w) != 0 {
+		t.Fatalf("query: w=%d found=%v err=%v", w, found, err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package transport provides ElGA's message-passing substrate.
+//
+// The paper builds on ZeroMQ (§3.5) for three communication patterns:
+// REQ/REP for low-latency blocking requests, PUSH for medium-latency
+// non-blocking sends (with an explicit second PUSH as acknowledgement when
+// needed), and PUB/SUB for high-latency broadcasts filtered on the 1-byte
+// packet type. This package reimplements those patterns over an abstract
+// frame transport with two implementations:
+//
+//   - inproc: channel-based, the stand-in for ZeroMQ's inproc:// used when
+//     many Participants share one OS process;
+//   - tcp: length-framed packets over real sockets.
+//
+// Like ZeroMQ, all I/O happens on dedicated goroutines so entity event
+// loops overlap computation with communication management.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Conn carries whole frames in order. Implementations are safe for one
+// concurrent sender and one concurrent receiver.
+type Conn interface {
+	// Send transmits one frame.
+	Send(frame []byte) error
+	// Recv returns the next frame, or an error once the peer closes.
+	Recv() ([]byte, error)
+	// Close releases the connection; pending Recv calls fail.
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept returns the next inbound connection.
+	Accept() (Conn, error)
+	// Addr is the bound address peers dial.
+	Addr() string
+	// Close stops accepting; pending Accept calls fail.
+	Close() error
+}
+
+// Network creates listeners and connections within one address family.
+type Network interface {
+	// Listen binds addr; addr "" or ending in ":0" auto-allocates.
+	Listen(addr string) (Listener, error)
+	// Dial connects to a listener's address.
+	Dial(addr string) (Conn, error)
+	// Name identifies the transport ("inproc" or "tcp").
+	Name() string
+}
+
+// ErrClosed reports use of a closed connection, listener, or node.
+var ErrClosed = errors.New("transport: closed")
+
+// ---------------------------------------------------------------------------
+// inproc
+
+// inprocFrameBuffer is the per-direction frame queue depth. It plays the
+// role of ZeroMQ's high-water mark: senders block when a receiver lags.
+const inprocFrameBuffer = 4096
+
+// Inproc is an in-process Network. Each Inproc instance is an isolated
+// namespace: addresses registered on one instance are invisible to others,
+// so tests can run many clusters concurrently.
+type Inproc struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+	nextAuto  uint64
+}
+
+// NewInproc creates an empty in-process network namespace.
+func NewInproc() *Inproc {
+	return &Inproc{listeners: make(map[string]*inprocListener)}
+}
+
+// Name returns "inproc".
+func (n *Inproc) Name() string { return "inproc" }
+
+// Listen binds addr in this namespace.
+func (n *Inproc) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if addr == "" || addr == ":0" {
+		n.nextAuto++
+		addr = fmt.Sprintf("inproc://auto-%d", n.nextAuto)
+	}
+	if _, taken := n.listeners[addr]; taken {
+		return nil, fmt.Errorf("transport: address %q in use", addr)
+	}
+	l := &inprocListener{net: n, addr: addr, accept: make(chan Conn, 64), done: make(chan struct{})}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to addr in this namespace.
+func (n *Inproc) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no inproc listener at %q", addr)
+	}
+	a2b := make(chan []byte, inprocFrameBuffer)
+	b2a := make(chan []byte, inprocFrameBuffer)
+	// Both ends share the close signal, matching TCP semantics where
+	// closing either side unblocks the peer's blocked Recv.
+	closed := make(chan struct{})
+	var once sync.Once
+	dialSide := &inprocConn{send: a2b, recv: b2a, closed: closed, once: &once}
+	acceptSide := &inprocConn{send: b2a, recv: a2b, closed: closed, once: &once}
+	select {
+	case l.accept <- acceptSide:
+		return dialSide, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+type inprocListener struct {
+	net    *Inproc
+	addr   string
+	accept chan Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+type inprocConn struct {
+	send   chan []byte
+	recv   chan []byte
+	closed chan struct{}
+	once   *sync.Once
+}
+
+func (c *inprocConn) Send(frame []byte) error {
+	// Copy: the caller may reuse its buffer, and channel handoff would
+	// otherwise alias it across goroutines.
+	dup := append([]byte(nil), frame...)
+	select {
+	case c.send <- dup:
+		return nil
+	case <-c.closed:
+		return ErrClosed
+	}
+}
+
+func (c *inprocConn) Recv() ([]byte, error) {
+	select {
+	case f := <-c.recv:
+		return f, nil
+	case <-c.closed:
+		// Drain anything already queued before reporting closure so a
+		// graceful close does not drop delivered frames.
+		select {
+		case f := <-c.recv:
+			return f, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *inprocConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// tcp
+
+// TCP is the socket-backed Network. Frames are length-prefixed with a
+// uint32, matching the simple framing ElGA layers under its packets.
+type TCP struct{}
+
+// NewTCP returns the TCP network.
+func NewTCP() *TCP { return &TCP{} }
+
+// Name returns "tcp".
+func (t *TCP) Name() string { return "tcp" }
+
+// Listen binds a TCP address; "" means 127.0.0.1:0 (ephemeral).
+func (t *TCP) Listen(addr string) (Listener, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial connects to a TCP address.
+func (t *TCP) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Latency matters more than throughput for barrier votes.
+		_ = tc.SetNoDelay(true)
+	}
+	return &tcpConn{c: c}, nil
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return &tcpConn{c: c}, nil
+}
+
+func (l *tcpListener) Addr() string { return l.l.Addr().String() }
+func (l *tcpListener) Close() error { return l.l.Close() }
+
+// maxTCPFrame guards against corrupt length prefixes.
+const maxTCPFrame = 64 << 20
+
+type tcpConn struct {
+	c      net.Conn
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+	closed atomic.Bool
+}
+
+func (c *tcpConn) Send(frame []byte) error {
+	if len(frame) > maxTCPFrame {
+		return fmt.Errorf("transport: frame too large (%d bytes)", len(frame))
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.c.Write(frame)
+	return err
+}
+
+func (c *tcpConn) Recv() ([]byte, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.c, hdr[:]); err != nil {
+		if c.closed.Load() {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxTCPFrame {
+		return nil, fmt.Errorf("transport: oversized frame (%d bytes)", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(c.c, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func (c *tcpConn) Close() error {
+	c.closed.Store(true)
+	return c.c.Close()
+}

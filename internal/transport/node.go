@@ -1,0 +1,509 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"elga/internal/wire"
+)
+
+// DefaultRequestTimeout bounds blocking REQ/REP calls.
+const DefaultRequestTimeout = 30 * time.Second
+
+// peerQueueDepth is each outbound peer queue's capacity — the PUSH
+// pattern's buffer that lets entities "continue executing while the
+// transport finishes sending" (§3.5).
+const peerQueueDepth = 8192
+
+// Node is one Participant's communication endpoint: a listen address, an
+// inbox of inbound packets, per-peer outbound queues with dedicated writer
+// goroutines, request/reply correlation, and acknowledgement tracking.
+//
+// A Node is shared-nothing friendly: exactly one goroutine (the entity's
+// event loop) is expected to consume Inbox and issue sends, while the
+// node's internal goroutines only move bytes.
+type Node struct {
+	net      Network
+	listener Listener
+	inbox    chan *wire.Packet
+
+	mu       sync.Mutex
+	peers    map[string]*peer
+	pending  map[uint32]chan *wire.Packet
+	accepted map[Conn]struct{}
+	nextReq  uint32
+	closed   bool
+
+	ackMu       sync.Mutex
+	ackCond     *sync.Cond
+	outstanding map[uint32]struct{}
+	ackNotify   bool
+
+	wg sync.WaitGroup
+}
+
+type peer struct {
+	addr  string
+	queue chan []byte
+	done  chan struct{}
+}
+
+// NewNode listens on addr ("" auto-allocates) and starts the accept loop.
+// inboxDepth bounds the inbound packet queue; 0 selects a default.
+func NewNode(network Network, addr string, inboxDepth int) (*Node, error) {
+	if inboxDepth <= 0 {
+		inboxDepth = 16384
+	}
+	l, err := network.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		net:         network,
+		listener:    l,
+		inbox:       make(chan *wire.Packet, inboxDepth),
+		peers:       make(map[string]*peer),
+		pending:     make(map[uint32]chan *wire.Packet),
+		accepted:    make(map[Conn]struct{}),
+		outstanding: make(map[uint32]struct{}),
+	}
+	n.ackCond = sync.NewCond(&n.ackMu)
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the dialable listen address.
+func (n *Node) Addr() string { return n.listener.Addr() }
+
+// Inbox returns the inbound packet stream. Replies and acks are consumed
+// internally and never appear here.
+func (n *Node) Inbox() <-chan *wire.Packet { return n.inbox }
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			c.Close()
+			return
+		}
+		n.accepted[c] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(c)
+	}
+}
+
+func (n *Node) readLoop(c Conn) {
+	defer n.wg.Done()
+	defer func() {
+		c.Close()
+		n.mu.Lock()
+		delete(n.accepted, c)
+		n.mu.Unlock()
+	}()
+	for {
+		frame, err := c.Recv()
+		if err != nil {
+			return
+		}
+		pkt, err := wire.UnmarshalPacket(frame)
+		if err != nil {
+			continue // drop malformed frames, as a router would
+		}
+		n.dispatch(pkt)
+	}
+}
+
+func (n *Node) dispatch(pkt *wire.Packet) {
+	switch pkt.Type {
+	case wire.TAck:
+		n.ackMu.Lock()
+		if _, ok := n.outstanding[pkt.Req]; ok {
+			delete(n.outstanding, pkt.Req)
+			n.ackCond.Broadcast()
+		}
+		notify := n.ackNotify
+		n.ackMu.Unlock()
+		if !notify {
+			return
+		}
+		// Fall through: ack-notified entities also receive the TAck in
+		// their inbox for per-send bookkeeping.
+	default:
+	}
+	// Reply correlation: a packet carrying a pending request ID resolves
+	// that request instead of entering the inbox.
+	if pkt.Req != 0 {
+		n.mu.Lock()
+		ch, ok := n.pending[pkt.Req]
+		if ok {
+			delete(n.pending, pkt.Req)
+		}
+		n.mu.Unlock()
+		if ok {
+			ch <- pkt
+			return
+		}
+	}
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	n.inbox <- pkt
+}
+
+func (n *Node) getPeer(addr string) (*peer, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if p, ok := n.peers[addr]; ok {
+		return p, nil
+	}
+	p := &peer{addr: addr, queue: make(chan []byte, peerQueueDepth), done: make(chan struct{})}
+	n.peers[addr] = p
+	n.wg.Add(1)
+	go n.writeLoop(p)
+	return p, nil
+}
+
+func (n *Node) writeLoop(p *peer) {
+	defer n.wg.Done()
+	var c Conn
+	defer func() {
+		if c != nil {
+			c.Close()
+		}
+	}()
+	for {
+		select {
+		case frame := <-p.queue:
+			if c == nil {
+				var err error
+				// Brief redial loop: elastic churn means a peer may be
+				// observed before its listener is up.
+				for attempt := 0; ; attempt++ {
+					c, err = n.net.Dial(p.addr)
+					if err == nil {
+						break
+					}
+					if attempt >= 50 {
+						c = nil
+						break
+					}
+					select {
+					case <-p.done:
+						return
+					case <-time.After(time.Duration(attempt+1) * time.Millisecond):
+					}
+				}
+				if c == nil {
+					continue // drop; acked sends will surface the loss
+				}
+			}
+			if err := c.Send(frame); err != nil {
+				c.Close()
+				c = nil
+			}
+		case <-p.done:
+			// Drain remaining frames before exiting so graceful leave
+			// messages are not lost.
+			for {
+				select {
+				case frame := <-p.queue:
+					if c != nil {
+						if err := c.Send(frame); err != nil {
+							return
+						}
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (n *Node) enqueue(addr string, pkt *wire.Packet) error {
+	pkt.From = n.Addr()
+	frame, err := wire.MarshalPacket(pkt)
+	if err != nil {
+		return err
+	}
+	p, err := n.getPeer(addr)
+	if err != nil {
+		return err
+	}
+	select {
+	case p.queue <- frame:
+		return nil
+	case <-p.done:
+		return ErrClosed
+	}
+}
+
+// Send is the PUSH pattern: a non-blocking (buffered) one-way packet.
+func (n *Node) Send(addr string, typ wire.Type, payload []byte) error {
+	return n.enqueue(addr, &wire.Packet{Type: typ, Payload: payload})
+}
+
+// SetAckNotify controls whether TAck packets are delivered to the inbox
+// (in addition to internal Flush bookkeeping). Entities that track
+// per-send completion — agents with barrier gates — enable it so every
+// ack flows through their single event loop.
+func (n *Node) SetAckNotify(on bool) {
+	n.ackMu.Lock()
+	n.ackNotify = on
+	n.ackMu.Unlock()
+}
+
+// SendAckedReq is SendAcked returning the request ID so callers can
+// correlate the eventual TAck (visible with SetAckNotify) to this send.
+func (n *Node) SendAckedReq(addr string, typ wire.Type, payload []byte) (uint32, error) {
+	n.mu.Lock()
+	n.nextReq++
+	if n.nextReq == 0 {
+		n.nextReq = 1
+	}
+	req := n.nextReq
+	n.mu.Unlock()
+
+	n.ackMu.Lock()
+	n.outstanding[req] = struct{}{}
+	n.ackMu.Unlock()
+
+	err := n.enqueue(addr, &wire.Packet{Type: typ, Req: req, Payload: payload})
+	if err != nil {
+		n.ackMu.Lock()
+		delete(n.outstanding, req)
+		n.ackCond.Broadcast()
+		n.ackMu.Unlock()
+		return 0, err
+	}
+	return req, nil
+}
+
+// SendAcked is the acked-PUSH pattern ("a second PUSH is then sent in
+// return", §3.5): the packet carries a request ID the receiver must Ack
+// after *processing* it. Flush blocks until every outstanding ack arrives.
+func (n *Node) SendAcked(addr string, typ wire.Type, payload []byte) error {
+	n.mu.Lock()
+	n.nextReq++
+	if n.nextReq == 0 {
+		n.nextReq = 1
+	}
+	req := n.nextReq
+	n.mu.Unlock()
+
+	n.ackMu.Lock()
+	n.outstanding[req] = struct{}{}
+	n.ackMu.Unlock()
+
+	err := n.enqueue(addr, &wire.Packet{Type: typ, Req: req, Payload: payload})
+	if err != nil {
+		n.ackMu.Lock()
+		delete(n.outstanding, req)
+		n.ackCond.Broadcast()
+		n.ackMu.Unlock()
+	}
+	return err
+}
+
+// Ack acknowledges a processed packet back to its sender.
+func (n *Node) Ack(pkt *wire.Packet) {
+	if pkt.Req == 0 || pkt.From == "" {
+		return
+	}
+	_ = n.enqueue(pkt.From, &wire.Packet{Type: wire.TAck, Req: pkt.Req})
+}
+
+// OutstandingAcks returns the number of acked sends not yet confirmed.
+func (n *Node) OutstandingAcks() int {
+	n.ackMu.Lock()
+	defer n.ackMu.Unlock()
+	return len(n.outstanding)
+}
+
+// ErrFlushTimeout reports that acks did not arrive in time.
+var ErrFlushTimeout = errors.New("transport: flush timed out waiting for acks")
+
+// Flush blocks until all acked sends are confirmed or the timeout expires.
+// A zero timeout waits DefaultRequestTimeout.
+func (n *Node) Flush(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = DefaultRequestTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		n.ackMu.Lock()
+		n.ackCond.Broadcast()
+		n.ackMu.Unlock()
+	})
+	defer timer.Stop()
+	n.ackMu.Lock()
+	defer n.ackMu.Unlock()
+	for len(n.outstanding) > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w (%d pending)", ErrFlushTimeout, len(n.outstanding))
+		}
+		n.ackCond.Wait()
+	}
+	return nil
+}
+
+// Request is the REQ/REP pattern: send and block for the correlated reply.
+func (n *Node) Request(addr string, typ wire.Type, payload []byte, timeout time.Duration) (*wire.Packet, error) {
+	if timeout <= 0 {
+		timeout = DefaultRequestTimeout
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	n.nextReq++
+	if n.nextReq == 0 {
+		n.nextReq = 1
+	}
+	req := n.nextReq
+	ch := make(chan *wire.Packet, 1)
+	n.pending[req] = ch
+	n.mu.Unlock()
+
+	if err := n.enqueue(addr, &wire.Packet{Type: typ, Req: req, Payload: payload}); err != nil {
+		n.mu.Lock()
+		delete(n.pending, req)
+		n.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-time.After(timeout):
+		n.mu.Lock()
+		delete(n.pending, req)
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: request %s to %s timed out", typ, addr)
+	}
+}
+
+// Reply answers a request packet, echoing its request ID.
+func (n *Node) Reply(reqPkt *wire.Packet, typ wire.Type, payload []byte) error {
+	return n.enqueue(reqPkt.From, &wire.Packet{Type: typ, Req: reqPkt.Req, Payload: payload})
+}
+
+// Close stops the node. Outbound queues are drained best-effort.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	conns := make([]Conn, 0, len(n.accepted))
+	for c := range n.accepted {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+
+	n.listener.Close()
+	for _, p := range peers {
+		close(p.done)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	n.ackMu.Lock()
+	n.ackCond.Broadcast()
+	n.ackMu.Unlock()
+
+	// Drain the inbox so internal senders blocked on it can exit.
+	go func() {
+		for range n.inbox {
+		}
+	}()
+	n.wg.Wait()
+	close(n.inbox)
+}
+
+// Publisher implements the PUB/SUB pattern with publisher-side filtering
+// on the packet type — the 1-byte subscription filter of §3.5. It is used
+// by entities that own it (directories) from their single event loop but
+// is safe for concurrent use.
+type Publisher struct {
+	node *Node
+	mu   sync.Mutex
+	subs map[string]map[wire.Type]bool // addr -> subscribed types (nil = all)
+}
+
+// NewPublisher creates a publisher sending through node.
+func NewPublisher(node *Node) *Publisher {
+	return &Publisher{node: node, subs: make(map[string]map[wire.Type]bool)}
+}
+
+// Subscribe registers addr for the given types; empty types means all.
+func (p *Publisher) Subscribe(addr string, types ...wire.Type) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(types) == 0 {
+		p.subs[addr] = nil
+		return
+	}
+	set := p.subs[addr]
+	if set == nil {
+		set = make(map[wire.Type]bool)
+		p.subs[addr] = set
+	}
+	for _, t := range types {
+		set[t] = true
+	}
+}
+
+// Unsubscribe removes addr entirely.
+func (p *Publisher) Unsubscribe(addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.subs, addr)
+}
+
+// Subscribers returns the current subscriber addresses.
+func (p *Publisher) Subscribers() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.subs))
+	for a := range p.subs {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Publish sends the packet to every subscriber whose filter matches.
+func (p *Publisher) Publish(typ wire.Type, payload []byte) {
+	p.mu.Lock()
+	targets := make([]string, 0, len(p.subs))
+	for addr, set := range p.subs {
+		if set == nil || set[typ] {
+			targets = append(targets, addr)
+		}
+	}
+	p.mu.Unlock()
+	for _, addr := range targets {
+		_ = p.node.Send(addr, typ, payload)
+	}
+}

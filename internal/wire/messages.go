@@ -1,0 +1,617 @@
+package wire
+
+import (
+	"fmt"
+
+	"elga/internal/graph"
+)
+
+// capHint bounds slice preallocation from untrusted counts: corrupt or
+// malicious length prefixes must not force large allocations before the
+// payload proves it actually carries that many elements.
+func capHint(n int) int {
+	const max = 4096
+	if n > max {
+		return max
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Word is a raw 64-bit algorithm value. Vertex programs interpret it as a
+// float64 (PageRank) or an integer label (WCC/BFS); the wire layer never
+// needs to know which.
+type Word uint64
+
+// AgentInfo describes one agent in a directory view.
+type AgentInfo struct {
+	ID   uint64
+	Addr string
+}
+
+// View is the directory state every Participant tracks: the membership
+// epoch, the agent list, the serialized degree sketch, the batch clock and
+// the estimated global vertex count. Its broadcast size is O(P + d·w) as
+// the paper notes (§3.3).
+type View struct {
+	Epoch   uint64
+	BatchID uint64
+	N       uint64 // global vertex count estimate (for PageRank's 1/n term)
+	Agents  []AgentInfo
+	Sketch  []byte
+}
+
+// EncodeView serializes a view payload.
+func EncodeView(v *View) []byte {
+	var w Writer
+	w.U64(v.Epoch)
+	w.U64(v.BatchID)
+	w.U64(v.N)
+	w.U32(uint32(len(v.Agents)))
+	for _, a := range v.Agents {
+		w.U64(a.ID)
+		w.Str(a.Addr)
+	}
+	w.Blob(v.Sketch)
+	return w.Bytes()
+}
+
+// DecodeView parses a view payload.
+func DecodeView(data []byte) (*View, error) {
+	r := NewReader(data)
+	v := &View{Epoch: r.U64(), BatchID: r.U64(), N: r.U64()}
+	n := int(r.U32())
+	if r.Err() == nil && n >= 0 && n < 1<<22 {
+		v.Agents = make([]AgentInfo, 0, capHint(n))
+		for i := 0; i < n && r.Err() == nil; i++ {
+			v.Agents = append(v.Agents, AgentInfo{ID: r.U64(), Addr: r.Str()})
+		}
+	}
+	v.Sketch = append([]byte(nil), r.Blob()...)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode view: %w", err)
+	}
+	return v, nil
+}
+
+// EdgeChange is one routed copy of a stream change: the change itself plus
+// which direction this copy represents at the destination agent.
+type EdgeChange struct {
+	Action graph.Action
+	Src    graph.VertexID
+	Dst    graph.VertexID
+	Dir    graph.Dir
+}
+
+// VertexState carries one vertex's algorithm state during migration so a
+// new owner resumes exactly where the old owner stopped. Active preserves
+// the vertex's activation (it must be processed next superstep even
+// without mail — e.g. every PageRank vertex).
+type VertexState struct {
+	Vertex graph.VertexID
+	State  Word
+	Active bool
+}
+
+// EdgeBatch is the payload of TEdges.
+type EdgeBatch struct {
+	// Epoch is the sender's view epoch, used by the receiver to detect
+	// staleness.
+	Epoch uint64
+	// Migration marks copies handed over during rebalancing rather than
+	// fresh stream changes (they bypass the "buffer during batch" rule).
+	Migration bool
+	Changes   []EdgeChange
+	// States accompanies migrations: algorithm state of the vertices
+	// whose copies are moving.
+	States []VertexState
+}
+
+// EncodeEdgeBatch serializes an edge batch.
+func EncodeEdgeBatch(b *EdgeBatch) []byte {
+	var w Writer
+	w.U64(b.Epoch)
+	w.Bool(b.Migration)
+	w.U32(uint32(len(b.Changes)))
+	for _, c := range b.Changes {
+		w.U8(uint8(c.Action)<<1 | uint8(c.Dir))
+		w.U64(uint64(c.Src))
+		w.U64(uint64(c.Dst))
+	}
+	w.U32(uint32(len(b.States)))
+	for _, s := range b.States {
+		w.U64(uint64(s.Vertex))
+		w.U64(uint64(s.State))
+		w.Bool(s.Active)
+	}
+	return w.Bytes()
+}
+
+// DecodeEdgeBatch parses an edge batch.
+func DecodeEdgeBatch(data []byte) (*EdgeBatch, error) {
+	r := NewReader(data)
+	b := &EdgeBatch{Epoch: r.U64(), Migration: r.Bool()}
+	n := int(r.U32())
+	if r.Err() == nil && n < 1<<26 {
+		b.Changes = make([]EdgeChange, 0, capHint(n))
+		for i := 0; i < n && r.Err() == nil; i++ {
+			tag := r.U8()
+			b.Changes = append(b.Changes, EdgeChange{
+				Action: graph.Action(tag >> 1),
+				Dir:    graph.Dir(tag & 1),
+				Src:    graph.VertexID(r.U64()),
+				Dst:    graph.VertexID(r.U64()),
+			})
+		}
+	}
+	ns := int(r.U32())
+	if r.Err() == nil && ns < 1<<26 {
+		b.States = make([]VertexState, 0, capHint(ns))
+		for i := 0; i < ns && r.Err() == nil; i++ {
+			b.States = append(b.States, VertexState{
+				Vertex: graph.VertexID(r.U64()),
+				State:  Word(r.U64()),
+				Active: r.Bool(),
+			})
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode edge batch: %w", err)
+	}
+	return b, nil
+}
+
+// VertexMsg is one algorithm message: deliver Value to Target's copy of
+// the edge shared with Via. The receiving agent is EdgeOwner(Target, Via).
+type VertexMsg struct {
+	Target graph.VertexID
+	Via    graph.VertexID
+	Value  Word
+}
+
+// VertexMsgBatch is the payload of TVertexMsgs.
+type VertexMsgBatch struct {
+	// Step is the superstep the messages are *for* (consumed at Step).
+	Step uint32
+	// Async marks messages from the asynchronous engine (Step ignored).
+	Async bool
+	Msgs  []VertexMsg
+}
+
+// EncodeVertexMsgBatch serializes a vertex message batch.
+func EncodeVertexMsgBatch(b *VertexMsgBatch) []byte {
+	var w Writer
+	w.U32(b.Step)
+	w.Bool(b.Async)
+	w.U32(uint32(len(b.Msgs)))
+	for _, m := range b.Msgs {
+		w.U64(uint64(m.Target))
+		w.U64(uint64(m.Via))
+		w.U64(uint64(m.Value))
+	}
+	return w.Bytes()
+}
+
+// DecodeVertexMsgBatch parses a vertex message batch.
+func DecodeVertexMsgBatch(data []byte) (*VertexMsgBatch, error) {
+	r := NewReader(data)
+	b := &VertexMsgBatch{Step: r.U32(), Async: r.Bool()}
+	n := int(r.U32())
+	if r.Err() == nil && n < 1<<26 {
+		b.Msgs = make([]VertexMsg, 0, capHint(n))
+		for i := 0; i < n && r.Err() == nil; i++ {
+			b.Msgs = append(b.Msgs, VertexMsg{
+				Target: graph.VertexID(r.U64()),
+				Via:    graph.VertexID(r.U64()),
+				Value:  Word(r.U64()),
+			})
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode vertex msgs: %w", err)
+	}
+	return b, nil
+}
+
+// ReplicaPartial carries one split vertex's locally aggregated state from
+// a replica to the master (phase 1 → phase 2 of a superstep).
+type ReplicaPartial struct {
+	Step        uint32
+	Vertex      graph.VertexID
+	Agg         Word
+	HaveMsgs    bool
+	MsgCount    uint64
+	LocalOutDeg uint64
+}
+
+// EncodeReplicaPartial serializes a replica partial.
+func EncodeReplicaPartial(p *ReplicaPartial) []byte {
+	var w Writer
+	w.U32(p.Step)
+	w.U64(uint64(p.Vertex))
+	w.U64(uint64(p.Agg))
+	w.Bool(p.HaveMsgs)
+	w.U64(p.MsgCount)
+	w.U64(p.LocalOutDeg)
+	return w.Bytes()
+}
+
+// DecodeReplicaPartial parses a replica partial.
+func DecodeReplicaPartial(data []byte) (*ReplicaPartial, error) {
+	r := NewReader(data)
+	p := &ReplicaPartial{
+		Step:     r.U32(),
+		Vertex:   graph.VertexID(r.U64()),
+		Agg:      Word(r.U64()),
+		HaveMsgs: r.Bool(),
+	}
+	p.MsgCount = r.U64()
+	p.LocalOutDeg = r.U64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode replica partial: %w", err)
+	}
+	return p, nil
+}
+
+// ValueUpdate carries a split vertex's combined authoritative state from
+// the master back to the other replicas (phase 2).
+type ValueUpdate struct {
+	Step        uint32
+	Vertex      graph.VertexID
+	State       Word
+	TotalOutDeg uint64
+	// Scatter tells the replica to scatter along its local out-copies.
+	Scatter bool
+}
+
+// EncodeValueUpdate serializes a value update.
+func EncodeValueUpdate(u *ValueUpdate) []byte {
+	var w Writer
+	w.U32(u.Step)
+	w.U64(uint64(u.Vertex))
+	w.U64(uint64(u.State))
+	w.U64(u.TotalOutDeg)
+	w.Bool(u.Scatter)
+	return w.Bytes()
+}
+
+// DecodeValueUpdate parses a value update.
+func DecodeValueUpdate(data []byte) (*ValueUpdate, error) {
+	r := NewReader(data)
+	u := &ValueUpdate{
+		Step:   r.U32(),
+		Vertex: graph.VertexID(r.U64()),
+		State:  Word(r.U64()),
+	}
+	u.TotalOutDeg = r.U64()
+	u.Scatter = r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode value update: %w", err)
+	}
+	return u, nil
+}
+
+// ReplicaRegister tells a master that the sending agent holds copies of a
+// split vertex and must receive its ValueUpdates.
+type ReplicaRegister struct {
+	Vertex  graph.VertexID
+	AgentID uint64
+}
+
+// EncodeReplicaRegister serializes a replica registration.
+func EncodeReplicaRegister(rr *ReplicaRegister) []byte {
+	var w Writer
+	w.U64(uint64(rr.Vertex))
+	w.U64(rr.AgentID)
+	return w.Bytes()
+}
+
+// DecodeReplicaRegister parses a replica registration.
+func DecodeReplicaRegister(data []byte) (*ReplicaRegister, error) {
+	r := NewReader(data)
+	rr := &ReplicaRegister{Vertex: graph.VertexID(r.U64()), AgentID: r.U64()}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode replica register: %w", err)
+	}
+	return rr, nil
+}
+
+// Ready is an agent's barrier vote: it has finished the given phase of the
+// given superstep, all its sends are acked, and it reports the aggregate
+// statistics the directory folds into the advance decision.
+type Ready struct {
+	AgentID    uint64
+	Step       uint32
+	Phase      uint8
+	ActiveNext uint64
+	Residual   float64
+	SplitWork  bool
+	Masters    uint64 // local count of vertices this agent masters
+	Sent       uint64 // async: cumulative messages sent
+	Received   uint64 // async: cumulative messages received
+	Idle       bool   // async: no local work outstanding
+}
+
+// EncodeReady serializes a barrier vote.
+func EncodeReady(m *Ready) []byte {
+	var w Writer
+	w.U64(m.AgentID)
+	w.U32(m.Step)
+	w.U8(m.Phase)
+	w.U64(m.ActiveNext)
+	w.F64(m.Residual)
+	w.Bool(m.SplitWork)
+	w.U64(m.Masters)
+	w.U64(m.Sent)
+	w.U64(m.Received)
+	w.Bool(m.Idle)
+	return w.Bytes()
+}
+
+// DecodeReady parses a barrier vote.
+func DecodeReady(data []byte) (*Ready, error) {
+	r := NewReader(data)
+	m := &Ready{
+		AgentID: r.U64(), Step: r.U32(), Phase: r.U8(),
+		ActiveNext: r.U64(), Residual: r.F64(), SplitWork: r.Bool(),
+		Masters: r.U64(), Sent: r.U64(), Received: r.U64(), Idle: r.Bool(),
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode ready: %w", err)
+	}
+	return m, nil
+}
+
+// Advance is the directory's barrier release: enter (Step, Phase), or halt.
+type Advance struct {
+	Step  uint32
+	Phase uint8
+	Halt  bool
+	N     uint64 // refreshed global vertex count
+	RunID uint32
+}
+
+// EncodeAdvance serializes an advance broadcast.
+func EncodeAdvance(a *Advance) []byte {
+	var w Writer
+	w.U32(a.Step)
+	w.U8(a.Phase)
+	w.Bool(a.Halt)
+	w.U64(a.N)
+	w.U32(a.RunID)
+	return w.Bytes()
+}
+
+// DecodeAdvance parses an advance broadcast.
+func DecodeAdvance(data []byte) (*Advance, error) {
+	r := NewReader(data)
+	a := &Advance{Step: r.U32(), Phase: r.U8(), Halt: r.Bool(), N: r.U64(), RunID: r.U32()}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode advance: %w", err)
+	}
+	return a, nil
+}
+
+// AlgoStart announces an algorithm run to all agents.
+type AlgoStart struct {
+	RunID    uint32
+	Algo     string
+	Async    bool
+	MaxSteps uint32
+	Epsilon  float64
+	// FromScratch re-initializes all vertex state and activates every
+	// vertex; otherwise state persists and only the active set runs
+	// (the incremental/dynamic mode of §4.3).
+	FromScratch bool
+	// Source is the root for traversal algorithms (BFS/SSSP).
+	Source graph.VertexID
+	// Resume marks a mid-run re-announcement for agents that joined
+	// during an elastic event; they adopt the run without
+	// re-initializing state.
+	Resume bool
+}
+
+// EncodeAlgoStart serializes an algorithm start broadcast.
+func EncodeAlgoStart(s *AlgoStart) []byte {
+	var w Writer
+	w.U32(s.RunID)
+	w.Str(s.Algo)
+	w.Bool(s.Async)
+	w.U32(s.MaxSteps)
+	w.F64(s.Epsilon)
+	w.Bool(s.FromScratch)
+	w.U64(uint64(s.Source))
+	w.Bool(s.Resume)
+	return w.Bytes()
+}
+
+// DecodeAlgoStart parses an algorithm start broadcast.
+func DecodeAlgoStart(data []byte) (*AlgoStart, error) {
+	r := NewReader(data)
+	s := &AlgoStart{
+		RunID: r.U32(), Algo: r.Str(), Async: r.Bool(),
+		MaxSteps: r.U32(), Epsilon: r.F64(), FromScratch: r.Bool(),
+		Source: graph.VertexID(r.U64()),
+	}
+	s.Resume = r.Bool()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode algo start: %w", err)
+	}
+	return s, nil
+}
+
+// AlgoDone reports run completion.
+type AlgoDone struct {
+	RunID     uint32
+	Steps     uint32
+	Converged bool
+}
+
+// EncodeAlgoDone serializes a completion broadcast.
+func EncodeAlgoDone(d *AlgoDone) []byte {
+	var w Writer
+	w.U32(d.RunID)
+	w.U32(d.Steps)
+	w.Bool(d.Converged)
+	return w.Bytes()
+}
+
+// DecodeAlgoDone parses a completion broadcast.
+func DecodeAlgoDone(data []byte) (*AlgoDone, error) {
+	r := NewReader(data)
+	d := &AlgoDone{RunID: r.U32(), Steps: r.U32(), Converged: r.Bool()}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode algo done: %w", err)
+	}
+	return d, nil
+}
+
+// Query asks for the algorithm result of one vertex.
+type Query struct {
+	Vertex graph.VertexID
+}
+
+// EncodeQuery serializes a query.
+func EncodeQuery(q *Query) []byte {
+	var w Writer
+	w.U64(uint64(q.Vertex))
+	return w.Bytes()
+}
+
+// DecodeQuery parses a query.
+func DecodeQuery(data []byte) (*Query, error) {
+	r := NewReader(data)
+	q := &Query{Vertex: graph.VertexID(r.U64())}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode query: %w", err)
+	}
+	return q, nil
+}
+
+// QueryReply answers a query.
+type QueryReply struct {
+	Found bool
+	State Word
+	Step  uint32 // superstep of the returned state (staleness indicator)
+}
+
+// EncodeQueryReply serializes a query reply.
+func EncodeQueryReply(q *QueryReply) []byte {
+	var w Writer
+	w.Bool(q.Found)
+	w.U64(uint64(q.State))
+	w.U32(q.Step)
+	return w.Bytes()
+}
+
+// DecodeQueryReply parses a query reply.
+func DecodeQueryReply(data []byte) (*QueryReply, error) {
+	r := NewReader(data)
+	q := &QueryReply{Found: r.Bool(), State: Word(r.U64()), Step: r.U32()}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode query reply: %w", err)
+	}
+	return q, nil
+}
+
+// Metric is one autoscaler metric sample (§3.4.3).
+type Metric struct {
+	AgentID uint64
+	Name    string
+	Value   float64
+}
+
+// EncodeMetric serializes a metric sample.
+func EncodeMetric(m *Metric) []byte {
+	var w Writer
+	w.U64(m.AgentID)
+	w.Str(m.Name)
+	w.F64(m.Value)
+	return w.Bytes()
+}
+
+// DecodeMetric parses a metric sample.
+func DecodeMetric(data []byte) (*Metric, error) {
+	r := NewReader(data)
+	m := &Metric{AgentID: r.U64(), Name: r.Str(), Value: r.F64()}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode metric: %w", err)
+	}
+	return m, nil
+}
+
+// Join is an agent's registration request.
+type Join struct {
+	Addr string
+}
+
+// EncodeJoin serializes a join request.
+func EncodeJoin(j *Join) []byte {
+	var w Writer
+	w.Str(j.Addr)
+	return w.Bytes()
+}
+
+// DecodeJoin parses a join request.
+func DecodeJoin(data []byte) (*Join, error) {
+	r := NewReader(data)
+	j := &Join{Addr: r.Str()}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode join: %w", err)
+	}
+	return j, nil
+}
+
+// JoinReply carries the allocated agent ID; the view follows by broadcast.
+type JoinReply struct {
+	AgentID uint64
+	View    *View
+}
+
+// EncodeJoinReply serializes a join reply.
+func EncodeJoinReply(j *JoinReply) []byte {
+	var w Writer
+	w.U64(j.AgentID)
+	w.Blob(EncodeView(j.View))
+	return w.Bytes()
+}
+
+// DecodeJoinReply parses a join reply.
+func DecodeJoinReply(data []byte) (*JoinReply, error) {
+	r := NewReader(data)
+	j := &JoinReply{AgentID: r.U64()}
+	vb := r.Blob()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode join reply: %w", err)
+	}
+	v, err := DecodeView(vb)
+	if err != nil {
+		return nil, err
+	}
+	j.View = v
+	return j, nil
+}
+
+// Leave announces a graceful departure.
+type Leave struct {
+	AgentID uint64
+}
+
+// EncodeLeave serializes a leave announcement.
+func EncodeLeave(l *Leave) []byte {
+	var w Writer
+	w.U64(l.AgentID)
+	return w.Bytes()
+}
+
+// DecodeLeave parses a leave announcement.
+func DecodeLeave(data []byte) (*Leave, error) {
+	r := NewReader(data)
+	l := &Leave{AgentID: r.U64()}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode leave: %w", err)
+	}
+	return l, nil
+}
