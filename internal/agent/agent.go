@@ -142,6 +142,12 @@ type Agent struct {
 	// ordered relative to each other); they replay at TAlgoStart.
 	deferred []*wire.Packet
 
+	// Scratch decode targets for the data-plane batch types: handlers
+	// decode into these, reusing slice capacity across packets. Safe
+	// because the single-threaded event loop never nests batch handlers.
+	scratchVMB wire.VertexMsgBatch
+	scratchEB  wire.EdgeBatch
+
 	migratedEpoch uint64 // last epoch whose migration round we voted in
 	leaving       bool
 	readyToExit   bool
@@ -185,30 +191,44 @@ func Start(opts Options) (*Agent, error) {
 		reqToGroups: make(map[uint32][]*ackGroup),
 		done:        make(chan struct{}),
 	}
-	reply, err := node.Request(opts.MasterAddr, wire.TGetDirectory, nil, opts.Config.RequestTimeout)
-	if err != nil {
-		node.Close()
-		return nil, fmt.Errorf("agent: bootstrap: %w", err)
-	}
-	dirs, err := wire.DecodeStringList(reply.Payload)
-	if err != nil || len(dirs) == 0 {
-		node.Close()
-		return nil, fmt.Errorf("agent: no directories available")
+	// Directories register with the master concurrently with agent
+	// startup, so an empty list is retried until the deadline rather
+	// than treated as fatal.
+	var dirs []string
+	deadline := time.Now().Add(opts.Config.RequestTimeout)
+	for {
+		reply, err := node.Request(opts.MasterAddr, wire.TGetDirectory, nil, opts.Config.RequestTimeout)
+		if err != nil {
+			node.Close()
+			return nil, fmt.Errorf("agent: bootstrap: %w", err)
+		}
+		dirs, err = wire.DecodeStringList(reply.Payload)
+		wire.ReleasePacket(reply)
+		if err == nil && len(dirs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			node.Close()
+			return nil, fmt.Errorf("agent: no directories available")
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 	a.coordAddr = dirs[0]
 	a.dirAddr = dirs[opts.DirIndex%len(dirs)]
 	// Subscribe before joining so the join's view broadcast is not missed.
-	if err := node.Send(a.dirAddr, wire.TSubscribe, wire.SubscribeTypes()); err != nil {
+	if err := node.SendFrame(a.dirAddr, node.NewFrame(wire.TSubscribe)); err != nil {
 		node.Close()
 		return nil, err
 	}
-	jr, err := node.Request(a.coordAddr, wire.TJoin,
-		wire.EncodeJoin(&wire.Join{Addr: node.Addr()}), opts.Config.RequestTimeout)
+	jr, err := node.RequestFrame(a.coordAddr,
+		wire.AppendJoin(node.NewFrame(wire.TJoin), &wire.Join{Addr: node.Addr()}),
+		opts.Config.RequestTimeout)
 	if err != nil {
 		node.Close()
 		return nil, fmt.Errorf("agent: join: %w", err)
 	}
 	join, err := wire.DecodeJoinReply(jr.Payload)
+	wire.ReleasePacket(jr)
 	if err != nil {
 		node.Close()
 		return nil, fmt.Errorf("agent: join reply: %w", err)
@@ -231,7 +251,8 @@ func (a *Agent) Done() <-chan struct{} { return a.done }
 // Leave announces a graceful departure: the agent stays alive to migrate
 // its edges away and exits once the directory confirms the rebalance.
 func (a *Agent) Leave() error {
-	return a.node.Send(a.coordAddr, wire.TLeave, wire.EncodeLeave(&wire.Leave{AgentID: a.id}))
+	return a.node.SendFrame(a.coordAddr,
+		wire.AppendLeave(a.node.NewFrame(wire.TLeave), &wire.Leave{AgentID: a.id}))
 }
 
 // Close terminates the agent immediately (non-graceful).
@@ -248,20 +269,26 @@ func (a *Agent) runLoop(initial *wire.View) {
 		a.handleView(initial)
 	}
 	for pkt := range a.node.Inbox() {
-		a.handlePacket(pkt)
+		retained := a.handlePacket(pkt)
 		a.copyCount.Store(int64(a.store.NumEdgeCopies()))
 		a.vertexCount.Store(int64(a.store.NumVertices()))
+		if !retained {
+			wire.ReleasePacket(pkt)
+		}
 		if a.leaving && a.readyToExit {
 			break
 		}
 	}
-	_ = a.node.Send(a.dirAddr, wire.TUnsubscribe, nil)
+	_ = a.node.SendFrame(a.dirAddr, a.node.NewFrame(wire.TUnsubscribe))
 	if a.stopped.CompareAndSwap(false, true) {
 		a.node.Close()
 	}
 }
 
-func (a *Agent) handlePacket(pkt *wire.Packet) {
+// handlePacket processes one inbound packet. It reports whether ownership
+// of pkt was retained (deferred for replay, or parked as a deferred-ack
+// origin); the caller releases non-retained packets back to the pool.
+func (a *Agent) handlePacket(pkt *wire.Packet) bool {
 	switch pkt.Type {
 	case wire.TAck:
 		a.onAck(pkt.Req)
@@ -270,13 +297,13 @@ func (a *Agent) handlePacket(pkt *wire.Packet) {
 			a.handleView(v)
 		}
 	case wire.TEdges:
-		a.handleEdges(pkt)
+		return a.handleEdges(pkt)
 	case wire.TVertexMsgs:
-		a.handleVertexMsgs(pkt)
+		return a.handleVertexMsgs(pkt)
 	case wire.TReplicaPartial:
-		a.handlePartial(pkt)
+		return a.handlePartial(pkt)
 	case wire.TValueUpdate:
-		a.handleValueUpdate(pkt)
+		return a.handleValueUpdate(pkt)
 	case wire.TReplicaRegister:
 		a.handleRegister(pkt)
 	case wire.TAlgoStart:
@@ -292,9 +319,10 @@ func (a *Agent) handlePacket(pkt *wire.Packet) {
 	case wire.TQuery:
 		a.handleQuery(pkt)
 	case wire.TPing:
-		_ = a.node.Reply(pkt, wire.TPong, nil)
+		_ = a.node.ReplyFrame(pkt, a.node.NewFrame(wire.TPong))
 	default:
 	}
+	return false
 }
 
 // onAck resolves one acknowledged send against its groups.
@@ -311,6 +339,8 @@ func (a *Agent) onAck(req uint32) {
 		}
 		if g.origin != nil {
 			a.node.Ack(g.origin)
+			wire.ReleasePacket(g.origin)
+			g.origin = nil
 			continue
 		}
 		// Drained vote gates fire their deferred barrier votes.
@@ -329,9 +359,11 @@ func (a *Agent) onAck(req uint32) {
 	}
 }
 
-// sendGated performs an acked send whose completion feeds the groups.
-func (a *Agent) sendGated(addr string, typ wire.Type, payload []byte, groups ...*ackGroup) {
-	req, err := a.node.SendAckedReq(addr, typ, payload)
+// sendGatedFrame performs an acked frame send whose completion feeds the
+// groups. The frame must come from node.NewFrame with the payload
+// appended in place (wire.AppendX); ownership transfers to the transport.
+func (a *Agent) sendGatedFrame(addr string, frame []byte, groups ...*ackGroup) {
+	req, err := a.node.SendFrameAckedReq(addr, frame)
 	if err != nil {
 		// The send failed locally; treat as immediately acknowledged so
 		// gates cannot wedge (the transport already reported the loss).
@@ -341,6 +373,12 @@ func (a *Agent) sendGated(addr string, typ wire.Type, payload []byte, groups ...
 		g.pending++
 	}
 	a.reqToGroups[req] = groups
+}
+
+// sendGated is sendGatedFrame for callers holding an opaque payload slice
+// (raw forwards, sketch bytes); the payload is copied into a pooled frame.
+func (a *Agent) sendGated(addr string, typ wire.Type, payload []byte, groups ...*ackGroup) {
+	a.sendGatedFrame(addr, append(a.node.NewFrameHint(typ, len(payload)), payload...), groups...)
 }
 
 // valueOf returns v's algorithm state, lazily initializing through the
@@ -388,7 +426,7 @@ func (a *Agent) sendReady(step uint32, phase uint8, masters uint64) {
 		r.Residual = a.run.residual
 		r.SplitWork = a.run.splitWork
 	}
-	_ = a.node.Send(a.coordAddr, wire.TReady, wire.EncodeReady(r))
+	_ = a.node.SendFrame(a.coordAddr, wire.AppendReady(a.node.NewFrame(wire.TReady), r))
 }
 
 // maybeReady fires the barrier vote once local processing is complete and
@@ -413,7 +451,7 @@ func (a *Agent) maybeReady() {
 
 // sendMetric pushes one autoscaler sample to the coordinator.
 func (a *Agent) sendMetric(name string, value float64) {
-	_ = a.node.Send(a.coordAddr, wire.TMetric, wire.EncodeMetric(&wire.Metric{
+	_ = a.node.SendFrame(a.coordAddr, wire.AppendMetric(a.node.NewFrame(wire.TMetric), &wire.Metric{
 		AgentID: a.id, Name: name, Value: value,
 	}))
 }
@@ -423,6 +461,10 @@ func (a *Agent) sendMetric(name string, value float64) {
 func (a *Agent) Stats() (forwarded, applied, queries uint64) {
 	return atomic.LoadUint64(&a.statForwarded), atomic.LoadUint64(&a.statApplied), atomic.LoadUint64(&a.statQueries)
 }
+
+// TransportStats returns the agent node's transport counters (frame
+// volumes, malformed drops, enqueue stalls, write coalescing).
+func (a *Agent) TransportStats() transport.Stats { return a.node.Stats() }
 
 // EdgeCopies returns the stored copy count as of the last processed
 // packet — the agent's memory-relevant load (Figures 5b, 6, 16a).

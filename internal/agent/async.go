@@ -193,8 +193,9 @@ func (b *asyncBatcher) flush() {
 			continue
 		}
 		a.run.asyncSent += uint64(len(msgs))
-		_ = a.node.Send(addr, wire.TVertexMsgs,
-			wire.EncodeVertexMsgBatch(&wire.VertexMsgBatch{Async: true, Msgs: msgs}))
+		_ = a.node.SendFrame(addr, wire.AppendVertexMsgBatch(
+			a.node.NewFrameHint(wire.TVertexMsgs, 16+24*len(msgs)),
+			&wire.VertexMsgBatch{Async: true, Msgs: msgs}))
 	}
 	b.byDst = make(map[consistent.AgentID][]wire.VertexMsg)
 }
@@ -207,7 +208,7 @@ func (a *Agent) handleAsyncProbe(adv *wire.Advance) {
 	if r == nil || !r.spec.Async || adv.RunID != r.id {
 		return
 	}
-	_ = a.node.Send(a.coordAddr, wire.TReady, wire.EncodeReady(&wire.Ready{
+	_ = a.node.SendFrame(a.coordAddr, wire.AppendReady(a.node.NewFrame(wire.TReady), &wire.Ready{
 		AgentID:  a.id,
 		Step:     adv.Step,
 		Phase:    wire.PhaseAsyncProbe,

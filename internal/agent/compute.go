@@ -197,7 +197,9 @@ func (a *Agent) processCompute() {
 			if master == self {
 				a.stashPartial(r.step, v, algorithm.Word(p.Agg), p.MsgCount, p.HaveMsgs, p.LocalOutDeg)
 			} else if addr, ok := a.router.AddrOf(master); ok {
-				a.sendGated(addr, wire.TReplicaPartial, wire.EncodeReplicaPartial(p), a.phaseGate)
+				a.sendGatedFrame(addr,
+					wire.AppendReplicaPartial(a.node.NewFrame(wire.TReplicaPartial), p),
+					a.phaseGate)
 			}
 			continue
 		}
@@ -236,10 +238,11 @@ func (a *Agent) processCombine() {
 			// a fresh partial to the new master.
 			if m2, ok2 := a.router.Master(v); ok2 {
 				if addr, ok3 := a.router.AddrOf(m2); ok3 {
-					a.sendGated(addr, wire.TReplicaPartial, wire.EncodeReplicaPartial(&wire.ReplicaPartial{
-						Step: r.step, Vertex: v, Agg: wire.Word(p.agg),
-						HaveMsgs: p.have, MsgCount: p.n, LocalOutDeg: p.outDeg,
-					}), a.phaseGate)
+					a.sendGatedFrame(addr, wire.AppendReplicaPartial(
+						a.node.NewFrame(wire.TReplicaPartial), &wire.ReplicaPartial{
+							Step: r.step, Vertex: v, Agg: wire.Word(p.agg),
+							HaveMsgs: p.have, MsgCount: p.n, LocalOutDeg: p.outDeg,
+						}), a.phaseGate)
 				}
 			}
 			continue
@@ -261,17 +264,21 @@ func (a *Agent) processCombine() {
 		batches.flush(a.phaseGate)
 		// ...and ships the authoritative state to the other replicas,
 		// which scatter their own copies (§3.4: "updates that are sent
-		// to their replicas").
-		vu := wire.EncodeValueUpdate(&wire.ValueUpdate{
+		// to their replicas"). Each replica gets its own pooled frame;
+		// the update itself is re-appended per target (cheaper than a
+		// shared payload copy).
+		vu := &wire.ValueUpdate{
 			Step: r.step, Vertex: v, State: wire.Word(nw),
 			TotalOutDeg: p.outDeg, Scatter: true,
-		})
+		}
 		for _, rep := range a.router.ReplicaSet(v) {
 			if rep == self {
 				continue
 			}
 			if addr, ok := a.router.AddrOf(rep); ok {
-				a.sendGated(addr, wire.TValueUpdate, vu, a.phaseGate)
+				a.sendGatedFrame(addr,
+					wire.AppendValueUpdate(a.node.NewFrame(wire.TValueUpdate), vu),
+					a.phaseGate)
 			}
 		}
 	}
@@ -315,7 +322,9 @@ func (a *Agent) replayDeferred() {
 	pkts := a.deferred
 	a.deferred = nil
 	for _, pkt := range pkts {
-		a.handlePacket(pkt)
+		if !a.handlePacket(pkt) {
+			wire.ReleasePacket(pkt)
+		}
 	}
 }
 
@@ -330,15 +339,16 @@ func (a *Agent) deferUntilRun(pkt *wire.Packet) bool {
 	return true
 }
 
-// handlePartial stores (or forwards) a replica partial.
-func (a *Agent) handlePartial(pkt *wire.Packet) {
+// handlePartial stores (or forwards) a replica partial. It reports whether
+// it retained ownership of pkt (deferred, or parked as an ack origin).
+func (a *Agent) handlePartial(pkt *wire.Packet) bool {
 	if a.deferUntilRun(pkt) {
-		return
+		return true
 	}
 	p, err := wire.DecodeReplicaPartial(pkt.Payload)
 	if err != nil {
 		a.node.Ack(pkt)
-		return
+		return false
 	}
 	self := consistent.AgentID(a.id)
 	master, ok := a.router.Master(p.Vertex)
@@ -350,7 +360,7 @@ func (a *Agent) handlePartial(pkt *wire.Packet) {
 			g := &ackGroup{origin: pkt}
 			a.sendGated(addr, wire.TReplicaPartial, pkt.Payload, g)
 			a.sealGroup(g)
-			return
+			return true
 		}
 	}
 	a.stashPartial(p.Step, p.Vertex, algorithm.Word(p.Agg), p.MsgCount, p.HaveMsgs, p.LocalOutDeg)
@@ -358,25 +368,26 @@ func (a *Agent) handlePartial(pkt *wire.Packet) {
 	// still owns its combination duties.
 	a.store.Pin(p.Vertex)
 	a.node.Ack(pkt)
+	return false
 }
 
 // handleValueUpdate installs a master's combined state and scatters the
 // local out-copies; the ack is deferred until those scatters are acked so
 // the master's phase gate transitively covers them.
-func (a *Agent) handleValueUpdate(pkt *wire.Packet) {
+func (a *Agent) handleValueUpdate(pkt *wire.Packet) bool {
 	if a.deferUntilRun(pkt) {
-		return
+		return true
 	}
 	vu, err := wire.DecodeValueUpdate(pkt.Payload)
 	if err != nil {
 		a.node.Ack(pkt)
-		return
+		return false
 	}
 	a.values[vu.Vertex] = algorithm.Word(vu.State)
 	a.totalOutDeg[vu.Vertex] = vu.TotalOutDeg
 	if !vu.Scatter || a.run == nil {
 		a.node.Ack(pkt)
-		return
+		return false
 	}
 	r := a.run
 	g := &ackGroup{origin: pkt}
@@ -385,6 +396,7 @@ func (a *Agent) handleValueUpdate(pkt *wire.Packet) {
 	a.scatter(batches, vu.Vertex, mv)
 	batches.flush(g)
 	a.sealGroup(g)
+	return true
 }
 
 // handleRegister pins a split vertex at its master.
@@ -396,10 +408,13 @@ func (a *Agent) handleRegister(pkt *wire.Packet) {
 	a.node.Ack(pkt)
 }
 
-// sealGroup fires a deferred-ack group that ended up with no members.
+// sealGroup fires a deferred-ack group that ended up with no members,
+// releasing the origin packet it owned.
 func (a *Agent) sealGroup(g *ackGroup) {
 	if g.pending == 0 && g.origin != nil {
 		a.node.Ack(g.origin)
+		wire.ReleasePacket(g.origin)
+		g.origin = nil
 	}
 }
 
@@ -430,9 +445,14 @@ func (b *msgBatcher) add(dst consistent.AgentID, m wire.VertexMsg) {
 }
 
 func (b *msgBatcher) flush(groups ...*ackGroup) {
+	a := b.agent
 	for addr, msgs := range b.byDst {
-		payload := wire.EncodeVertexMsgBatch(&wire.VertexMsgBatch{Step: b.step, Msgs: msgs})
-		b.agent.sendGated(addr, wire.TVertexMsgs, payload, groups...)
+		// Single-copy send: the batch is appended straight into a pooled
+		// frame that the transport recycles after the wire write.
+		frame := wire.AppendVertexMsgBatch(
+			a.node.NewFrameHint(wire.TVertexMsgs, 16+24*len(msgs)),
+			&wire.VertexMsgBatch{Step: b.step, Msgs: msgs})
+		a.sendGatedFrame(addr, frame, groups...)
 	}
 	b.byDst = make(map[string][]wire.VertexMsg)
 }
@@ -498,11 +518,14 @@ func (a *Agent) deliverLocal(step uint32, v graph.VertexID, val algorithm.Word) 
 // handleVertexMsgs accepts a message batch: messages this agent can serve
 // (it is a replica of the target) are aggregated; the rest are forwarded
 // with deferred acknowledgement.
-func (a *Agent) handleVertexMsgs(pkt *wire.Packet) {
-	batch, err := wire.DecodeVertexMsgBatch(pkt.Payload)
-	if err != nil {
+func (a *Agent) handleVertexMsgs(pkt *wire.Packet) bool {
+	// Decode into the agent's scratch batch: slice capacity is reused
+	// across packets, and nothing below retains batch.Msgs (messages are
+	// copied into mailboxes, forwards, or frames before returning).
+	batch := &a.scratchVMB
+	if err := wire.DecodeVertexMsgBatchInto(batch, pkt.Payload); err != nil {
 		a.node.Ack(pkt)
-		return
+		return false
 	}
 	if batch.Async {
 		// Async batches process immediately (no superstep). Batches
@@ -510,10 +533,10 @@ func (a *Agent) handleVertexMsgs(pkt *wire.Packet) {
 		// quiescence counters stay balanced.
 		if a.run == nil {
 			a.deferred = append(a.deferred, pkt)
-			return
+			return true
 		}
 		a.handleAsyncMsgs(batch)
-		return
+		return false
 	}
 	g := &ackGroup{origin: pkt}
 	var forwards map[consistent.AgentID][]wire.VertexMsg
@@ -537,11 +560,13 @@ func (a *Agent) handleVertexMsgs(pkt *wire.Packet) {
 	for dst, msgs := range forwards {
 		if addr, ok := a.router.AddrOf(dst); ok {
 			atomic.AddUint64(&a.statForwarded, uint64(len(msgs)))
-			a.sendGated(addr, wire.TVertexMsgs,
-				wire.EncodeVertexMsgBatch(&wire.VertexMsgBatch{Step: batch.Step, Msgs: msgs}), g)
+			a.sendGatedFrame(addr, wire.AppendVertexMsgBatch(
+				a.node.NewFrameHint(wire.TVertexMsgs, 16+24*len(msgs)),
+				&wire.VertexMsgBatch{Step: batch.Step, Msgs: msgs}), g)
 		}
 	}
 	a.sealGroup(g)
+	return true
 }
 
 // isReplicaOf reports whether this agent is in the target's replica set.
@@ -573,5 +598,5 @@ func (a *Agent) handleQuery(pkt *wire.Packet) {
 	if a.run != nil {
 		rep.Step = a.run.step
 	}
-	_ = a.node.Reply(pkt, wire.TQueryReply, wire.EncodeQueryReply(rep))
+	_ = a.node.ReplyFrame(pkt, wire.AppendQueryReply(a.node.NewFrame(wire.TQueryReply), rep))
 }

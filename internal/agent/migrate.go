@@ -101,9 +101,11 @@ func (a *Agent) migrate(epochLow uint32) {
 		for _, st := range s.states {
 			states = append(states, st)
 		}
-		a.sendGated(addr, wire.TEdges, wire.EncodeEdgeBatch(&wire.EdgeBatch{
-			Epoch: a.router.Epoch(), Migration: true, Changes: s.changes, States: states,
-		}), gate)
+		a.sendGatedFrame(addr, wire.AppendEdgeBatch(
+			a.node.NewFrameHint(wire.TEdges, 32+32*len(s.changes)+24*len(states)),
+			&wire.EdgeBatch{
+				Epoch: a.router.Epoch(), Migration: true, Changes: s.changes, States: states,
+			}), gate)
 	}
 
 	// Re-route pending mailbox contributions for every vertex this agent
@@ -189,21 +191,25 @@ func (a *Agent) refreshRegistrations(gate *ackGroup) {
 		}
 		if addr, ok2 := a.router.AddrOf(master); ok2 {
 			a.registered[v] = true
-			a.sendGated(addr, wire.TReplicaRegister, wire.EncodeReplicaRegister(&wire.ReplicaRegister{
-				Vertex: v, AgentID: a.id,
-			}), gate)
+			a.sendGatedFrame(addr, wire.AppendReplicaRegister(
+				a.node.NewFrame(wire.TReplicaRegister), &wire.ReplicaRegister{
+					Vertex: v, AgentID: a.id,
+				}), gate)
 		}
 		return true
 	})
 }
 
 // handleEdges processes an edge batch: migrations apply immediately;
-// stream changes apply when idle and buffer during a run.
-func (a *Agent) handleEdges(pkt *wire.Packet) {
-	batch, err := wire.DecodeEdgeBatch(pkt.Payload)
-	if err != nil {
+// stream changes apply when idle and buffer during a run. It reports
+// whether pkt was retained (as a deferred-ack origin).
+func (a *Agent) handleEdges(pkt *wire.Packet) bool {
+	// Scratch decode: applyChanges and the buffer path copy every change
+	// out before the next packet reuses the batch.
+	batch := &a.scratchEB
+	if err := wire.DecodeEdgeBatchInto(batch, pkt.Payload); err != nil {
 		a.node.Ack(pkt)
-		return
+		return false
 	}
 	if batch.Migration {
 		states := make(map[graph.VertexID]wire.VertexState, len(batch.States))
@@ -213,17 +219,18 @@ func (a *Agent) handleEdges(pkt *wire.Packet) {
 		g := &ackGroup{origin: pkt}
 		a.applyChanges(batch.Changes, true, g, states)
 		a.sealGroup(g)
-		return
+		return true
 	}
 	if a.run != nil {
 		// Batch running: buffer (§3.4). The ack means "durably held".
 		a.buffered = append(a.buffered, batch.Changes...)
 		a.node.Ack(pkt)
-		return
+		return false
 	}
 	g := &ackGroup{origin: pkt}
 	a.applyChanges(batch.Changes, false, g, nil)
 	a.sealGroup(g)
+	return true
 }
 
 // keyedVertex returns the vertex a copy is stored under.
@@ -306,10 +313,12 @@ func (a *Agent) applyChanges(changes []wire.EdgeChange, migration bool, g *ackGr
 			for _, st := range s.states {
 				stList = append(stList, st)
 			}
-			a.sendGated(addr, wire.TEdges, wire.EncodeEdgeBatch(&wire.EdgeBatch{
-				Epoch: a.router.Epoch(), Migration: migration,
-				Changes: s.changes, States: stList,
-			}), g)
+			a.sendGatedFrame(addr, wire.AppendEdgeBatch(
+				a.node.NewFrameHint(wire.TEdges, 32+32*len(s.changes)+24*len(stList)),
+				&wire.EdgeBatch{
+					Epoch: a.router.Epoch(), Migration: migration,
+					Changes: s.changes, States: stList,
+				}), g)
 		}
 	}
 }

@@ -52,13 +52,15 @@ func Start(opts Options) (*Client, error) {
 		return nil, fmt.Errorf("client: bootstrap: %w", err)
 	}
 	dirs, err := wire.DecodeStringList(reply.Payload)
+	wire.ReleasePacket(reply)
 	if err != nil || len(dirs) == 0 {
 		node.Close()
 		return nil, fmt.Errorf("client: no directories")
 	}
 	c.coordAddr = dirs[0]
 	c.dirAddr = dirs[len(dirs)-1]
-	if err := node.Send(c.dirAddr, wire.TSubscribe, wire.SubscribeTypes(wire.TDirUpdate)); err != nil {
+	if err := node.SendFrame(c.dirAddr, wire.AppendSubscribeTypes(
+		node.NewFrame(wire.TSubscribe), wire.TDirUpdate)); err != nil {
 		node.Close()
 		return nil, err
 	}
@@ -67,7 +69,7 @@ func Start(opts Options) (*Client, error) {
 
 // Close unsubscribes from directory broadcasts and releases the client.
 func (c *Client) Close() {
-	_ = c.node.Send(c.dirAddr, wire.TUnsubscribe, nil)
+	_ = c.node.SendFrame(c.dirAddr, c.node.NewFrame(wire.TUnsubscribe))
 	c.node.Close()
 }
 
@@ -85,6 +87,7 @@ func (c *Client) drainViews(block bool) error {
 				}
 				block = false
 			}
+			wire.ReleasePacket(pkt)
 		default:
 			if !block {
 				return nil
@@ -138,7 +141,7 @@ func (c *Client) Run(spec RunSpec) (*wire.RunStats, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Minute
 	}
-	payload := wire.EncodeAlgoStart(&wire.AlgoStart{
+	frame := wire.AppendAlgoStart(c.node.NewFrame(wire.TRunAlgo), &wire.AlgoStart{
 		Algo:        spec.Algo,
 		Async:       spec.Async,
 		MaxSteps:    spec.MaxSteps,
@@ -146,18 +149,24 @@ func (c *Client) Run(spec RunSpec) (*wire.RunStats, error) {
 		FromScratch: spec.FromScratch,
 		Source:      spec.Source,
 	})
-	reply, err := c.node.Request(c.coordAddr, wire.TRunAlgo, payload, timeout)
+	reply, err := c.node.RequestFrame(c.coordAddr, frame, timeout)
 	if err != nil {
 		return nil, err
 	}
-	return wire.DecodeRunStats(reply.Payload)
+	stats, err := wire.DecodeRunStats(reply.Payload)
+	wire.ReleasePacket(reply)
+	return stats, err
 }
 
 // Seal asks the directory system to reach a batch boundary: all buffered
 // changes applied, sketch deltas merged, and any resulting rebalance
 // completed. It blocks until the cluster is quiescent.
 func (c *Client) Seal() error {
-	_, err := c.node.Request(c.coordAddr, wire.TIngest, nil, c.opts.Config.RequestTimeout)
+	reply, err := c.node.RequestFrame(c.coordAddr,
+		c.node.NewFrame(wire.TIngest), c.opts.Config.RequestTimeout)
+	if reply != nil {
+		wire.ReleasePacket(reply)
+	}
 	return err
 }
 
@@ -175,12 +184,14 @@ func (c *Client) Query(v graph.VertexID) (algorithm.Word, bool, error) {
 	if !ok {
 		return 0, false, fmt.Errorf("client: unknown agent %d", agentID)
 	}
-	reply, err := c.node.Request(addr, wire.TQuery,
-		wire.EncodeQuery(&wire.Query{Vertex: v}), c.opts.Config.RequestTimeout)
+	reply, err := c.node.RequestFrame(addr,
+		wire.AppendQuery(c.node.NewFrame(wire.TQuery), &wire.Query{Vertex: v}),
+		c.opts.Config.RequestTimeout)
 	if err != nil {
 		return 0, false, err
 	}
 	qr, err := wire.DecodeQueryReply(reply.Payload)
+	wire.ReleasePacket(reply)
 	if err != nil {
 		return 0, false, err
 	}

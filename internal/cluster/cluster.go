@@ -243,6 +243,23 @@ func (c *Cluster) QueryWord(v graph.VertexID) (uint64, bool, error) {
 	return uint64(w), found, err
 }
 
+// TransportStats sums the transport counters across all live agents — a
+// cluster-wide picture of message-pipeline health (frame volumes,
+// malformed drops, enqueue stalls, and write coalescing efficiency).
+func (c *Cluster) TransportStats() transport.Stats {
+	var t transport.Stats
+	for _, a := range c.agents {
+		s := a.TransportStats()
+		t.FramesIn += s.FramesIn
+		t.FramesOut += s.FramesOut
+		t.MalformedFrames += s.MalformedFrames
+		t.EnqueueStalls += s.EnqueueStalls
+		t.ConnWrites += s.ConnWrites
+		t.CoalescedFrames += s.CoalescedFrames
+	}
+	return t
+}
+
 // EdgeCounts returns the per-agent stored copy counts, the load-balance
 // observable of Figures 5b and 6.
 func (c *Cluster) EdgeCounts() map[uint64]int {

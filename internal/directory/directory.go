@@ -1,6 +1,7 @@
 package directory
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"time"
@@ -47,7 +48,12 @@ type Directory struct {
 	sk          *sketch.Sketch
 	skDirty     bool
 	n           uint64
-	lastView    []byte
+	// lastView is an owned buffer (never aliases a pooled frame): the
+	// coordinator re-encodes into it, relays copy into it.
+	lastView []byte
+	// scratch is the reusable broadcast payload buffer; Publish copies it
+	// into per-subscriber frames before returning.
+	scratch []byte
 
 	pendingJoins  []*wire.Packet
 	pendingLeaves []*wire.Packet
@@ -119,13 +125,15 @@ func Start(opts Options) (*Directory, error) {
 		agents: make(map[uint64]string),
 		sk:     opts.Config.NewSketch(),
 	}
-	reply, err := node.Request(opts.MasterAddr, wire.TRegisterDirectory,
-		wire.EncodeJoin(&wire.Join{Addr: node.Addr()}), opts.Config.RequestTimeout)
+	reply, err := node.RequestFrame(opts.MasterAddr,
+		wire.AppendJoin(node.NewFrame(wire.TRegisterDirectory), &wire.Join{Addr: node.Addr()}),
+		opts.Config.RequestTimeout)
 	if err != nil {
 		node.Close()
 		return nil, fmt.Errorf("directory: register with master: %w", err)
 	}
 	dirs, err := wire.DecodeStringList(reply.Payload)
+	wire.ReleasePacket(reply)
 	if err != nil || len(dirs) == 0 {
 		node.Close()
 		return nil, fmt.Errorf("directory: bad master reply: %v", err)
@@ -137,7 +145,7 @@ func Start(opts Options) (*Directory, error) {
 	} else {
 		// Relays subscribe to every coordinator broadcast and fan it
 		// out to their own subscribers.
-		if err := node.Send(d.coordAddr, wire.TSubscribe, wire.SubscribeTypes()); err != nil {
+		if err := node.SendFrame(d.coordAddr, node.NewFrame(wire.TSubscribe)); err != nil {
 			node.Close()
 			return nil, err
 		}
@@ -176,17 +184,34 @@ func (d *Directory) view() *wire.View {
 }
 
 func (d *Directory) broadcastView() {
-	d.lastView = wire.EncodeView(d.view())
+	d.lastView = wire.AppendView(d.lastView[:0], d.view())
 	d.pub.Publish(wire.TDirUpdate, d.lastView)
+}
+
+// publishAdvance broadcasts an Advance through the reusable scratch
+// payload; Publish copies it per subscriber before returning.
+func (d *Directory) publishAdvance(a *wire.Advance) {
+	d.scratch = wire.AppendAdvance(d.scratch[:0], a)
+	d.pub.Publish(wire.TAdvance, d.scratch)
+}
+
+// publishAlgoStart broadcasts a run announcement through scratch.
+func (d *Directory) publishAlgoStart(s *wire.AlgoStart) {
+	d.scratch = wire.AppendAlgoStart(d.scratch[:0], s)
+	d.pub.Publish(wire.TAlgoStart, d.scratch)
 }
 
 func (d *Directory) runLoop() {
 	defer close(d.done)
 	for pkt := range d.node.Inbox() {
+		var retained bool
 		if d.coordinator {
-			d.handleCoordinator(pkt)
+			retained = d.handleCoordinator(pkt)
 		} else {
 			d.handleRelay(pkt)
+		}
+		if !retained {
+			wire.ReleasePacket(pkt)
 		}
 	}
 }
@@ -201,15 +226,17 @@ func (d *Directory) handleRelay(pkt *wire.Packet) {
 	case wire.TUnsubscribe:
 		d.pub.Unsubscribe(pkt.From)
 	case wire.TDirUpdate:
-		d.lastView = pkt.Payload
-		d.pub.Publish(pkt.Type, pkt.Payload)
+		// Copy into the owned buffer so the pooled packet can be
+		// released while lastView survives for late subscribers.
+		d.lastView = append(d.lastView[:0], pkt.Payload...)
+		d.pub.Publish(pkt.Type, d.lastView)
 	case wire.TAdvance, wire.TAlgoStart, wire.TAlgoDone, wire.TBatchOpen:
 		d.pub.Publish(pkt.Type, pkt.Payload)
 	case wire.TDirectoryList:
 		// Peer list refresh from the master; relays have no use for it
 		// beyond knowing the coordinator, which cannot change.
 	case wire.TPing:
-		_ = d.node.Reply(pkt, wire.TPong, nil)
+		_ = d.node.ReplyFrame(pkt, d.node.NewFrame(wire.TPong))
 	default:
 		// Control packets sent to a relay by mistake are forwarded to
 		// the coordinator so stale participants still make progress.
@@ -217,7 +244,10 @@ func (d *Directory) handleRelay(pkt *wire.Packet) {
 	}
 }
 
-func (d *Directory) handleCoordinator(pkt *wire.Packet) {
+// handleCoordinator processes one packet, reporting whether it retained
+// ownership (join/leave/run/seal requests are parked in pending queues and
+// released when answered).
+func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 	switch pkt.Type {
 	case wire.TSubscribe:
 		d.pub.Subscribe(pkt.From, wire.DecodeSubscribeTypes(pkt.Payload)...)
@@ -229,9 +259,11 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) {
 	case wire.TJoin:
 		d.pendingJoins = append(d.pendingJoins, pkt)
 		d.advanceWork()
+		return true
 	case wire.TLeave:
 		d.pendingLeaves = append(d.pendingLeaves, pkt)
 		d.advanceWork()
+		return true
 	case wire.TSketchDelta:
 		var delta sketch.Sketch
 		if err := delta.UnmarshalBinary(pkt.Payload); err == nil {
@@ -243,15 +275,17 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) {
 	case wire.TReady:
 		m, err := wire.DecodeReady(pkt.Payload)
 		if err != nil {
-			return
+			return false
 		}
 		d.handleReady(m)
 	case wire.TRunAlgo:
 		d.pendingRuns = append(d.pendingRuns, pkt)
 		d.advanceWork()
+		return true
 	case wire.TIngest:
 		d.pendingSeals = append(d.pendingSeals, pkt)
 		d.advanceWork()
+		return true
 	case wire.TMetric:
 		if d.opts.MetricHandler != nil {
 			if m, err := wire.DecodeMetric(pkt.Payload); err == nil {
@@ -263,9 +297,10 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) {
 	case wire.TTick:
 		d.sendAsyncProbe()
 	case wire.TPing:
-		_ = d.node.Reply(pkt, wire.TPong, nil)
+		_ = d.node.ReplyFrame(pkt, d.node.NewFrame(wire.TPong))
 	default:
 	}
+	return false
 }
 
 // busy reports whether a blocking activity owns the cluster.
@@ -301,6 +336,7 @@ func (d *Directory) applyMembership() {
 	for _, pkt := range d.pendingJoins {
 		j, err := wire.DecodeJoin(pkt.Payload)
 		if err != nil {
+			wire.ReleasePacket(pkt)
 			continue
 		}
 		d.nextAgentID++
@@ -308,21 +344,23 @@ func (d *Directory) applyMembership() {
 		d.agents[id] = j.Addr
 		// Reply after the view is final so the new agent sees itself.
 		defer func(p *wire.Packet, assigned uint64) {
-			_ = d.node.Reply(p, wire.TJoinReply, wire.EncodeJoinReply(&wire.JoinReply{
-				AgentID: assigned,
-				View:    d.view(),
-			}))
+			_ = d.node.ReplyFrame(p, wire.AppendJoinReply(
+				d.node.NewFrame(wire.TJoinReply), &wire.JoinReply{
+					AgentID: assigned,
+					View:    d.view(),
+				}))
+			wire.ReleasePacket(p)
 		}(pkt, id)
 	}
 	for _, pkt := range d.pendingLeaves {
 		l, err := wire.DecodeLeave(pkt.Payload)
-		if err != nil {
-			continue
+		if err == nil {
+			if _, ok := d.agents[l.AgentID]; ok {
+				delete(d.agents, l.AgentID)
+				leavers[l.AgentID] = true
+			}
 		}
-		if _, ok := d.agents[l.AgentID]; ok {
-			delete(d.agents, l.AgentID)
-			leavers[l.AgentID] = true
-		}
+		wire.ReleasePacket(pkt)
 	}
 	d.pendingJoins = nil
 	d.pendingLeaves = nil
@@ -352,11 +390,12 @@ func (d *Directory) maybeFinishMigration() {
 	d.migration = nil
 	// Migration-complete broadcast: leavers may now disconnect, agents
 	// may resume.
-	d.pub.Publish(wire.TAdvance, wire.EncodeAdvance(&wire.Advance{
+	d.publishAdvance(&wire.Advance{
 		Step: m.epochLow, Phase: wire.PhaseMigrate, Halt: true, N: d.n,
-	}))
+	})
 	for _, pkt := range d.sealDone {
-		_ = d.node.Reply(pkt, wire.TPong, nil)
+		_ = d.node.ReplyFrame(pkt, d.node.NewFrame(wire.TPong))
+		wire.ReleasePacket(pkt)
 	}
 	d.sealDone = nil
 	d.advanceWork()
@@ -365,9 +404,8 @@ func (d *Directory) maybeFinishMigration() {
 func (d *Directory) startSeal() {
 	d.batchID++
 	d.seal = &sealState{votes: make(map[uint64]bool)}
-	var w wire.Writer
-	w.U64(d.batchID)
-	d.pub.Publish(wire.TBatchOpen, w.Bytes())
+	d.scratch = binary.LittleEndian.AppendUint64(d.scratch[:0], d.batchID)
+	d.pub.Publish(wire.TBatchOpen, d.scratch)
 	d.maybeFinishSeal()
 }
 
@@ -402,10 +440,17 @@ func (d *Directory) maybeFinishSeal() {
 		return
 	}
 	for _, pkt := range d.pendingSeals {
-		_ = d.node.Reply(pkt, wire.TPong, nil)
+		_ = d.node.ReplyFrame(pkt, d.node.NewFrame(wire.TPong))
+		wire.ReleasePacket(pkt)
 	}
 	d.pendingSeals = nil
 	d.maybeStartRun()
+}
+
+// replyRunStats answers a TRunAlgo request and releases it.
+func (d *Directory) replyRunStats(pkt *wire.Packet, s *wire.RunStats) {
+	_ = d.node.ReplyFrame(pkt, wire.AppendRunStats(d.node.NewFrame(wire.TRunReply), s))
+	wire.ReleasePacket(pkt)
 }
 
 func (d *Directory) maybeStartRun() {
@@ -416,12 +461,12 @@ func (d *Directory) maybeStartRun() {
 	d.pendingRuns = d.pendingRuns[1:]
 	spec, err := wire.DecodeAlgoStart(pkt.Payload)
 	if err != nil {
-		_ = d.node.Reply(pkt, wire.TRunReply, wire.EncodeRunStats(&wire.RunStats{}))
+		d.replyRunStats(pkt, &wire.RunStats{})
 		return
 	}
 	prog, err := algorithm.New(spec.Algo)
 	if err != nil {
-		_ = d.node.Reply(pkt, wire.TRunReply, wire.EncodeRunStats(&wire.RunStats{}))
+		d.replyRunStats(pkt, &wire.RunStats{})
 		return
 	}
 	d.nextRunID++
@@ -436,7 +481,7 @@ func (d *Directory) maybeStartRun() {
 	if spec.Async && !prog.HaltOnQuiescence() {
 		// Asynchronous execution requires a monotone quiescence-halting
 		// program (WCC/BFS/SSSP); reject others.
-		_ = d.node.Reply(pkt, wire.TRunReply, wire.EncodeRunStats(&wire.RunStats{}))
+		d.replyRunStats(pkt, &wire.RunStats{})
 		return
 	}
 	now := time.Now()
@@ -444,7 +489,7 @@ func (d *Directory) maybeStartRun() {
 		req: pkt, spec: spec, quiesce: prog.HaltOnQuiescence(),
 		votes: make(map[uint64]bool), start: now, stepStart: now,
 	}
-	d.pub.Publish(wire.TAlgoStart, wire.EncodeAlgoStart(spec))
+	d.publishAlgoStart(spec)
 	if spec.Async {
 		// No superstep driving: agents compute as messages arrive; the
 		// coordinator probes for quiescence until the counters settle.
@@ -455,9 +500,9 @@ func (d *Directory) maybeStartRun() {
 		return
 	}
 	d.run.phase = wire.PhaseCompute
-	d.pub.Publish(wire.TAdvance, wire.EncodeAdvance(&wire.Advance{
+	d.publishAdvance(&wire.Advance{
 		Step: 0, Phase: wire.PhaseCompute, N: d.n, RunID: spec.RunID,
-	}))
+	})
 	if len(d.agents) == 0 {
 		d.finishRun(false)
 	}
@@ -481,9 +526,9 @@ func (d *Directory) sendAsyncProbe() {
 	r.probePending = true
 	r.votes = make(map[uint64]bool)
 	r.probeSent, r.probeRecv = 0, 0
-	d.pub.Publish(wire.TAdvance, wire.EncodeAdvance(&wire.Advance{
+	d.publishAdvance(&wire.Advance{
 		Step: r.probeSeq, Phase: wire.PhaseAsyncProbe, N: d.n, RunID: r.spec.RunID,
-	}))
+	})
 }
 
 // handleAsyncProbeVote folds one agent's probe answer; when all agents
@@ -560,9 +605,9 @@ func (d *Directory) finishPhase() {
 		r.votes = make(map[uint64]bool)
 		r.splitAny = false
 		r.mastersSum = 0 // recounted next compute phase
-		d.pub.Publish(wire.TAdvance, wire.EncodeAdvance(&wire.Advance{
+		d.publishAdvance(&wire.Advance{
 			Step: r.step, Phase: wire.PhaseCombine, N: d.n, RunID: r.spec.RunID,
-		}))
+		})
 		return
 	}
 	// Superstep complete.
@@ -597,9 +642,9 @@ func (d *Directory) finishPhase() {
 		return
 	}
 	r.stepStart = time.Now()
-	d.pub.Publish(wire.TAdvance, wire.EncodeAdvance(&wire.Advance{
+	d.publishAdvance(&wire.Advance{
 		Step: r.step, Phase: wire.PhaseCompute, N: d.n, RunID: r.spec.RunID,
-	}))
+	})
 }
 
 func (d *Directory) resumeRun() {
@@ -609,11 +654,11 @@ func (d *Directory) resumeRun() {
 	// agents already in the run ignore the duplicate RunID.
 	resume := *r.spec
 	resume.Resume = true
-	d.pub.Publish(wire.TAlgoStart, wire.EncodeAlgoStart(&resume))
+	d.publishAlgoStart(&resume)
 	r.stepStart = time.Now()
-	d.pub.Publish(wire.TAdvance, wire.EncodeAdvance(&wire.Advance{
+	d.publishAdvance(&wire.Advance{
 		Step: r.step, Phase: wire.PhaseCompute, N: d.n, RunID: r.spec.RunID,
-	}))
+	})
 }
 
 func (d *Directory) finishRun(converged bool) {
@@ -623,15 +668,16 @@ func (d *Directory) finishRun(converged bool) {
 	if len(r.stepTimes) > 0 {
 		steps = uint32(len(r.stepTimes))
 	}
-	d.pub.Publish(wire.TAdvance, wire.EncodeAdvance(&wire.Advance{
+	d.publishAdvance(&wire.Advance{
 		Step: r.step, Phase: wire.PhaseCompute, Halt: true, N: d.n, RunID: r.spec.RunID,
-	}))
-	d.pub.Publish(wire.TAlgoDone, wire.EncodeAlgoDone(&wire.AlgoDone{
+	})
+	d.scratch = wire.AppendAlgoDone(d.scratch[:0], &wire.AlgoDone{
 		RunID: r.spec.RunID, Steps: steps, Converged: converged,
-	}))
-	_ = d.node.Reply(r.req, wire.TRunReply, wire.EncodeRunStats(&wire.RunStats{
+	})
+	d.pub.Publish(wire.TAlgoDone, d.scratch)
+	d.replyRunStats(r.req, &wire.RunStats{
 		RunID: r.spec.RunID, Steps: steps, Converged: converged,
 		Wall: time.Since(r.start), StepTimes: r.stepTimes,
-	}))
+	})
 	d.advanceWork()
 }

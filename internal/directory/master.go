@@ -52,7 +52,7 @@ func (m *Master) run() {
 		case wire.TRegisterDirectory:
 			j, err := wire.DecodeJoin(pkt.Payload)
 			if err != nil {
-				continue
+				break
 			}
 			known := false
 			for _, d := range dirs {
@@ -64,21 +64,24 @@ func (m *Master) run() {
 			if !known {
 				dirs = append(dirs, j.Addr)
 			}
-			list := wire.EncodeStringList(dirs)
-			_ = m.node.Reply(pkt, wire.TDirectoryList, list)
+			_ = m.node.ReplyFrame(pkt, wire.AppendStringList(
+				m.node.NewFrame(wire.TDirectoryList), dirs))
 			// Push the updated list to every directory so peers learn
 			// about each other.
 			for _, d := range dirs {
 				if d != j.Addr {
-					_ = m.node.Send(d, wire.TDirectoryList, list)
+					_ = m.node.SendFrame(d, wire.AppendStringList(
+						m.node.NewFrame(wire.TDirectoryList), dirs))
 				}
 			}
 		case wire.TGetDirectory:
-			_ = m.node.Reply(pkt, wire.TDirectoryList, wire.EncodeStringList(dirs))
+			_ = m.node.ReplyFrame(pkt, wire.AppendStringList(
+				m.node.NewFrame(wire.TDirectoryList), dirs))
 		case wire.TPing:
-			_ = m.node.Reply(pkt, wire.TPong, nil)
+			_ = m.node.ReplyFrame(pkt, m.node.NewFrame(wire.TPong))
 		default:
 			// The master is bootstrap-only; everything else is noise.
 		}
+		wire.ReleasePacket(pkt)
 	}
 }

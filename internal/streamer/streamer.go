@@ -71,12 +71,14 @@ func Start(opts Options) (*Streamer, error) {
 		return nil, fmt.Errorf("streamer: bootstrap: %w", err)
 	}
 	dirs, err := wire.DecodeStringList(reply.Payload)
+	wire.ReleasePacket(reply)
 	if err != nil || len(dirs) == 0 {
 		node.Close()
 		return nil, fmt.Errorf("streamer: no directories")
 	}
 	s.dirAddr = dirs[0]
-	if err := node.Send(s.dirAddr, wire.TSubscribe, wire.SubscribeTypes(wire.TDirUpdate)); err != nil {
+	if err := node.SendFrame(s.dirAddr, wire.AppendSubscribeTypes(
+		node.NewFrame(wire.TSubscribe), wire.TDirUpdate)); err != nil {
 		node.Close()
 		return nil, err
 	}
@@ -97,6 +99,7 @@ func (s *Streamer) drainViews(block bool) error {
 					_, _ = s.router.Update(v)
 				}
 			}
+			wire.ReleasePacket(pkt)
 			block = false
 		default:
 			if !block {
@@ -112,6 +115,7 @@ func (s *Streamer) drainViews(block bool) error {
 						_, _ = s.router.Update(v)
 					}
 				}
+				wire.ReleasePacket(pkt)
 				block = false
 			case <-time.After(s.opts.Config.RequestTimeout):
 				return fmt.Errorf("streamer: timed out waiting for a directory view")
@@ -174,8 +178,12 @@ func (s *Streamer) flushPending() error {
 		if !ok {
 			continue
 		}
-		payload := wire.EncodeEdgeBatch(&wire.EdgeBatch{Epoch: s.router.Epoch(), Changes: changes})
-		if err := s.node.SendAcked(addr, wire.TEdges, payload); err != nil {
+		// Single-copy: encode straight into a pooled frame the per-peer
+		// writer recycles after the wire write.
+		frame := wire.AppendEdgeBatch(
+			s.node.NewFrameHint(wire.TEdges, 32+32*len(changes)),
+			&wire.EdgeBatch{Epoch: s.router.Epoch(), Changes: changes})
+		if err := s.node.SendFrameAcked(addr, frame); err != nil {
 			return err
 		}
 		s.sent += uint64(len(changes))
@@ -202,7 +210,7 @@ func (s *Streamer) Sent() uint64 { return s.sent }
 // streamer.
 func (s *Streamer) Close() error {
 	err := s.Flush()
-	_ = s.node.Send(s.dirAddr, wire.TUnsubscribe, nil)
+	_ = s.node.SendFrame(s.dirAddr, s.node.NewFrame(wire.TUnsubscribe))
 	s.node.Close()
 	return err
 }

@@ -23,17 +23,30 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"elga/internal/wire"
 )
 
 // Conn carries whole frames in order. Implementations are safe for one
 // concurrent sender and one concurrent receiver.
 type Conn interface {
-	// Send transmits one frame.
+	// Send transmits one frame. The conn must not retain frame after
+	// Send returns: callers recycle frames to the wire pool immediately.
 	Send(frame []byte) error
 	// Recv returns the next frame, or an error once the peer closes.
+	// The frame is drawn from the wire frame pool; ownership passes to
+	// the caller, who releases it (usually via wire.ReleasePacket).
 	Recv() ([]byte, error)
 	// Close releases the connection; pending Recv calls fail.
 	Close() error
+}
+
+// BatchConn is an optional Conn extension: SendBatch transmits several
+// frames in one vectored write, letting the per-peer writer coalesce a
+// burst of queued frames into a single syscall. Same retention contract
+// as Send: frames must not be referenced after SendBatch returns.
+type BatchConn interface {
+	SendBatch(frames [][]byte) error
 }
 
 // Listener accepts inbound connections.
@@ -160,13 +173,15 @@ type inprocConn struct {
 }
 
 func (c *inprocConn) Send(frame []byte) error {
-	// Copy: the caller may reuse its buffer, and channel handoff would
-	// otherwise alias it across goroutines.
-	dup := append([]byte(nil), frame...)
+	// Copy: the caller recycles its buffer after Send, and channel
+	// handoff would otherwise alias it across goroutines. The dup comes
+	// from the frame pool and is released by the receiving node.
+	dup := append(wire.GetFrame(len(frame)), frame...)
 	select {
 	case c.send <- dup:
 		return nil
 	case <-c.closed:
+		wire.ReleaseFrame(dup)
 		return ErrClosed
 	}
 }
@@ -256,20 +271,52 @@ type tcpConn struct {
 	sendMu sync.Mutex
 	recvMu sync.Mutex
 	closed atomic.Bool
+
+	// Scratch buffers for vectored sends, guarded by sendMu.
+	hdrs []byte      // 4-byte length prefixes, one per frame
+	vecs net.Buffers // interleaved header/frame io vectors
+	one  [1][]byte   // single-frame batch for Send
 }
 
 func (c *tcpConn) Send(frame []byte) error {
-	if len(frame) > maxTCPFrame {
-		return fmt.Errorf("transport: frame too large (%d bytes)", len(frame))
-	}
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
-	if _, err := c.c.Write(hdr[:]); err != nil {
-		return err
+	c.one[0] = frame
+	err := c.sendLocked(c.one[:])
+	c.one[0] = nil
+	return err
+}
+
+// SendBatch implements BatchConn: all frames and their length prefixes go
+// out in one writev.
+func (c *tcpConn) SendBatch(frames [][]byte) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return c.sendLocked(frames)
+}
+
+func (c *tcpConn) sendLocked(frames [][]byte) error {
+	need := 4 * len(frames)
+	if cap(c.hdrs) < need {
+		c.hdrs = make([]byte, need)
 	}
-	_, err := c.c.Write(frame)
+	// Headers are written into pre-sized scratch (no append) so the
+	// sub-slices already queued in vecs stay valid.
+	h := c.hdrs[:need]
+	vecs := c.vecs[:0]
+	for i, f := range frames {
+		if len(f) > maxTCPFrame {
+			return fmt.Errorf("transport: frame too large (%d bytes)", len(f))
+		}
+		binary.LittleEndian.PutUint32(h[i*4:], uint32(len(f)))
+		vecs = append(vecs, h[i*4:i*4+4], f)
+	}
+	vv := vecs // WriteTo consumes its receiver; keep vecs intact
+	_, err := vv.WriteTo(c.c)
+	for i := range vecs {
+		vecs[i] = nil // drop frame references: they are recycled after Send
+	}
+	c.vecs = vecs[:0]
 	return err
 }
 
@@ -287,7 +334,7 @@ func (c *tcpConn) Recv() ([]byte, error) {
 	if n > maxTCPFrame {
 		return nil, fmt.Errorf("transport: oversized frame (%d bytes)", n)
 	}
-	frame := make([]byte, n)
+	frame := wire.GetFrame(int(n))[:n]
 	if _, err := io.ReadFull(c.c, frame); err != nil {
 		return nil, err
 	}

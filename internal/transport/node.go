@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"elga/internal/wire"
@@ -17,6 +18,16 @@ const DefaultRequestTimeout = 30 * time.Second
 // transport finishes sending" (§3.5).
 const peerQueueDepth = 8192
 
+// maxCoalesce bounds how many queued frames one conn write may carry.
+// The writer drains up to this many pending frames per wakeup and hands
+// them to the conn as one vectored write, so a scatter burst costs one
+// syscall instead of one per frame.
+const maxCoalesce = 64
+
+// frameSizeHint pre-sizes frames created without an explicit payload
+// hint; control frames fit the smallest pool class.
+const frameSizeHint = 256
+
 // Node is one Participant's communication endpoint: a listen address, an
 // inbox of inbound packets, per-peer outbound queues with dedicated writer
 // goroutines, request/reply correlation, and acknowledgement tracking.
@@ -24,10 +35,20 @@ const peerQueueDepth = 8192
 // A Node is shared-nothing friendly: exactly one goroutine (the entity's
 // event loop) is expected to consume Inbox and issue sends, while the
 // node's internal goroutines only move bytes.
+//
+// The send path is single-copy and pooled: NewFrame returns a pooled
+// buffer pre-filled with the frame header, callers append the payload in
+// place (wire.AppendX), and SendFrame hands the buffer to the per-peer
+// writer, which recycles it after the conn write. Inbound packets are
+// pooled too: consumers call wire.ReleasePacket when done with a packet
+// taken from Inbox (or returned by Request). Forgetting to release only
+// costs GC; releasing a packet that is still referenced is a bug.
 type Node struct {
 	net      Network
 	listener Listener
+	addr     string
 	inbox    chan *wire.Packet
+	done     chan struct{}
 
 	mu       sync.Mutex
 	peers    map[string]*peer
@@ -41,6 +62,8 @@ type Node struct {
 	outstanding map[uint32]struct{}
 	ackNotify   bool
 
+	stats nodeStats
+
 	wg sync.WaitGroup
 }
 
@@ -48,6 +71,50 @@ type peer struct {
 	addr  string
 	queue chan []byte
 	done  chan struct{}
+}
+
+// nodeStats holds the node's transport counters, updated lock-free from
+// the read and write goroutines.
+type nodeStats struct {
+	framesIn  atomic.Uint64
+	framesOut atomic.Uint64
+	malformed atomic.Uint64
+	stalls    atomic.Uint64
+	writes    atomic.Uint64
+	coalesced atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of a node's transport counters.
+type Stats struct {
+	// FramesIn counts well-formed inbound frames.
+	FramesIn uint64
+	// FramesOut counts frames handed to a conn write (including writes
+	// that subsequently failed).
+	FramesOut uint64
+	// MalformedFrames counts inbound frames the unmarshaller rejected
+	// and dropped.
+	MalformedFrames uint64
+	// EnqueueStalls counts sends that found the peer queue saturated and
+	// had to block — backpressure from a peer draining slower than the
+	// entity produces.
+	EnqueueStalls uint64
+	// ConnWrites counts conn write calls; a coalesced batch counts once.
+	ConnWrites uint64
+	// CoalescedFrames counts frames that shared a conn write with at
+	// least one other frame.
+	CoalescedFrames uint64
+}
+
+// Stats returns a snapshot of the node's transport counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		FramesIn:        n.stats.framesIn.Load(),
+		FramesOut:       n.stats.framesOut.Load(),
+		MalformedFrames: n.stats.malformed.Load(),
+		EnqueueStalls:   n.stats.stalls.Load(),
+		ConnWrites:      n.stats.writes.Load(),
+		CoalescedFrames: n.stats.coalesced.Load(),
+	}
 }
 
 // NewNode listens on addr ("" auto-allocates) and starts the accept loop.
@@ -63,7 +130,9 @@ func NewNode(network Network, addr string, inboxDepth int) (*Node, error) {
 	n := &Node{
 		net:         network,
 		listener:    l,
+		addr:        l.Addr(),
 		inbox:       make(chan *wire.Packet, inboxDepth),
+		done:        make(chan struct{}),
 		peers:       make(map[string]*peer),
 		pending:     make(map[uint32]chan *wire.Packet),
 		accepted:    make(map[Conn]struct{}),
@@ -76,10 +145,11 @@ func NewNode(network Network, addr string, inboxDepth int) (*Node, error) {
 }
 
 // Addr returns the dialable listen address.
-func (n *Node) Addr() string { return n.listener.Addr() }
+func (n *Node) Addr() string { return n.addr }
 
 // Inbox returns the inbound packet stream. Replies and acks are consumed
-// internally and never appear here.
+// internally and never appear here. Consumers release each packet with
+// wire.ReleasePacket once they no longer reference it or its Payload.
 func (n *Node) Inbox() <-chan *wire.Packet { return n.inbox }
 
 func (n *Node) acceptLoop() {
@@ -110,15 +180,22 @@ func (n *Node) readLoop(c Conn) {
 		delete(n.accepted, c)
 		n.mu.Unlock()
 	}()
+	// One conn carries one peer's traffic, so the sender address repeats
+	// on every frame; interning makes steady-state decode allocation-free.
+	var intern wire.FromInterner
 	for {
 		frame, err := c.Recv()
 		if err != nil {
 			return
 		}
-		pkt, err := wire.UnmarshalPacket(frame)
-		if err != nil {
-			continue // drop malformed frames, as a router would
+		pkt := wire.GetPacket()
+		if err := wire.UnmarshalPacketInto(pkt, frame, &intern); err != nil {
+			// Drop malformed frames, as a router would — but count them.
+			n.stats.malformed.Add(1)
+			wire.ReleasePacket(pkt) // reclaims frame too
+			continue
 		}
+		n.stats.framesIn.Add(1)
 		n.dispatch(pkt)
 	}
 }
@@ -134,6 +211,7 @@ func (n *Node) dispatch(pkt *wire.Packet) {
 		notify := n.ackNotify
 		n.ackMu.Unlock()
 		if !notify {
+			wire.ReleasePacket(pkt)
 			return
 		}
 		// Fall through: ack-notified entities also receive the TAck in
@@ -154,13 +232,13 @@ func (n *Node) dispatch(pkt *wire.Packet) {
 			return
 		}
 	}
-	n.mu.Lock()
-	closed := n.closed
-	n.mu.Unlock()
-	if closed {
-		return
+	// Selecting on done keeps a full inbox from wedging this readLoop at
+	// shutdown: Close always unblocks it.
+	select {
+	case n.inbox <- pkt:
+	case <-n.done:
+		wire.ReleasePacket(pkt)
 	}
-	n.inbox <- pkt
 }
 
 func (n *Node) getPeer(addr string) (*peer, error) {
@@ -187,47 +265,20 @@ func (n *Node) writeLoop(p *peer) {
 			c.Close()
 		}
 	}()
+	frames := make([][]byte, 0, maxCoalesce)
 	for {
 		select {
-		case frame := <-p.queue:
-			if c == nil {
-				var err error
-				// Brief redial loop: elastic churn means a peer may be
-				// observed before its listener is up.
-				for attempt := 0; ; attempt++ {
-					c, err = n.net.Dial(p.addr)
-					if err == nil {
-						break
-					}
-					if attempt >= 50 {
-						c = nil
-						break
-					}
-					select {
-					case <-p.done:
-						return
-					case <-time.After(time.Duration(attempt+1) * time.Millisecond):
-					}
-				}
-				if c == nil {
-					continue // drop; acked sends will surface the loss
-				}
-			}
-			if err := c.Send(frame); err != nil {
-				c.Close()
-				c = nil
-			}
+		case f := <-p.queue:
+			frames = gatherFrames(p, frames[:0], f)
+			c = n.writeFrames(c, p, frames, false)
 		case <-p.done:
 			// Drain remaining frames before exiting so graceful leave
 			// messages are not lost.
 			for {
 				select {
-				case frame := <-p.queue:
-					if c != nil {
-						if err := c.Send(frame); err != nil {
-							return
-						}
-					}
+				case f := <-p.queue:
+					frames = gatherFrames(p, frames[:0], f)
+					c = n.writeFrames(c, p, frames, true)
 				default:
 					return
 				}
@@ -236,27 +287,143 @@ func (n *Node) writeLoop(p *peer) {
 	}
 }
 
-func (n *Node) enqueue(addr string, pkt *wire.Packet) error {
-	pkt.From = n.Addr()
-	frame, err := wire.MarshalPacket(pkt)
-	if err != nil {
-		return err
+// gatherFrames coalesces up to maxCoalesce already-queued frames behind
+// the one just received, without blocking.
+func gatherFrames(p *peer, frames [][]byte, first []byte) [][]byte {
+	frames = append(frames, first)
+	for len(frames) < maxCoalesce {
+		select {
+		case f := <-p.queue:
+			frames = append(frames, f)
+		default:
+			return frames
+		}
 	}
+	return frames
+}
+
+// dialPeer connects to p with a brief redial loop: elastic churn means a
+// peer may be observed before its listener is up.
+func (n *Node) dialPeer(p *peer) Conn {
+	for attempt := 0; ; attempt++ {
+		c, err := n.net.Dial(p.addr)
+		if err == nil {
+			return c
+		}
+		if attempt >= 50 {
+			return nil
+		}
+		select {
+		case <-p.done:
+			return nil
+		case <-time.After(time.Duration(attempt+1) * time.Millisecond):
+		}
+	}
+}
+
+// writeFrames sends a coalesced batch on c (dialing first if needed),
+// recycles every frame to the pool, and returns the conn — nil after a
+// failure so the next batch redials.
+func (n *Node) writeFrames(c Conn, p *peer, frames [][]byte, closing bool) Conn {
+	if c == nil && !closing {
+		c = n.dialPeer(p)
+	}
+	if c == nil {
+		releaseFrames(frames) // drop; acked sends will surface the loss
+		return nil
+	}
+	var err error
+	if len(frames) > 1 {
+		if bc, ok := c.(BatchConn); ok {
+			err = bc.SendBatch(frames)
+		} else {
+			for _, f := range frames {
+				if err = c.Send(f); err != nil {
+					break
+				}
+			}
+		}
+		n.stats.coalesced.Add(uint64(len(frames)))
+	} else {
+		err = c.Send(frames[0])
+	}
+	n.stats.writes.Add(1)
+	n.stats.framesOut.Add(uint64(len(frames)))
+	releaseFrames(frames)
+	if err != nil {
+		c.Close()
+		return nil
+	}
+	return c
+}
+
+func releaseFrames(frames [][]byte) {
+	for i, f := range frames {
+		wire.ReleaseFrame(f)
+		frames[i] = nil
+	}
+}
+
+// NewFrame returns a pooled buffer holding a frame header for typ from
+// this node, ready for payload appends (wire.AppendX). Hand the finished
+// frame to SendFrame and friends — they assume ownership — or discard it
+// with wire.ReleaseFrame.
+func (n *Node) NewFrame(typ wire.Type) []byte {
+	return wire.AppendFrameHeader(wire.GetFrame(frameSizeHint), typ, 0, n.addr)
+}
+
+// NewFrameHint is NewFrame with an expected payload size, so large batch
+// encodes land in the right pool class without growth copies.
+func (n *Node) NewFrameHint(typ wire.Type, payloadHint int) []byte {
+	hint := frameHeaderBytes + len(n.addr) + payloadHint
+	return wire.AppendFrameHeader(wire.GetFrame(hint), typ, 0, n.addr)
+}
+
+// frameHeaderBytes mirrors wire's fixed header size for hint math.
+const frameHeaderBytes = 11
+
+// enqueueFrame hands frame to addr's writer goroutine, counting a stall
+// when the peer queue is saturated. Ownership of frame transfers on
+// success; on failure it is recycled here.
+func (n *Node) enqueueFrame(addr string, frame []byte) error {
 	p, err := n.getPeer(addr)
 	if err != nil {
+		wire.ReleaseFrame(frame)
 		return err
 	}
 	select {
 	case p.queue <- frame:
 		return nil
+	default:
+		n.stats.stalls.Add(1)
+	}
+	select {
+	case p.queue <- frame:
+		return nil
 	case <-p.done:
+		wire.ReleaseFrame(frame)
 		return ErrClosed
 	}
 }
 
+// SendFrame is the PUSH pattern over the single-copy path: frame must
+// have been started with NewFrame and had its payload appended in place.
+// SendFrame patches the payload length and hands the buffer to the
+// per-peer writer, which recycles it after the conn write. The caller
+// must not reference frame after the call.
+func (n *Node) SendFrame(addr string, frame []byte) error {
+	if err := wire.FinishFrame(frame); err != nil {
+		wire.ReleaseFrame(frame)
+		return err
+	}
+	return n.enqueueFrame(addr, frame)
+}
+
 // Send is the PUSH pattern: a non-blocking (buffered) one-way packet.
+// The payload is copied into a pooled frame; callers that can append
+// their payload directly should prefer NewFrame + SendFrame.
 func (n *Node) Send(addr string, typ wire.Type, payload []byte) error {
-	return n.enqueue(addr, &wire.Packet{Type: typ, Payload: payload})
+	return n.SendFrame(addr, append(n.NewFrameHint(typ, len(payload)), payload...))
 }
 
 // SetAckNotify controls whether TAck packets are delivered to the inbox
@@ -269,9 +436,7 @@ func (n *Node) SetAckNotify(on bool) {
 	n.ackMu.Unlock()
 }
 
-// SendAckedReq is SendAcked returning the request ID so callers can
-// correlate the eventual TAck (visible with SetAckNotify) to this send.
-func (n *Node) SendAckedReq(addr string, typ wire.Type, payload []byte) (uint32, error) {
+func (n *Node) allocReq() uint32 {
 	n.mu.Lock()
 	n.nextReq++
 	if n.nextReq == 0 {
@@ -279,13 +444,24 @@ func (n *Node) SendAckedReq(addr string, typ wire.Type, payload []byte) (uint32,
 	}
 	req := n.nextReq
 	n.mu.Unlock()
+	return req
+}
 
+// SendFrameAckedReq sends frame as an acked PUSH, returning the request
+// ID so callers can correlate the eventual TAck (visible with
+// SetAckNotify) to this send. The request ID is patched into the frame
+// after the payload was appended — it sits at a fixed header offset.
+func (n *Node) SendFrameAckedReq(addr string, frame []byte) (uint32, error) {
+	req := n.allocReq()
+	wire.PatchFrameReq(frame, req)
+	if err := wire.FinishFrame(frame); err != nil {
+		wire.ReleaseFrame(frame)
+		return 0, err
+	}
 	n.ackMu.Lock()
 	n.outstanding[req] = struct{}{}
 	n.ackMu.Unlock()
-
-	err := n.enqueue(addr, &wire.Packet{Type: typ, Req: req, Payload: payload})
-	if err != nil {
+	if err := n.enqueueFrame(addr, frame); err != nil {
 		n.ackMu.Lock()
 		delete(n.outstanding, req)
 		n.ackCond.Broadcast()
@@ -295,29 +471,25 @@ func (n *Node) SendAckedReq(addr string, typ wire.Type, payload []byte) (uint32,
 	return req, nil
 }
 
-// SendAcked is the acked-PUSH pattern ("a second PUSH is then sent in
-// return", §3.5): the packet carries a request ID the receiver must Ack
-// after *processing* it. Flush blocks until every outstanding ack arrives.
+// SendFrameAcked is the acked-PUSH pattern ("a second PUSH is then sent
+// in return", §3.5) over the single-copy path: the frame carries a
+// request ID the receiver must Ack after *processing* it. Flush blocks
+// until every outstanding ack arrives.
+func (n *Node) SendFrameAcked(addr string, frame []byte) error {
+	_, err := n.SendFrameAckedReq(addr, frame)
+	return err
+}
+
+// SendAckedReq is SendAcked returning the request ID so callers can
+// correlate the eventual TAck (visible with SetAckNotify) to this send.
+func (n *Node) SendAckedReq(addr string, typ wire.Type, payload []byte) (uint32, error) {
+	return n.SendFrameAckedReq(addr, append(n.NewFrameHint(typ, len(payload)), payload...))
+}
+
+// SendAcked is the acked-PUSH pattern with a copied payload; prefer
+// NewFrame + SendFrameAcked on hot paths.
 func (n *Node) SendAcked(addr string, typ wire.Type, payload []byte) error {
-	n.mu.Lock()
-	n.nextReq++
-	if n.nextReq == 0 {
-		n.nextReq = 1
-	}
-	req := n.nextReq
-	n.mu.Unlock()
-
-	n.ackMu.Lock()
-	n.outstanding[req] = struct{}{}
-	n.ackMu.Unlock()
-
-	err := n.enqueue(addr, &wire.Packet{Type: typ, Req: req, Payload: payload})
-	if err != nil {
-		n.ackMu.Lock()
-		delete(n.outstanding, req)
-		n.ackCond.Broadcast()
-		n.ackMu.Unlock()
-	}
+	_, err := n.SendAckedReq(addr, typ, payload)
 	return err
 }
 
@@ -326,7 +498,9 @@ func (n *Node) Ack(pkt *wire.Packet) {
 	if pkt.Req == 0 || pkt.From == "" {
 		return
 	}
-	_ = n.enqueue(pkt.From, &wire.Packet{Type: wire.TAck, Req: pkt.Req})
+	frame := n.NewFrame(wire.TAck)
+	wire.PatchFrameReq(frame, pkt.Req)
+	_ = n.SendFrame(pkt.From, frame)
 }
 
 // OutstandingAcks returns the number of acked sends not yet confirmed.
@@ -363,14 +537,44 @@ func (n *Node) Flush(timeout time.Duration) error {
 	return nil
 }
 
-// Request is the REQ/REP pattern: send and block for the correlated reply.
-func (n *Node) Request(addr string, typ wire.Type, payload []byte, timeout time.Duration) (*wire.Packet, error) {
+// timerPool recycles request timers; REQ/REP rates are bounded by
+// round-trip latency, but a pooled timer still beats an allocation and a
+// lingering runtime timer per call.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// RequestFrame is the REQ/REP pattern over the single-copy path: send the
+// frame and block for the correlated reply. The reply packet is pooled;
+// callers release it with wire.ReleasePacket when done.
+func (n *Node) RequestFrame(addr string, frame []byte, timeout time.Duration) (*wire.Packet, error) {
 	if timeout <= 0 {
 		timeout = DefaultRequestTimeout
+	}
+	typ := wire.TInvalid
+	if len(frame) > 0 {
+		typ = wire.Type(frame[0])
 	}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
+		wire.ReleaseFrame(frame)
 		return nil, ErrClosed
 	}
 	n.nextReq++
@@ -382,16 +586,26 @@ func (n *Node) Request(addr string, typ wire.Type, payload []byte, timeout time.
 	n.pending[req] = ch
 	n.mu.Unlock()
 
-	if err := n.enqueue(addr, &wire.Packet{Type: typ, Req: req, Payload: payload}); err != nil {
+	wire.PatchFrameReq(frame, req)
+	if err := wire.FinishFrame(frame); err != nil {
+		wire.ReleaseFrame(frame)
 		n.mu.Lock()
 		delete(n.pending, req)
 		n.mu.Unlock()
 		return nil, err
 	}
+	if err := n.enqueueFrame(addr, frame); err != nil {
+		n.mu.Lock()
+		delete(n.pending, req)
+		n.mu.Unlock()
+		return nil, err
+	}
+	t := getTimer(timeout)
+	defer putTimer(t)
 	select {
 	case reply := <-ch:
 		return reply, nil
-	case <-time.After(timeout):
+	case <-t.C:
 		n.mu.Lock()
 		delete(n.pending, req)
 		n.mu.Unlock()
@@ -399,12 +613,25 @@ func (n *Node) Request(addr string, typ wire.Type, payload []byte, timeout time.
 	}
 }
 
-// Reply answers a request packet, echoing its request ID.
-func (n *Node) Reply(reqPkt *wire.Packet, typ wire.Type, payload []byte) error {
-	return n.enqueue(reqPkt.From, &wire.Packet{Type: typ, Req: reqPkt.Req, Payload: payload})
+// Request is the REQ/REP pattern: send and block for the correlated reply.
+func (n *Node) Request(addr string, typ wire.Type, payload []byte, timeout time.Duration) (*wire.Packet, error) {
+	return n.RequestFrame(addr, append(n.NewFrameHint(typ, len(payload)), payload...), timeout)
 }
 
-// Close stops the node. Outbound queues are drained best-effort.
+// ReplyFrame answers a request packet over the single-copy path, echoing
+// its request ID into the prepared frame.
+func (n *Node) ReplyFrame(reqPkt *wire.Packet, frame []byte) error {
+	wire.PatchFrameReq(frame, reqPkt.Req)
+	return n.SendFrame(reqPkt.From, frame)
+}
+
+// Reply answers a request packet, echoing its request ID.
+func (n *Node) Reply(reqPkt *wire.Packet, typ wire.Type, payload []byte) error {
+	return n.ReplyFrame(reqPkt, append(n.NewFrameHint(typ, len(payload)), payload...))
+}
+
+// Close stops the node. Outbound queues are drained best-effort; inbound
+// packets already buffered remain readable from the (then-closed) inbox.
 func (n *Node) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -422,6 +649,8 @@ func (n *Node) Close() {
 	}
 	n.mu.Unlock()
 
+	// Unblock readLoops parked on a full inbox before waiting for them.
+	close(n.done)
 	n.listener.Close()
 	for _, p := range peers {
 		close(p.done)
@@ -433,11 +662,6 @@ func (n *Node) Close() {
 	n.ackCond.Broadcast()
 	n.ackMu.Unlock()
 
-	// Drain the inbox so internal senders blocked on it can exit.
-	go func() {
-		for range n.inbox {
-		}
-	}()
 	n.wg.Wait()
 	close(n.inbox)
 }
@@ -493,7 +717,10 @@ func (p *Publisher) Subscribers() []string {
 	return out
 }
 
-// Publish sends the packet to every subscriber whose filter matches.
+// Publish sends the packet to every subscriber whose filter matches. The
+// payload is copied into one pooled frame per subscriber (each peer's
+// writer owns and recycles its copy independently); the caller keeps
+// ownership of payload and may recycle it after Publish returns.
 func (p *Publisher) Publish(typ wire.Type, payload []byte) {
 	p.mu.Lock()
 	targets := make([]string, 0, len(p.subs))

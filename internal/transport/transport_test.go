@@ -404,7 +404,9 @@ func TestTCPFrameSizeLimit(t *testing.T) {
 }
 
 func BenchmarkTransportLatency(b *testing.B) {
-	// §3.5 analogue: round-trip latency of each layer.
+	// §3.5 analogue: round-trip latency of each layer, with allocs/op as
+	// the pooling observable. Both sides follow the release discipline so
+	// the frame pools actually recycle.
 	for name, nw := range map[string]Network{"inproc": NewInproc(), "tcp": NewTCP()} {
 		b.Run("conn-"+name, func(b *testing.B) {
 			l, _ := nw.Listen("")
@@ -419,7 +421,9 @@ func BenchmarkTransportLatency(b *testing.B) {
 					if err != nil {
 						return
 					}
-					if c.Send(f) != nil {
+					err = c.Send(f)
+					wire.ReleaseFrame(f)
+					if err != nil {
 						return
 					}
 				}
@@ -427,14 +431,17 @@ func BenchmarkTransportLatency(b *testing.B) {
 			c, _ := nw.Dial(l.Addr())
 			defer c.Close()
 			msg := make([]byte, 64)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := c.Send(msg); err != nil {
 					b.Fatal(err)
 				}
-				if _, err := c.Recv(); err != nil {
+				f, err := c.Recv()
+				if err != nil {
 					b.Fatal(err)
 				}
+				wire.ReleaseFrame(f)
 			}
 		})
 	}
@@ -446,15 +453,51 @@ func BenchmarkTransportLatency(b *testing.B) {
 			defer c.Close()
 			go func() {
 				for pkt := range c.Inbox() {
-					_ = c.Reply(pkt, wire.TPong, nil)
+					_ = c.ReplyFrame(pkt, c.NewFrame(wire.TPong))
+					wire.ReleasePacket(pkt)
 				}
 			}()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := a.Request(c.Addr(), wire.TPing, nil, 10*time.Second); err != nil {
+				reply, err := a.RequestFrame(c.Addr(), a.NewFrame(wire.TPing), 10*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wire.ReleasePacket(reply)
+			}
+		})
+	}
+	// One-way PUSH throughput path: frames queue at the per-peer writer,
+	// which coalesces bursts into vectored conn writes.
+	for name, nw := range map[string]Network{"inproc": NewInproc(), "tcp": NewTCP()} {
+		b.Run("push-"+name, func(b *testing.B) {
+			a, _ := NewNode(nw, "", 0)
+			c, _ := NewNode(nw, "", 0)
+			defer a.Close()
+			defer c.Close()
+			payload := make([]byte, 64)
+			received := make(chan struct{}, 1)
+			go func() {
+				n := 0
+				for pkt := range c.Inbox() {
+					wire.ReleasePacket(pkt)
+					n++
+					if n == b.N {
+						received <- struct{}{}
+					}
+				}
+			}()
+			b.ReportAllocs()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				frame := append(a.NewFrameHint(wire.TVertexMsgs, len(payload)), payload...)
+				if err := a.SendFrame(c.Addr(), frame); err != nil {
 					b.Fatal(err)
 				}
 			}
+			<-received
 		})
 	}
 }

@@ -39,15 +39,18 @@ func PhaseName(p uint8) string {
 	}
 }
 
-// EncodeStringList serializes a list of strings (directory lists).
-func EncodeStringList(items []string) []byte {
-	var w Writer
+// AppendStringList appends a string list payload to dst.
+func AppendStringList(dst []byte, items []string) []byte {
+	w := Writer{buf: dst}
 	w.U32(uint32(len(items)))
 	for _, s := range items {
 		w.Str(s)
 	}
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeStringList serializes a list of strings (directory lists).
+func EncodeStringList(items []string) []byte { return AppendStringList(nil, items) }
 
 // DecodeStringList parses a string list.
 func DecodeStringList(data []byte) ([]string, error) {
@@ -87,9 +90,9 @@ func (s *RunStats) PerStep() time.Duration {
 	return total / time.Duration(len(s.StepTimes))
 }
 
-// EncodeRunStats serializes run statistics.
-func EncodeRunStats(s *RunStats) []byte {
-	var w Writer
+// AppendRunStats appends a run statistics payload to dst.
+func AppendRunStats(dst []byte, s *RunStats) []byte {
+	w := Writer{buf: dst}
 	w.U32(s.RunID)
 	w.U32(s.Steps)
 	w.Bool(s.Converged)
@@ -98,8 +101,11 @@ func EncodeRunStats(s *RunStats) []byte {
 	for _, d := range s.StepTimes {
 		w.U64(uint64(d))
 	}
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeRunStats serializes run statistics.
+func EncodeRunStats(s *RunStats) []byte { return AppendRunStats(nil, s) }
 
 // DecodeRunStats parses run statistics.
 func DecodeRunStats(data []byte) (*RunStats, error) {
@@ -118,14 +124,19 @@ func DecodeRunStats(data []byte) (*RunStats, error) {
 	return s, nil
 }
 
+// AppendSubscribeTypes appends a TSubscribe payload to dst: the packet
+// types the subscriber wants (empty = all broadcasts).
+func AppendSubscribeTypes(dst []byte, types ...Type) []byte {
+	for _, t := range types {
+		dst = append(dst, byte(t))
+	}
+	return dst
+}
+
 // SubscribeTypes encodes a TSubscribe payload: the packet types the
 // subscriber wants (empty = all broadcasts).
 func SubscribeTypes(types ...Type) []byte {
-	out := make([]byte, len(types))
-	for i, t := range types {
-		out[i] = byte(t)
-	}
-	return out
+	return AppendSubscribeTypes(make([]byte, 0, len(types)), types...)
 }
 
 // DecodeSubscribeTypes parses a TSubscribe payload.

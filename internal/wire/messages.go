@@ -1,10 +1,23 @@
 package wire
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"elga/internal/graph"
 )
+
+// Message encoders come in two forms. AppendX(dst, x) appends x's
+// encoding to dst — callers on the hot path pass a pooled frame begun by
+// AppendFrameHeader so the type byte, header, and payload land in one
+// buffer in a single pass with no intermediate copy. EncodeX(x) is the
+// convenience form (AppendX(nil, x)) for callers that want a standalone
+// payload slice.
+//
+// Decoders materialize copies of everything they return (strings, element
+// slices), so decoded structs outlive the frame they were parsed from;
+// the DecodeXInto variants additionally reuse the caller's slice capacity
+// so steady-state decode of the data-plane batch types allocates nothing.
 
 // capHint bounds slice preallocation from untrusted counts: corrupt or
 // malicious length prefixes must not force large allocations before the
@@ -43,9 +56,9 @@ type View struct {
 	Sketch  []byte
 }
 
-// EncodeView serializes a view payload.
-func EncodeView(v *View) []byte {
-	var w Writer
+// AppendView appends a view payload to dst.
+func AppendView(dst []byte, v *View) []byte {
+	w := Writer{buf: dst}
 	w.U64(v.Epoch)
 	w.U64(v.BatchID)
 	w.U64(v.N)
@@ -55,8 +68,11 @@ func EncodeView(v *View) []byte {
 		w.Str(a.Addr)
 	}
 	w.Blob(v.Sketch)
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeView serializes a view payload.
+func EncodeView(v *View) []byte { return AppendView(nil, v) }
 
 // DecodeView parses a view payload.
 func DecodeView(data []byte) (*View, error) {
@@ -109,9 +125,9 @@ type EdgeBatch struct {
 	States []VertexState
 }
 
-// EncodeEdgeBatch serializes an edge batch.
-func EncodeEdgeBatch(b *EdgeBatch) []byte {
-	var w Writer
+// AppendEdgeBatch appends an edge batch payload to dst.
+func AppendEdgeBatch(dst []byte, b *EdgeBatch) []byte {
+	w := Writer{buf: dst}
 	w.U64(b.Epoch)
 	w.Bool(b.Migration)
 	w.U32(uint32(len(b.Changes)))
@@ -126,16 +142,24 @@ func EncodeEdgeBatch(b *EdgeBatch) []byte {
 		w.U64(uint64(s.State))
 		w.Bool(s.Active)
 	}
-	return w.Bytes()
+	return w.buf
 }
 
-// DecodeEdgeBatch parses an edge batch.
-func DecodeEdgeBatch(data []byte) (*EdgeBatch, error) {
-	r := NewReader(data)
-	b := &EdgeBatch{Epoch: r.U64(), Migration: r.Bool()}
+// EncodeEdgeBatch serializes an edge batch.
+func EncodeEdgeBatch(b *EdgeBatch) []byte { return AppendEdgeBatch(nil, b) }
+
+// DecodeEdgeBatchInto parses an edge batch into b, reusing the capacity of
+// b.Changes and b.States. Nothing in b aliases data afterwards.
+func DecodeEdgeBatchInto(b *EdgeBatch, data []byte) error {
+	r := Reader{buf: data}
+	b.Epoch = r.U64()
+	b.Migration = r.Bool()
+	b.Changes = b.Changes[:0]
 	n := int(r.U32())
 	if r.Err() == nil && n < 1<<26 {
-		b.Changes = make([]EdgeChange, 0, capHint(n))
+		if cap(b.Changes) == 0 {
+			b.Changes = make([]EdgeChange, 0, capHint(n))
+		}
 		for i := 0; i < n && r.Err() == nil; i++ {
 			tag := r.U8()
 			b.Changes = append(b.Changes, EdgeChange{
@@ -146,9 +170,12 @@ func DecodeEdgeBatch(data []byte) (*EdgeBatch, error) {
 			})
 		}
 	}
+	b.States = b.States[:0]
 	ns := int(r.U32())
 	if r.Err() == nil && ns < 1<<26 {
-		b.States = make([]VertexState, 0, capHint(ns))
+		if cap(b.States) == 0 {
+			b.States = make([]VertexState, 0, capHint(ns))
+		}
 		for i := 0; i < ns && r.Err() == nil; i++ {
 			b.States = append(b.States, VertexState{
 				Vertex: graph.VertexID(r.U64()),
@@ -158,7 +185,16 @@ func DecodeEdgeBatch(data []byte) (*EdgeBatch, error) {
 		}
 	}
 	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("decode edge batch: %w", err)
+		return fmt.Errorf("decode edge batch: %w", err)
+	}
+	return nil
+}
+
+// DecodeEdgeBatch parses an edge batch.
+func DecodeEdgeBatch(data []byte) (*EdgeBatch, error) {
+	b := &EdgeBatch{}
+	if err := DecodeEdgeBatchInto(b, data); err != nil {
+		return nil, err
 	}
 	return b, nil
 }
@@ -180,9 +216,9 @@ type VertexMsgBatch struct {
 	Msgs  []VertexMsg
 }
 
-// EncodeVertexMsgBatch serializes a vertex message batch.
-func EncodeVertexMsgBatch(b *VertexMsgBatch) []byte {
-	var w Writer
+// AppendVertexMsgBatch appends a vertex message batch payload to dst.
+func AppendVertexMsgBatch(dst []byte, b *VertexMsgBatch) []byte {
+	w := Writer{buf: dst}
 	w.U32(b.Step)
 	w.Bool(b.Async)
 	w.U32(uint32(len(b.Msgs)))
@@ -191,16 +227,24 @@ func EncodeVertexMsgBatch(b *VertexMsgBatch) []byte {
 		w.U64(uint64(m.Via))
 		w.U64(uint64(m.Value))
 	}
-	return w.Bytes()
+	return w.buf
 }
 
-// DecodeVertexMsgBatch parses a vertex message batch.
-func DecodeVertexMsgBatch(data []byte) (*VertexMsgBatch, error) {
-	r := NewReader(data)
-	b := &VertexMsgBatch{Step: r.U32(), Async: r.Bool()}
+// EncodeVertexMsgBatch serializes a vertex message batch.
+func EncodeVertexMsgBatch(b *VertexMsgBatch) []byte { return AppendVertexMsgBatch(nil, b) }
+
+// DecodeVertexMsgBatchInto parses a vertex message batch into b, reusing
+// the capacity of b.Msgs. Nothing in b aliases data afterwards.
+func DecodeVertexMsgBatchInto(b *VertexMsgBatch, data []byte) error {
+	r := Reader{buf: data}
+	b.Step = r.U32()
+	b.Async = r.Bool()
+	b.Msgs = b.Msgs[:0]
 	n := int(r.U32())
 	if r.Err() == nil && n < 1<<26 {
-		b.Msgs = make([]VertexMsg, 0, capHint(n))
+		if cap(b.Msgs) == 0 {
+			b.Msgs = make([]VertexMsg, 0, capHint(n))
+		}
 		for i := 0; i < n && r.Err() == nil; i++ {
 			b.Msgs = append(b.Msgs, VertexMsg{
 				Target: graph.VertexID(r.U64()),
@@ -210,7 +254,16 @@ func DecodeVertexMsgBatch(data []byte) (*VertexMsgBatch, error) {
 		}
 	}
 	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("decode vertex msgs: %w", err)
+		return fmt.Errorf("decode vertex msgs: %w", err)
+	}
+	return nil
+}
+
+// DecodeVertexMsgBatch parses a vertex message batch.
+func DecodeVertexMsgBatch(data []byte) (*VertexMsgBatch, error) {
+	b := &VertexMsgBatch{}
+	if err := DecodeVertexMsgBatchInto(b, data); err != nil {
+		return nil, err
 	}
 	return b, nil
 }
@@ -226,17 +279,20 @@ type ReplicaPartial struct {
 	LocalOutDeg uint64
 }
 
-// EncodeReplicaPartial serializes a replica partial.
-func EncodeReplicaPartial(p *ReplicaPartial) []byte {
-	var w Writer
+// AppendReplicaPartial appends a replica partial payload to dst.
+func AppendReplicaPartial(dst []byte, p *ReplicaPartial) []byte {
+	w := Writer{buf: dst}
 	w.U32(p.Step)
 	w.U64(uint64(p.Vertex))
 	w.U64(uint64(p.Agg))
 	w.Bool(p.HaveMsgs)
 	w.U64(p.MsgCount)
 	w.U64(p.LocalOutDeg)
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeReplicaPartial serializes a replica partial.
+func EncodeReplicaPartial(p *ReplicaPartial) []byte { return AppendReplicaPartial(nil, p) }
 
 // DecodeReplicaPartial parses a replica partial.
 func DecodeReplicaPartial(data []byte) (*ReplicaPartial, error) {
@@ -266,16 +322,19 @@ type ValueUpdate struct {
 	Scatter bool
 }
 
-// EncodeValueUpdate serializes a value update.
-func EncodeValueUpdate(u *ValueUpdate) []byte {
-	var w Writer
+// AppendValueUpdate appends a value update payload to dst.
+func AppendValueUpdate(dst []byte, u *ValueUpdate) []byte {
+	w := Writer{buf: dst}
 	w.U32(u.Step)
 	w.U64(uint64(u.Vertex))
 	w.U64(uint64(u.State))
 	w.U64(u.TotalOutDeg)
 	w.Bool(u.Scatter)
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeValueUpdate serializes a value update.
+func EncodeValueUpdate(u *ValueUpdate) []byte { return AppendValueUpdate(nil, u) }
 
 // DecodeValueUpdate parses a value update.
 func DecodeValueUpdate(data []byte) (*ValueUpdate, error) {
@@ -300,13 +359,16 @@ type ReplicaRegister struct {
 	AgentID uint64
 }
 
-// EncodeReplicaRegister serializes a replica registration.
-func EncodeReplicaRegister(rr *ReplicaRegister) []byte {
-	var w Writer
+// AppendReplicaRegister appends a replica registration payload to dst.
+func AppendReplicaRegister(dst []byte, rr *ReplicaRegister) []byte {
+	w := Writer{buf: dst}
 	w.U64(uint64(rr.Vertex))
 	w.U64(rr.AgentID)
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeReplicaRegister serializes a replica registration.
+func EncodeReplicaRegister(rr *ReplicaRegister) []byte { return AppendReplicaRegister(nil, rr) }
 
 // DecodeReplicaRegister parses a replica registration.
 func DecodeReplicaRegister(data []byte) (*ReplicaRegister, error) {
@@ -334,9 +396,9 @@ type Ready struct {
 	Idle       bool   // async: no local work outstanding
 }
 
-// EncodeReady serializes a barrier vote.
-func EncodeReady(m *Ready) []byte {
-	var w Writer
+// AppendReady appends a barrier vote payload to dst.
+func AppendReady(dst []byte, m *Ready) []byte {
+	w := Writer{buf: dst}
 	w.U64(m.AgentID)
 	w.U32(m.Step)
 	w.U8(m.Phase)
@@ -347,8 +409,11 @@ func EncodeReady(m *Ready) []byte {
 	w.U64(m.Sent)
 	w.U64(m.Received)
 	w.Bool(m.Idle)
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeReady serializes a barrier vote.
+func EncodeReady(m *Ready) []byte { return AppendReady(nil, m) }
 
 // DecodeReady parses a barrier vote.
 func DecodeReady(data []byte) (*Ready, error) {
@@ -373,16 +438,19 @@ type Advance struct {
 	RunID uint32
 }
 
-// EncodeAdvance serializes an advance broadcast.
-func EncodeAdvance(a *Advance) []byte {
-	var w Writer
+// AppendAdvance appends an advance payload to dst.
+func AppendAdvance(dst []byte, a *Advance) []byte {
+	w := Writer{buf: dst}
 	w.U32(a.Step)
 	w.U8(a.Phase)
 	w.Bool(a.Halt)
 	w.U64(a.N)
 	w.U32(a.RunID)
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeAdvance serializes an advance broadcast.
+func EncodeAdvance(a *Advance) []byte { return AppendAdvance(nil, a) }
 
 // DecodeAdvance parses an advance broadcast.
 func DecodeAdvance(data []byte) (*Advance, error) {
@@ -413,9 +481,9 @@ type AlgoStart struct {
 	Resume bool
 }
 
-// EncodeAlgoStart serializes an algorithm start broadcast.
-func EncodeAlgoStart(s *AlgoStart) []byte {
-	var w Writer
+// AppendAlgoStart appends an algorithm start payload to dst.
+func AppendAlgoStart(dst []byte, s *AlgoStart) []byte {
+	w := Writer{buf: dst}
 	w.U32(s.RunID)
 	w.Str(s.Algo)
 	w.Bool(s.Async)
@@ -424,8 +492,11 @@ func EncodeAlgoStart(s *AlgoStart) []byte {
 	w.Bool(s.FromScratch)
 	w.U64(uint64(s.Source))
 	w.Bool(s.Resume)
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeAlgoStart serializes an algorithm start broadcast.
+func EncodeAlgoStart(s *AlgoStart) []byte { return AppendAlgoStart(nil, s) }
 
 // DecodeAlgoStart parses an algorithm start broadcast.
 func DecodeAlgoStart(data []byte) (*AlgoStart, error) {
@@ -449,14 +520,17 @@ type AlgoDone struct {
 	Converged bool
 }
 
-// EncodeAlgoDone serializes a completion broadcast.
-func EncodeAlgoDone(d *AlgoDone) []byte {
-	var w Writer
+// AppendAlgoDone appends a completion payload to dst.
+func AppendAlgoDone(dst []byte, d *AlgoDone) []byte {
+	w := Writer{buf: dst}
 	w.U32(d.RunID)
 	w.U32(d.Steps)
 	w.Bool(d.Converged)
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeAlgoDone serializes a completion broadcast.
+func EncodeAlgoDone(d *AlgoDone) []byte { return AppendAlgoDone(nil, d) }
 
 // DecodeAlgoDone parses a completion broadcast.
 func DecodeAlgoDone(data []byte) (*AlgoDone, error) {
@@ -473,12 +547,15 @@ type Query struct {
 	Vertex graph.VertexID
 }
 
-// EncodeQuery serializes a query.
-func EncodeQuery(q *Query) []byte {
-	var w Writer
+// AppendQuery appends a query payload to dst.
+func AppendQuery(dst []byte, q *Query) []byte {
+	w := Writer{buf: dst}
 	w.U64(uint64(q.Vertex))
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeQuery serializes a query.
+func EncodeQuery(q *Query) []byte { return AppendQuery(nil, q) }
 
 // DecodeQuery parses a query.
 func DecodeQuery(data []byte) (*Query, error) {
@@ -497,14 +574,17 @@ type QueryReply struct {
 	Step  uint32 // superstep of the returned state (staleness indicator)
 }
 
-// EncodeQueryReply serializes a query reply.
-func EncodeQueryReply(q *QueryReply) []byte {
-	var w Writer
+// AppendQueryReply appends a query reply payload to dst.
+func AppendQueryReply(dst []byte, q *QueryReply) []byte {
+	w := Writer{buf: dst}
 	w.Bool(q.Found)
 	w.U64(uint64(q.State))
 	w.U32(q.Step)
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeQueryReply serializes a query reply.
+func EncodeQueryReply(q *QueryReply) []byte { return AppendQueryReply(nil, q) }
 
 // DecodeQueryReply parses a query reply.
 func DecodeQueryReply(data []byte) (*QueryReply, error) {
@@ -523,14 +603,17 @@ type Metric struct {
 	Value   float64
 }
 
-// EncodeMetric serializes a metric sample.
-func EncodeMetric(m *Metric) []byte {
-	var w Writer
+// AppendMetric appends a metric sample payload to dst.
+func AppendMetric(dst []byte, m *Metric) []byte {
+	w := Writer{buf: dst}
 	w.U64(m.AgentID)
 	w.Str(m.Name)
 	w.F64(m.Value)
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeMetric serializes a metric sample.
+func EncodeMetric(m *Metric) []byte { return AppendMetric(nil, m) }
 
 // DecodeMetric parses a metric sample.
 func DecodeMetric(data []byte) (*Metric, error) {
@@ -547,12 +630,15 @@ type Join struct {
 	Addr string
 }
 
-// EncodeJoin serializes a join request.
-func EncodeJoin(j *Join) []byte {
-	var w Writer
+// AppendJoin appends a join request payload to dst.
+func AppendJoin(dst []byte, j *Join) []byte {
+	w := Writer{buf: dst}
 	w.Str(j.Addr)
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeJoin serializes a join request.
+func EncodeJoin(j *Join) []byte { return AppendJoin(nil, j) }
 
 // DecodeJoin parses a join request.
 func DecodeJoin(data []byte) (*Join, error) {
@@ -570,13 +656,21 @@ type JoinReply struct {
 	View    *View
 }
 
-// EncodeJoinReply serializes a join reply.
-func EncodeJoinReply(j *JoinReply) []byte {
-	var w Writer
+// AppendJoinReply appends a join reply payload to dst. The nested view is
+// appended in place with its blob length patched afterwards, so the reply
+// never materializes an intermediate view encoding.
+func AppendJoinReply(dst []byte, j *JoinReply) []byte {
+	w := Writer{buf: dst}
 	w.U64(j.AgentID)
-	w.Blob(EncodeView(j.View))
-	return w.Bytes()
+	lenOff := len(w.buf)
+	w.U32(0)
+	w.buf = AppendView(w.buf, j.View)
+	binary.LittleEndian.PutUint32(w.buf[lenOff:], uint32(len(w.buf)-lenOff-4))
+	return w.buf
 }
+
+// EncodeJoinReply serializes a join reply.
+func EncodeJoinReply(j *JoinReply) []byte { return AppendJoinReply(nil, j) }
 
 // DecodeJoinReply parses a join reply.
 func DecodeJoinReply(data []byte) (*JoinReply, error) {
@@ -599,12 +693,15 @@ type Leave struct {
 	AgentID uint64
 }
 
-// EncodeLeave serializes a leave announcement.
-func EncodeLeave(l *Leave) []byte {
-	var w Writer
+// AppendLeave appends a leave payload to dst.
+func AppendLeave(dst []byte, l *Leave) []byte {
+	w := Writer{buf: dst}
 	w.U64(l.AgentID)
-	return w.Bytes()
+	return w.buf
 }
+
+// EncodeLeave serializes a leave announcement.
+func EncodeLeave(l *Leave) []byte { return AppendLeave(nil, l) }
 
 // DecodeLeave parses a leave announcement.
 func DecodeLeave(data []byte) (*Leave, error) {

@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"unsafe"
+)
+
+// Frame and packet pooling (§3.5): ElGA's hot paths — edge-batch ingest,
+// vertex-message scatter, view broadcast — each send the same shapes of
+// frame millions of times. Size-classed sync.Pools recycle frame buffers
+// and Packet headers so the steady state allocates nothing: a sender
+// appends header and payload into one pooled buffer in a single pass, the
+// transport recycles the buffer after the conn write, and receivers
+// release inbound packets (and the frame their payload aliases) once the
+// message is consumed.
+//
+// Ownership discipline:
+//
+//   - GetFrame/ReleaseFrame transfer exclusive ownership of a buffer.
+//     Releasing a frame that is still referenced is a use-after-free class
+//     bug; forgetting to release merely falls back to GC.
+//   - A frame handed to a transport send transfers ownership to the
+//     transport, which releases it after the conn write.
+//   - A *Packet obtained from GetPacket owns its backing frame; releasing
+//     the packet releases the frame too.
+
+// frameClasses are the pooled buffer capacities. Sends are dominated by
+// small control frames and KB-scale data batches; sketch-bearing view
+// broadcasts reach the MB range. Larger requests are served unpooled.
+var frameClasses = [...]int{512, 4096, 32768, 262144, 2 << 20}
+
+var framePools [len(frameClasses)]sync.Pool
+
+// classFor returns the smallest class with capacity >= n, or -1.
+func classFor(n int) int {
+	for c, size := range frameClasses {
+		if n <= size {
+			return c
+		}
+	}
+	return -1
+}
+
+// releaseClassFor returns the largest class with capacity <= c, or -1.
+// A pooled buffer that grew past its class is requeued at the class it
+// can still fully serve.
+func releaseClassFor(c int) int {
+	for i := len(frameClasses) - 1; i >= 0; i-- {
+		if c >= frameClasses[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// GetFrame returns an empty buffer with capacity at least hint, drawn from
+// the size-classed frame pool. The caller owns it until it is handed to a
+// transport send or returned with ReleaseFrame.
+func GetFrame(hint int) []byte {
+	c := classFor(hint)
+	if c < 0 {
+		return make([]byte, 0, hint)
+	}
+	if p, _ := framePools[c].Get().(*byte); p != nil {
+		return unsafe.Slice(p, frameClasses[c])[:0]
+	}
+	return make([]byte, 0, frameClasses[c])
+}
+
+// ReleaseFrame recycles buf for a future GetFrame. buf must not be
+// referenced after the call. Oversized (unpooled) buffers are dropped.
+func ReleaseFrame(buf []byte) {
+	c := releaseClassFor(cap(buf))
+	if c < 0 {
+		return
+	}
+	// Pools hold a bare *byte: boxing a pointer into an interface does not
+	// allocate, unlike boxing a slice header. GetFrame reconstitutes the
+	// slice from the class's fixed capacity.
+	b := buf[:1]
+	framePools[c].Put(&b[0])
+}
+
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// GetPacket returns a zeroed *Packet from the pool.
+func GetPacket() *Packet { return packetPool.Get().(*Packet) }
+
+// ReleasePacket recycles p and, if p was unmarshalled from a pooled frame,
+// the frame its Payload aliases. Neither p nor its Payload may be
+// referenced after the call.
+func ReleasePacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	f := p.frame
+	*p = Packet{}
+	if f != nil {
+		ReleaseFrame(f)
+	}
+	packetPool.Put(p)
+}
+
+// FromInterner dedups the From strings of successive packets arriving on
+// one connection. A connection carries one peer's traffic, so the sender
+// address repeats on every frame; interning makes the steady-state decode
+// allocate no per-packet string.
+type FromInterner struct {
+	last string
+}
+
+// Intern returns a string equal to b, reusing the previous result when the
+// bytes match (the comparison itself does not allocate).
+func (in *FromInterner) Intern(b []byte) string {
+	if in.last != string(b) {
+		in.last = string(b)
+	}
+	return in.last
+}
+
+// frameHeaderLen is the fixed portion of the frame header: type(1) req(4)
+// fromLen(2) ... payloadLen(4), excluding the variable-length from.
+const frameHeaderLen = 11
+
+// AppendFrameHeader begins a frame in dst (which must be empty): type,
+// request ID, sender address, and a zero payload-length placeholder.
+// Payload bytes are appended directly after it; FinishFrame patches the
+// length once the payload is complete.
+func AppendFrameHeader(dst []byte, typ Type, req uint32, from string) []byte {
+	dst = append(dst, byte(typ))
+	dst = binary.LittleEndian.AppendUint32(dst, req)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(from)))
+	dst = append(dst, from...)
+	dst = binary.LittleEndian.AppendUint32(dst, 0)
+	return dst
+}
+
+// PatchFrameReq overwrites the request ID of a frame started by
+// AppendFrameHeader. The ID sits at a fixed offset, so acked and reply
+// sends can allocate it after the payload is already in place.
+func PatchFrameReq(frame []byte, req uint32) {
+	if len(frame) < 5 {
+		return
+	}
+	binary.LittleEndian.PutUint32(frame[1:], req)
+}
+
+// FinishFrame patches the payload length of a completed frame, deriving
+// the header geometry from the frame itself. It validates the same limits
+// MarshalPacket enforces.
+func FinishFrame(frame []byte) error {
+	if len(frame) < frameHeaderLen {
+		return ErrShort
+	}
+	if !Type(frame[0]).Valid() {
+		return fmt.Errorf("%w: invalid type %d", ErrBadPacket, frame[0])
+	}
+	fl := int(binary.LittleEndian.Uint16(frame[5:]))
+	if len(frame) < frameHeaderLen+fl {
+		return ErrShort
+	}
+	pl := len(frame) - frameHeaderLen - fl
+	if pl > maxFrame {
+		return fmt.Errorf("%w: payload length %d", ErrBadPacket, pl)
+	}
+	binary.LittleEndian.PutUint32(frame[7+fl:], uint32(pl))
+	return nil
+}

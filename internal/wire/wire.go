@@ -145,11 +145,21 @@ func (t Type) Valid() bool { return t > TInvalid && t < typeCount }
 // Packet is the unit of communication. From is the sender's listen
 // address, so any packet can be replied to or acked; Req correlates
 // requests with replies and acked pushes with their TAck.
+//
+// Payload aliases the frame the packet was unmarshalled from; it is valid
+// until the packet is released (ReleasePacket) or the frame is otherwise
+// recycled. Consumers that retain payload bytes past that point must copy
+// them — the typed DecodeX helpers already do for strings and slices they
+// materialize, while Reader.Blob aliases.
 type Packet struct {
 	Type    Type
 	Req     uint32
 	From    string
 	Payload []byte
+
+	// frame is the pooled receive buffer backing Payload, recycled by
+	// ReleasePacket. nil for packets not born from UnmarshalPacketInto.
+	frame []byte
 }
 
 // ErrShort reports a truncated packet or payload.
@@ -181,29 +191,52 @@ func MarshalPacket(p *Packet) ([]byte, error) {
 	return buf, nil
 }
 
-// UnmarshalPacket decodes a packet produced by MarshalPacket.
+// UnmarshalPacket decodes a packet produced by MarshalPacket. The
+// packet's Payload aliases data.
 func UnmarshalPacket(data []byte) (*Packet, error) {
-	if len(data) < 11 {
-		return nil, ErrShort
+	p := &Packet{}
+	if err := UnmarshalPacketInto(p, data, nil); err != nil {
+		return nil, err
 	}
-	p := &Packet{Type: Type(data[0])}
+	return p, nil
+}
+
+// UnmarshalPacketInto decodes a frame into p, aliasing data for the
+// payload (no copy). p takes ownership of data: ReleasePacket recycles it
+// to the frame pool, so data must come from GetFrame (transport receive
+// paths do). intern, when non-nil, dedups the From string across packets
+// from the same connection.
+//
+// On error p still owns data — releasing p reclaims the frame.
+func UnmarshalPacketInto(p *Packet, data []byte, intern *FromInterner) error {
+	p.frame = data
+	if len(data) < 11 {
+		return ErrShort
+	}
+	p.Type = Type(data[0])
 	if !p.Type.Valid() {
-		return nil, fmt.Errorf("%w: type %d", ErrBadPacket, data[0])
+		return fmt.Errorf("%w: type %d", ErrBadPacket, data[0])
 	}
 	p.Req = binary.LittleEndian.Uint32(data[1:])
 	fl := int(binary.LittleEndian.Uint16(data[5:]))
 	if len(data) < 11+fl {
-		return nil, ErrShort
+		return ErrShort
 	}
-	p.From = string(data[7 : 7+fl])
+	if intern != nil {
+		p.From = intern.Intern(data[7 : 7+fl])
+	} else {
+		p.From = string(data[7 : 7+fl])
+	}
 	pl := int(binary.LittleEndian.Uint32(data[7+fl:]))
 	if pl > maxFrame || len(data) != 11+fl+pl {
-		return nil, fmt.Errorf("%w: payload length %d", ErrBadPacket, pl)
+		return fmt.Errorf("%w: payload length %d", ErrBadPacket, pl)
 	}
 	if pl > 0 {
-		p.Payload = append([]byte(nil), data[11+fl:]...)
+		p.Payload = data[11+fl:]
+	} else {
+		p.Payload = nil
 	}
-	return p, nil
+	return nil
 }
 
 // Writer builds payloads. The zero value is ready to use.

@@ -332,18 +332,26 @@ func TestPacketProperty(t *testing.T) {
 }
 
 func BenchmarkEncodeVertexMsgBatch(b *testing.B) {
+	// The send-path encode: append into a pooled frame, release after
+	// the (simulated) wire write recycles it.
 	batch := &VertexMsgBatch{Step: 1, Msgs: make([]VertexMsg, 256)}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		benchBytes = EncodeVertexMsgBatch(batch)
+		buf := AppendVertexMsgBatch(GetFrame(8192), batch)
+		ReleaseFrame(buf)
 	}
 }
 
 func BenchmarkDecodeVertexMsgBatch(b *testing.B) {
+	// The receive-path decode: into a reused scratch batch, as the agent
+	// event loop does.
 	data := EncodeVertexMsgBatch(&VertexMsgBatch{Step: 1, Msgs: make([]VertexMsg, 256)})
+	var scratch VertexMsgBatch
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := DecodeVertexMsgBatch(data); err != nil {
+		if err := DecodeVertexMsgBatchInto(&scratch, data); err != nil {
 			b.Fatal(err)
 		}
 	}
