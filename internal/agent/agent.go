@@ -148,6 +148,19 @@ type Agent struct {
 	scratchVMB wire.VertexMsgBatch
 	scratchEB  wire.EdgeBatch
 
+	// Reusable intra-phase state (parallel.go) and batcher free lists;
+	// capacity persists across phases so steady-state supersteps stop
+	// allocating on the scatter path.
+	shards      []*computeShard
+	workSet     map[graph.VertexID]struct{}
+	workList    []graph.VertexID
+	combineKeys []graph.VertexID
+	combineVals []*partialEntry
+	batcherFree []*msgBatcher
+	asyncFree   []*asyncBatcher
+	mailFree    []*mailEntry
+	mailMapFree []map[graph.VertexID]*mailEntry
+
 	migratedEpoch uint64 // last epoch whose migration round we voted in
 	leaving       bool
 	readyToExit   bool
@@ -187,6 +200,7 @@ func Start(opts Options) (*Agent, error) {
 		skDelta:     opts.Config.NewSketch(),
 		mailbox:     make(map[uint32]map[graph.VertexID]*mailEntry),
 		partials:    make(map[uint32]map[graph.VertexID]*partialEntry),
+		workSet:     make(map[graph.VertexID]struct{}),
 		phaseGate:   &ackGroup{},
 		reqToGroups: make(map[uint32][]*ackGroup),
 		done:        make(chan struct{}),
@@ -381,20 +395,27 @@ func (a *Agent) sendGated(addr string, typ wire.Type, payload []byte, groups ...
 	a.sendGatedFrame(addr, append(a.node.NewFrameHint(typ, len(payload)), payload...), groups...)
 }
 
+// initValue computes v's initial algorithm state without installing it —
+// shared by valueOf (which installs) and peekValue (which must not touch
+// shared maps from phase workers).
+func (a *Agent) initValue(v graph.VertexID) algorithm.Word {
+	if a.run == nil {
+		return 0
+	}
+	if debugTrapLazyInit && a.run.spec.FromScratch && a.run.step > 0 {
+		panic(fmt.Sprintf("agent %d: lazy init of vertex %d at step %d (holds=%v out=%d in=%d active=%v)",
+			a.id, v, a.run.step, a.store.HasVertex(v), a.store.OutDegree(v), a.store.InDegree(v), a.store.IsActive(v)))
+	}
+	return a.run.prog.Init(v, &a.run.ctx)
+}
+
 // valueOf returns v's algorithm state, lazily initializing through the
 // running program.
 func (a *Agent) valueOf(v graph.VertexID) algorithm.Word {
 	if w, ok := a.values[v]; ok {
 		return w
 	}
-	var w algorithm.Word
-	if a.run != nil {
-		if debugTrapLazyInit && a.run.spec.FromScratch && a.run.step > 0 {
-			panic(fmt.Sprintf("agent %d: lazy init of vertex %d at step %d (holds=%v out=%d in=%d active=%v)",
-				a.id, v, a.run.step, a.store.HasVertex(v), a.store.OutDegree(v), a.store.InDegree(v), a.store.IsActive(v)))
-		}
-		w = a.run.prog.Init(v, &a.run.ctx)
-	}
+	w := a.initValue(v)
 	a.values[v] = w
 	return w
 }

@@ -47,13 +47,14 @@ func (a *Agent) startAsync() {
 		}
 		r.active = make(map[graph.VertexID]struct{})
 	}
-	b := newAsyncBatcher(a)
+	b := a.getAsyncBatcher()
 	for _, v := range seeds {
 		// Seed scatter: announce the current value along all edges.
 		mv := r.prog.MessageValue(v, a.valueOf(v), uint64(a.store.OutDegree(v)), &r.ctx)
 		a.asyncScatter(b, v, mv, true)
 	}
 	b.flush()
+	a.putAsyncBatcher(b)
 }
 
 // handleAsyncMsgs processes an asynchronous message batch immediately:
@@ -67,7 +68,7 @@ func (a *Agent) handleAsyncMsgs(batch *wire.VertexMsgBatch) {
 		// happens for traffic from a previous run's tail.
 		return
 	}
-	b := newAsyncBatcher(a)
+	b := a.getAsyncBatcher()
 	self := consistent.AgentID(a.id)
 	for _, m := range batch.Msgs {
 		v := graph.VertexID(m.Target)
@@ -92,6 +93,7 @@ func (a *Agent) handleAsyncMsgs(batch *wire.VertexMsgBatch) {
 		}
 	}
 	b.flush()
+	a.putAsyncBatcher(b)
 }
 
 // asyncScatter sends v's message value along its local edges and, for
@@ -143,8 +145,20 @@ type asyncBatcher struct {
 	byDst map[consistent.AgentID][]wire.VertexMsg
 }
 
-func newAsyncBatcher(a *Agent) *asyncBatcher {
+// getAsyncBatcher pops a batcher off the agent's free list. A free list
+// (rather than one scratch instance) is required because processAsyncLocal
+// nests batchers: a local delivery mid-flush opens a fresh one.
+func (a *Agent) getAsyncBatcher() *asyncBatcher {
+	if n := len(a.asyncFree); n > 0 {
+		b := a.asyncFree[n-1]
+		a.asyncFree = a.asyncFree[:n-1]
+		return b
+	}
 	return &asyncBatcher{agent: a, byDst: make(map[consistent.AgentID][]wire.VertexMsg)}
+}
+
+func (a *Agent) putAsyncBatcher(b *asyncBatcher) {
+	a.asyncFree = append(a.asyncFree, b)
 }
 
 func (b *asyncBatcher) add(dst consistent.AgentID, m wire.VertexMsg) {
@@ -178,16 +192,23 @@ func (a *Agent) processAsyncLocal(m wire.VertexMsg) {
 	}
 	a.values[v] = nw
 	if act {
-		b := newAsyncBatcher(a)
+		b := a.getAsyncBatcher()
 		mv := r.prog.MessageValue(v, nw, uint64(a.store.OutDegree(v)), &r.ctx)
 		a.asyncScatter(b, v, mv, false)
 		b.flush()
+		a.putAsyncBatcher(b)
 	}
 }
 
 func (b *asyncBatcher) flush() {
 	a := b.agent
 	for dst, msgs := range b.byDst {
+		if len(msgs) == 0 {
+			continue
+		}
+		// Entries reset in place: the encoder copied msgs into the frame,
+		// so the backing array is immediately reusable.
+		b.byDst[dst] = msgs[:0]
 		addr, ok := a.router.AddrOf(dst)
 		if !ok {
 			continue
@@ -197,7 +218,6 @@ func (b *asyncBatcher) flush() {
 			a.node.NewFrameHint(wire.TVertexMsgs, 16+24*len(msgs)),
 			&wire.VertexMsgBatch{Async: true, Msgs: msgs}))
 	}
-	b.byDst = make(map[consistent.AgentID][]wire.VertexMsg)
 }
 
 // handleAsyncProbe answers a quiescence probe with the current counters.

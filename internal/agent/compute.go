@@ -148,8 +148,11 @@ func (a *Agent) processCompute() {
 	delete(a.mailbox, r.step)
 
 	// Work set: active vertices plus everything with mail, plus any
-	// activity that arrived through migration (st.Active marks).
-	work := make(map[graph.VertexID]struct{}, len(r.active)+len(mail))
+	// activity that arrived through migration (st.Active marks). The
+	// dedup map and the indexable list are scratch state reused across
+	// phases.
+	clear(a.workSet)
+	work := a.workSet
 	for v := range r.active {
 		work[v] = struct{}{}
 	}
@@ -170,118 +173,47 @@ func (a *Agent) processCompute() {
 			return true
 		})
 	}
-	r.active = make(map[graph.VertexID]struct{})
-
-	batches := newMsgBatcher(a, r.step+1)
-	self := consistent.AgentID(a.id)
+	a.workList = a.workList[:0]
 	for v := range work {
-		entry := mail[v]
-		if a.router.Split(v) {
-			r.splitWork = true
-			// Replica duty: forward the local partial to the master.
-			p := &wire.ReplicaPartial{
-				Step:        r.step,
-				Vertex:      v,
-				Agg:         wire.Word(r.prog.ZeroAgg()),
-				LocalOutDeg: uint64(a.store.OutDegree(v)),
-			}
-			if entry != nil {
-				p.Agg = wire.Word(entry.fold(r.prog))
-				p.HaveMsgs = entry.have
-				p.MsgCount = entry.n
-			}
-			master, ok := a.router.Master(v)
-			if !ok {
-				continue
-			}
-			if master == self {
-				a.stashPartial(r.step, v, algorithm.Word(p.Agg), p.MsgCount, p.HaveMsgs, p.LocalOutDeg)
-			} else if addr, ok := a.router.AddrOf(master); ok {
-				a.sendGatedFrame(addr,
-					wire.AppendReplicaPartial(a.node.NewFrame(wire.TReplicaPartial), p),
-					a.phaseGate)
-			}
-			continue
-		}
-		// Non-split vertex: the full gather→update→scatter cycle.
-		agg := r.prog.ZeroAgg()
-		have := false
-		if entry != nil {
-			agg, have = entry.fold(r.prog), entry.have
-		}
-		old := a.valueOf(v)
-		nw, act := r.prog.Update(v, old, agg, have, &r.ctx)
-		a.values[v] = nw
-		r.residual += r.prog.Residual(old, nw)
-		if act {
-			r.activeNext++
-			r.active[v] = struct{}{}
-			mv := r.prog.MessageValue(v, nw, uint64(a.store.OutDegree(v)), &r.ctx)
-			a.scatter(batches, v, mv)
-		}
+		a.workList = append(a.workList, v)
 	}
+	clear(r.active)
+
+	batches := a.getBatcher(r.step + 1)
+	self := consistent.AgentID(a.id)
+	shards := a.runSharded(len(a.workList), func(s *computeShard, i int) {
+		a.computeVertex(s, a.workList[i], mail, self)
+	})
+	a.mergeShards(shards, batches, self)
 	batches.flush(a.phaseGate)
+	a.putBatcher(batches)
+	a.recycleMail(mail)
 	r.doneLocal = true
 	a.maybeReady()
 }
 
 // processCombine is superstep phase 2: masters fold replica partials,
-// update split-vertex state, scatter locally, and broadcast value updates.
+// update split-vertex state, scatter locally, and broadcast value
+// updates. The per-vertex work (combineVertex) shards across the same
+// worker pool as the compute phase; all sends happen at merge.
 func (a *Agent) processCombine() {
 	r := a.run
 	parts := a.partials[r.step]
 	delete(a.partials, r.step)
 	self := consistent.AgentID(a.id)
+	a.combineKeys = a.combineKeys[:0]
+	a.combineVals = a.combineVals[:0]
 	for v, p := range parts {
-		if m, ok := a.router.Master(v); !ok || m != self {
-			// A view change moved mastership; the partial is re-sent as
-			// a fresh partial to the new master.
-			if m2, ok2 := a.router.Master(v); ok2 {
-				if addr, ok3 := a.router.AddrOf(m2); ok3 {
-					a.sendGatedFrame(addr, wire.AppendReplicaPartial(
-						a.node.NewFrame(wire.TReplicaPartial), &wire.ReplicaPartial{
-							Step: r.step, Vertex: v, Agg: wire.Word(p.agg),
-							HaveMsgs: p.have, MsgCount: p.n, LocalOutDeg: p.outDeg,
-						}), a.phaseGate)
-				}
-			}
-			continue
-		}
-		old := a.valueOf(v)
-		nw, act := r.prog.Update(v, old, p.agg, p.have, &r.ctx)
-		a.values[v] = nw
-		a.totalOutDeg[v] = p.outDeg
-		r.residual += r.prog.Residual(old, nw)
-		if !act {
-			continue
-		}
-		r.activeNext++
-		r.active[v] = struct{}{}
-		// Master scatters its own out-copies...
-		batches := newMsgBatcher(a, r.step+1)
-		mv := r.prog.MessageValue(v, nw, p.outDeg, &r.ctx)
-		a.scatter(batches, v, mv)
-		batches.flush(a.phaseGate)
-		// ...and ships the authoritative state to the other replicas,
-		// which scatter their own copies (§3.4: "updates that are sent
-		// to their replicas"). Each replica gets its own pooled frame;
-		// the update itself is re-appended per target (cheaper than a
-		// shared payload copy).
-		vu := &wire.ValueUpdate{
-			Step: r.step, Vertex: v, State: wire.Word(nw),
-			TotalOutDeg: p.outDeg, Scatter: true,
-		}
-		for _, rep := range a.router.ReplicaSet(v) {
-			if rep == self {
-				continue
-			}
-			if addr, ok := a.router.AddrOf(rep); ok {
-				a.sendGatedFrame(addr,
-					wire.AppendValueUpdate(a.node.NewFrame(wire.TValueUpdate), vu),
-					a.phaseGate)
-			}
-		}
+		a.combineKeys = append(a.combineKeys, v)
+		a.combineVals = append(a.combineVals, p)
 	}
+	batches := a.getBatcher(r.step + 1)
+	shards := a.runSharded(len(a.combineKeys), func(s *computeShard, i int) {
+		a.combineVertex(s, a.combineKeys[i], a.combineVals[i], self)
+	})
+	a.mergeShards(shards, batches, self)
+	batches.flush(a.phaseGate)
+	a.putBatcher(batches)
 	r.doneLocal = true
 	a.maybeReady()
 }
@@ -391,10 +323,11 @@ func (a *Agent) handleValueUpdate(pkt *wire.Packet) bool {
 	}
 	r := a.run
 	g := &ackGroup{origin: pkt}
-	batches := newMsgBatcher(a, vu.Step+1)
+	batches := a.getBatcher(vu.Step + 1)
 	mv := r.prog.MessageValue(vu.Vertex, algorithm.Word(vu.State), vu.TotalOutDeg, &r.ctx)
 	a.scatter(batches, vu.Vertex, mv)
 	batches.flush(g)
+	a.putBatcher(batches)
 	a.sealGroup(g)
 	return true
 }
@@ -419,15 +352,30 @@ func (a *Agent) sealGroup(g *ackGroup) {
 }
 
 // msgBatcher accumulates scattered messages per destination agent and
-// flushes them as batched TVertexMsgs sends.
+// flushes them as batched TVertexMsgs sends. Batchers live on the
+// agent's free list: maps and per-destination slices are reset in place
+// across flushes instead of reallocated (the frame-pool discipline).
 type msgBatcher struct {
 	agent *Agent
 	step  uint32
 	byDst map[string][]wire.VertexMsg
 }
 
-func newMsgBatcher(a *Agent, step uint32) *msgBatcher {
+// getBatcher pops a reusable batcher off the free list.
+func (a *Agent) getBatcher(step uint32) *msgBatcher {
+	if n := len(a.batcherFree); n > 0 {
+		b := a.batcherFree[n-1]
+		a.batcherFree = a.batcherFree[:n-1]
+		b.step = step
+		return b
+	}
 	return &msgBatcher{agent: a, step: step, byDst: make(map[string][]wire.VertexMsg)}
+}
+
+// putBatcher returns a flushed batcher to the free list. The batcher
+// must not be used after this call until getBatcher hands it out again.
+func (a *Agent) putBatcher(b *msgBatcher) {
+	a.batcherFree = append(a.batcherFree, b)
 }
 
 func (b *msgBatcher) add(dst consistent.AgentID, m wire.VertexMsg) {
@@ -444,22 +392,37 @@ func (b *msgBatcher) add(dst consistent.AgentID, m wire.VertexMsg) {
 	b.byDst[addr] = append(b.byDst[addr], m)
 }
 
+// addMany appends a remote-bound message run, resolving the destination
+// address once (the shard-merge fast path).
+func (b *msgBatcher) addMany(dst consistent.AgentID, msgs []wire.VertexMsg) {
+	addr, ok := b.agent.router.AddrOf(dst)
+	if !ok {
+		return
+	}
+	b.byDst[addr] = append(b.byDst[addr], msgs...)
+}
+
 func (b *msgBatcher) flush(groups ...*ackGroup) {
 	a := b.agent
 	for addr, msgs := range b.byDst {
+		if len(msgs) == 0 {
+			continue
+		}
 		// Single-copy send: the batch is appended straight into a pooled
-		// frame that the transport recycles after the wire write.
+		// frame that the transport recycles after the wire write, so the
+		// source slice is immediately reusable.
 		frame := wire.AppendVertexMsgBatch(
 			a.node.NewFrameHint(wire.TVertexMsgs, 16+24*len(msgs)),
 			&wire.VertexMsgBatch{Step: b.step, Msgs: msgs})
 		a.sendGatedFrame(addr, frame, groups...)
+		b.byDst[addr] = msgs[:0]
 	}
-	b.byDst = make(map[string][]wire.VertexMsg)
 }
 
 // scatter sends v's message value along its locally stored edges, in the
-// directions the program uses.
-func (a *Agent) scatter(b *msgBatcher, v graph.VertexID, mv algorithm.Word) {
+// directions the program uses. The sink is the event-loop batcher on
+// sequential paths and a worker-private shard during parallel phases.
+func (a *Agent) scatter(b msgSink, v graph.VertexID, mv algorithm.Word) {
 	r := a.run
 	if r.prog.SendsOut() {
 		for _, w := range a.store.OutNeighbors(v) {
@@ -493,12 +456,12 @@ func (a *Agent) scatter(b *msgBatcher, v graph.VertexID, mv algorithm.Word) {
 func (a *Agent) deliverLocal(step uint32, v graph.VertexID, val algorithm.Word) {
 	m := a.mailbox[step]
 	if m == nil {
-		m = make(map[graph.VertexID]*mailEntry)
+		m = a.getMailMap()
 		a.mailbox[step] = m
 	}
 	e := m[v]
 	if e == nil {
-		e = &mailEntry{}
+		e = a.getMailEntry()
 		m[v] = e
 	}
 	if a.run != nil {
@@ -512,7 +475,51 @@ func (a *Agent) deliverLocal(step uint32, v graph.VertexID, val algorithm.Word) 
 	}
 	e.n++
 	e.have = true
-	a.trace("mail-store v=%d step=%d run=%v", v, step, a.run != nil)
+	if traceEnabled {
+		a.trace("mail-store v=%d step=%d run=%v", v, step, a.run != nil)
+	}
+}
+
+// getMailEntry pops a zeroed mail entry off the free list. Entries recycle
+// through recycleMail once a compute phase has consumed their step, so
+// steady-state supersteps re-aggregate into the same handful of objects
+// instead of allocating one entry per (step, vertex).
+func (a *Agent) getMailEntry() *mailEntry {
+	if n := len(a.mailFree); n > 0 {
+		e := a.mailFree[n-1]
+		a.mailFree = a.mailFree[:n-1]
+		return e
+	}
+	return &mailEntry{}
+}
+
+// getMailMap pops a cleared per-step mailbox map off the free list.
+func (a *Agent) getMailMap() map[graph.VertexID]*mailEntry {
+	if n := len(a.mailMapFree); n > 0 {
+		m := a.mailMapFree[n-1]
+		a.mailMapFree = a.mailMapFree[:n-1]
+		return m
+	}
+	return make(map[graph.VertexID]*mailEntry)
+}
+
+// recycleMail returns a consumed step mailbox — already detached from
+// a.mailbox and fully folded — to the free lists. Entries are reset in
+// place; raw buffers keep their capacity.
+func (a *Agent) recycleMail(m map[graph.VertexID]*mailEntry) {
+	if m == nil {
+		return
+	}
+	for v, e := range m {
+		e.agg = 0
+		e.eager = false
+		e.raw = e.raw[:0]
+		e.n = 0
+		e.have = false
+		a.mailFree = append(a.mailFree, e)
+		delete(m, v)
+	}
+	a.mailMapFree = append(a.mailMapFree, m)
 }
 
 // handleVertexMsgs accepts a message batch: messages this agent can serve
@@ -538,11 +545,10 @@ func (a *Agent) handleVertexMsgs(pkt *wire.Packet) bool {
 		a.handleAsyncMsgs(batch)
 		return false
 	}
-	g := &ackGroup{origin: pkt}
 	var forwards map[consistent.AgentID][]wire.VertexMsg
 	self := consistent.AgentID(a.id)
 	for _, m := range batch.Msgs {
-		if a.isReplicaOf(graph.VertexID(m.Target)) {
+		if a.router.IsReplica(graph.VertexID(m.Target), self) {
 			a.deliverLocal(batch.Step, graph.VertexID(m.Target), algorithm.Word(m.Value))
 			continue
 		}
@@ -557,6 +563,13 @@ func (a *Agent) handleVertexMsgs(pkt *wire.Packet) bool {
 		}
 		forwards[dst] = append(forwards[dst], m)
 	}
+	if forwards == nil {
+		// Pure-accept path: everything landed in local mailboxes, so the
+		// ack fires immediately and no group is allocated.
+		a.node.Ack(pkt)
+		return false
+	}
+	g := &ackGroup{origin: pkt}
 	for dst, msgs := range forwards {
 		if addr, ok := a.router.AddrOf(dst); ok {
 			atomic.AddUint64(&a.statForwarded, uint64(len(msgs)))
@@ -569,15 +582,10 @@ func (a *Agent) handleVertexMsgs(pkt *wire.Packet) bool {
 	return true
 }
 
-// isReplicaOf reports whether this agent is in the target's replica set.
+// isReplicaOf reports whether this agent is in the target's replica set,
+// resolved from the router's epoch cache without materializing the set.
 func (a *Agent) isReplicaOf(v graph.VertexID) bool {
-	self := consistent.AgentID(a.id)
-	for _, r := range a.router.ReplicaSet(v) {
-		if r == self {
-			return true
-		}
-	}
-	return false
+	return a.router.IsReplica(v, consistent.AgentID(a.id))
 }
 
 // handleQuery answers a client vertex query from current state — the

@@ -114,7 +114,7 @@ func (a *Agent) migrate(epochLow uint32) {
 	// a mid-run joiner only learns the run at resume, after migrations —
 	// so entries without a program fold resend their raw values.
 	for step, m := range a.mailbox {
-		b := newMsgBatcher(a, step)
+		b := a.getBatcher(step)
 		for v, e := range m {
 			if a.isReplicaOf(v) {
 				continue
@@ -136,6 +136,7 @@ func (a *Agent) migrate(epochLow uint32) {
 			delete(m, v)
 		}
 		b.flush(gate)
+		a.putBatcher(b)
 	}
 	// Pending partials whose mastership moved are re-shipped during
 	// the combine phase (processCombine handles stale masters).

@@ -1,0 +1,354 @@
+package agent
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"elga/internal/algorithm"
+	"elga/internal/consistent"
+	"elga/internal/graph"
+	"elga/internal/wire"
+)
+
+// Intra-phase parallelism (a deviation from the paper's strictly
+// single-threaded agent loop, documented in DESIGN.md): the compute and
+// combine phases shard their work set across a bounded worker pool while
+// the event loop is blocked inside the phase handler. Workers only READ
+// shared agent state (store, values, mailbox, router — the router's
+// lookup cache is internally locked) and WRITE into private computeShard
+// accumulators; the event loop merges the shards after the pool joins,
+// so every value install, mailbox delivery, network send, and gate
+// transition still happens single-threaded. Externally the agent remains
+// a shared-nothing message-passing entity (§3.1).
+
+// defaultParallelThreshold is the work-set size below which the phase
+// runs on the event-loop goroutine alone; pool fan-out overhead
+// dominates under it.
+const defaultParallelThreshold = 64
+
+var (
+	// computeWorkerOverride pins the phase worker count (0 = GOMAXPROCS).
+	computeWorkerOverride atomic.Int32
+	// computeThresholdOverride pins the minimum parallel work-set size
+	// (0 = defaultParallelThreshold).
+	computeThresholdOverride atomic.Int32
+)
+
+// SetComputeParallelism tunes the intra-phase worker pool for tests and
+// benchmarks: workers 0 restores GOMAXPROCS sizing, threshold 0 restores
+// the default minimum work-set size. It applies process-wide to every
+// agent's next phase.
+func SetComputeParallelism(workers, threshold int) {
+	computeWorkerOverride.Store(int32(workers))
+	computeThresholdOverride.Store(int32(threshold))
+}
+
+func parallelThreshold() int {
+	if t := int(computeThresholdOverride.Load()); t > 0 {
+		return t
+	}
+	return defaultParallelThreshold
+}
+
+// workerCount sizes the pool for n work items.
+func workerCount(n int) int {
+	if n < parallelThreshold() {
+		return 1
+	}
+	w := int(computeWorkerOverride.Load())
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// msgSink receives scattered messages addressed to agents; the batcher
+// implements it for the sequential paths, computeShard for workers.
+type msgSink interface {
+	add(dst consistent.AgentID, m wire.VertexMsg)
+}
+
+// valueWrite is a buffered store into a.values or a.totalOutDeg.
+type valueWrite struct {
+	v graph.VertexID
+	w algorithm.Word
+}
+
+// partialSend is a buffered split-vertex partial headed to a remote
+// master.
+type partialSend struct {
+	master consistent.AgentID
+	p      wire.ReplicaPartial
+}
+
+// valueUpdateSend is a buffered master→replica authoritative state push.
+type valueUpdateSend struct {
+	rep consistent.AgentID
+	vu  wire.ValueUpdate
+}
+
+// computeShard is one worker's private accumulator for a parallel phase.
+// All slices and map entries are truncated in place after the merge, so a
+// shard's capacity is reused across phases (the frame-pool discipline of
+// the transport layer, applied to phase state).
+type computeShard struct {
+	values     []valueWrite
+	outDegs    []valueWrite
+	active     []graph.VertexID
+	residual   float64
+	activeNext uint64
+	splitWork  bool
+
+	partialsLocal  []wire.ReplicaPartial
+	partialsRemote []partialSend
+	updates        []valueUpdateSend
+
+	msgs map[consistent.AgentID][]wire.VertexMsg
+}
+
+// add implements msgSink: scattered messages buffer per destination agent
+// (including self) and are delivered or batched at merge time.
+func (s *computeShard) add(dst consistent.AgentID, m wire.VertexMsg) {
+	s.msgs[dst] = append(s.msgs[dst], m)
+}
+
+func (s *computeShard) reset() {
+	s.values = s.values[:0]
+	s.outDegs = s.outDegs[:0]
+	s.active = s.active[:0]
+	s.residual = 0
+	s.activeNext = 0
+	s.splitWork = false
+	s.partialsLocal = s.partialsLocal[:0]
+	s.partialsRemote = s.partialsRemote[:0]
+	s.updates = s.updates[:0]
+	for dst, m := range s.msgs {
+		s.msgs[dst] = m[:0]
+	}
+}
+
+// getShards returns w reusable shards, growing the pool on demand.
+func (a *Agent) getShards(w int) []*computeShard {
+	for len(a.shards) < w {
+		a.shards = append(a.shards, &computeShard{
+			msgs: make(map[consistent.AgentID][]wire.VertexMsg),
+		})
+	}
+	return a.shards[:w]
+}
+
+// runSharded fans n work items across the pool; fn must only read shared
+// agent state and write into its shard. It returns the shards to merge.
+// With one worker the items run inline on the event-loop goroutine — the
+// sequential path is the same code minus the goroutines.
+func (a *Agent) runSharded(n int, fn func(s *computeShard, i int)) []*computeShard {
+	w := workerCount(n)
+	shards := a.getShards(w)
+	if w <= 1 {
+		s := shards[0]
+		for i := 0; i < n; i++ {
+			fn(s, i)
+		}
+		return shards
+	}
+	// Chunked work stealing off a shared cursor: small chunks balance
+	// skewed scatter costs (hub vertices), the atomic amortizes over the
+	// chunk.
+	chunk := n / (w * 4)
+	if chunk < 1 {
+		chunk = 1
+	} else if chunk > 64 {
+		chunk = 64
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(s *computeShard) {
+			defer wg.Done()
+			for {
+				end := int(cursor.Add(int64(chunk)))
+				base := end - chunk
+				if base >= n {
+					return
+				}
+				if end > n {
+					end = n
+				}
+				for i := base; i < end; i++ {
+					fn(s, i)
+				}
+			}
+		}(shards[wi])
+	}
+	wg.Wait()
+	return shards
+}
+
+// peekValue returns v's algorithm state without mutating shared maps —
+// the worker-safe read of valueOf (workers buffer their writes and the
+// merge installs them).
+func (a *Agent) peekValue(v graph.VertexID) algorithm.Word {
+	if w, ok := a.values[v]; ok {
+		return w
+	}
+	return a.initValue(v)
+}
+
+// computeVertex runs the compute-phase duty for one work vertex into s:
+// replica-partial forwarding for split vertices, or the full gather →
+// update → scatter cycle for locally owned ones.
+func (a *Agent) computeVertex(s *computeShard, v graph.VertexID, mail map[graph.VertexID]*mailEntry, self consistent.AgentID) {
+	r := a.run
+	entry := mail[v]
+	if a.router.Split(v) {
+		s.splitWork = true
+		// Replica duty: forward the local partial to the master.
+		p := wire.ReplicaPartial{
+			Step:        r.step,
+			Vertex:      v,
+			Agg:         wire.Word(r.prog.ZeroAgg()),
+			LocalOutDeg: uint64(a.store.OutDegree(v)),
+		}
+		if entry != nil {
+			p.Agg = wire.Word(entry.fold(r.prog))
+			p.HaveMsgs = entry.have
+			p.MsgCount = entry.n
+		}
+		master, ok := a.router.Master(v)
+		if !ok {
+			return
+		}
+		if master == self {
+			s.partialsLocal = append(s.partialsLocal, p)
+		} else {
+			s.partialsRemote = append(s.partialsRemote, partialSend{master: master, p: p})
+		}
+		return
+	}
+	// Non-split vertex: the full gather→update→scatter cycle.
+	agg := r.prog.ZeroAgg()
+	have := false
+	if entry != nil {
+		agg, have = entry.fold(r.prog), entry.have
+	}
+	old := a.peekValue(v)
+	nw, act := r.prog.Update(v, old, agg, have, &r.ctx)
+	s.values = append(s.values, valueWrite{v: v, w: nw})
+	s.residual += r.prog.Residual(old, nw)
+	if act {
+		s.activeNext++
+		s.active = append(s.active, v)
+		mv := r.prog.MessageValue(v, nw, uint64(a.store.OutDegree(v)), &r.ctx)
+		a.scatter(s, v, mv)
+	}
+}
+
+// combineVertex runs the combine-phase master duty for one split vertex
+// into s: fold replica partials, update state, scatter the local
+// out-copies, and queue the authoritative value for the other replicas.
+func (a *Agent) combineVertex(s *computeShard, v graph.VertexID, p *partialEntry, self consistent.AgentID) {
+	r := a.run
+	m, ok := a.router.Master(v)
+	if !ok {
+		return
+	}
+	if m != self {
+		// A view change moved mastership; the partial is re-sent as a
+		// fresh partial to the new master.
+		s.partialsRemote = append(s.partialsRemote, partialSend{master: m, p: wire.ReplicaPartial{
+			Step: r.step, Vertex: v, Agg: wire.Word(p.agg),
+			HaveMsgs: p.have, MsgCount: p.n, LocalOutDeg: p.outDeg,
+		}})
+		return
+	}
+	old := a.peekValue(v)
+	nw, act := r.prog.Update(v, old, p.agg, p.have, &r.ctx)
+	s.values = append(s.values, valueWrite{v: v, w: nw})
+	s.outDegs = append(s.outDegs, valueWrite{v: v, w: algorithm.Word(p.outDeg)})
+	s.residual += r.prog.Residual(old, nw)
+	if !act {
+		return
+	}
+	s.activeNext++
+	s.active = append(s.active, v)
+	// Master scatters its own out-copies...
+	mv := r.prog.MessageValue(v, nw, p.outDeg, &r.ctx)
+	a.scatter(s, v, mv)
+	// ...and ships the authoritative state to the other replicas, which
+	// scatter their own copies (§3.4: "updates that are sent to their
+	// replicas").
+	vu := wire.ValueUpdate{
+		Step: r.step, Vertex: v, State: wire.Word(nw),
+		TotalOutDeg: p.outDeg, Scatter: true,
+	}
+	for _, rep := range a.router.ReplicaSet(v) {
+		if rep != self {
+			s.updates = append(s.updates, valueUpdateSend{rep: rep, vu: vu})
+		}
+	}
+}
+
+// mergeShards folds worker results back into run/agent state on the
+// event-loop goroutine: value installs, activity, partial stashes, gated
+// sends, and scattered-message delivery all happen here, under the same
+// phase gate the sequential path uses.
+func (a *Agent) mergeShards(shards []*computeShard, batches *msgBatcher, self consistent.AgentID) {
+	r := a.run
+	for _, s := range shards {
+		for _, vw := range s.values {
+			a.values[vw.v] = vw.w
+		}
+		for _, vw := range s.outDegs {
+			a.totalOutDeg[vw.v] = uint64(vw.w)
+		}
+		for _, v := range s.active {
+			r.active[v] = struct{}{}
+		}
+		r.residual += s.residual
+		r.activeNext += s.activeNext
+		if s.splitWork {
+			r.splitWork = true
+		}
+		for i := range s.partialsLocal {
+			p := &s.partialsLocal[i]
+			a.stashPartial(p.Step, p.Vertex, algorithm.Word(p.Agg), p.MsgCount, p.HaveMsgs, p.LocalOutDeg)
+		}
+		for i := range s.partialsRemote {
+			ps := &s.partialsRemote[i]
+			if addr, ok := a.router.AddrOf(ps.master); ok {
+				a.sendGatedFrame(addr,
+					wire.AppendReplicaPartial(a.node.NewFrame(wire.TReplicaPartial), &ps.p),
+					a.phaseGate)
+			}
+		}
+		for i := range s.updates {
+			u := &s.updates[i]
+			if addr, ok := a.router.AddrOf(u.rep); ok {
+				a.sendGatedFrame(addr,
+					wire.AppendValueUpdate(a.node.NewFrame(wire.TValueUpdate), &u.vu),
+					a.phaseGate)
+			}
+		}
+		for dst, msgs := range s.msgs {
+			if len(msgs) == 0 {
+				continue
+			}
+			if dst == self {
+				for _, m := range msgs {
+					a.deliverLocal(batches.step, graph.VertexID(m.Target), algorithm.Word(m.Value))
+				}
+			} else {
+				batches.addMany(dst, msgs)
+			}
+		}
+		s.reset()
+	}
+}

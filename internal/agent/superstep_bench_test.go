@@ -1,0 +1,58 @@
+package agent
+
+import (
+	"math/rand"
+	"testing"
+
+	"elga/internal/algorithm"
+	"elga/internal/graph"
+)
+
+// benchmarkSuperstep measures one full PageRank compute phase (gather →
+// update → scatter → local delivery) on a loopback agent over a random
+// 4096-vertex graph, with the phase worker pool pinned to the given size.
+// workers=1 is the sequential baseline (runSharded runs inline); larger
+// counts exercise the shard/merge machinery. On a multi-core host the
+// parallel variants show the speedup; on a single-core host they measure
+// pool overhead instead — record numbers honestly either way.
+func benchmarkSuperstep(b *testing.B, workers int) {
+	cfg := allocTestConfig()
+	const n = 4096
+	a := newLoopbackAgent(b, cfg, n)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		src := graph.VertexID(i)
+		// A ring edge keeps every vertex connected; three random edges
+		// give scatter fan-out and skew.
+		dsts := [4]graph.VertexID{
+			graph.VertexID((i + 1) % n),
+			graph.VertexID(rng.Intn(n)),
+			graph.VertexID(rng.Intn(n)),
+			graph.VertexID(rng.Intn(n)),
+		}
+		for _, dst := range dsts {
+			a.store.AddEdge(src, dst, graph.Out)
+			a.store.AddEdge(src, dst, graph.In)
+		}
+	}
+	installRun(a, algorithm.PageRank{}, n)
+
+	SetComputeParallelism(workers, 1)
+	defer SetComputeParallelism(0, 0)
+
+	// Warm: init pass plus two steady steps so every pool (batchers,
+	// shards, mail maps and entries) reaches steady state.
+	advanceCompute(a, 0)
+	advanceCompute(a, 1)
+	advanceCompute(a, 2)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		advanceCompute(a, uint32(i+3))
+	}
+}
+
+func BenchmarkSuperstepPageRankSeq(b *testing.B)  { benchmarkSuperstep(b, 1) }
+func BenchmarkSuperstepPageRankPar2(b *testing.B) { benchmarkSuperstep(b, 2) }
+func BenchmarkSuperstepPageRankPar4(b *testing.B) { benchmarkSuperstep(b, 4) }

@@ -141,16 +141,34 @@ func (r *Ring) Successors(h uint64, k int) []AgentID {
 	if k > len(r.members) {
 		k = len(r.members)
 	}
-	out := make([]AgentID, 0, k)
-	seen := make(map[AgentID]struct{}, k)
+	return r.SuccessorsInto(h, k, make([]AgentID, 0, k))
+}
+
+// SuccessorsInto is Successors writing into out (reset to out[:0]); it
+// performs no allocation when out has capacity k. Deduplication is a
+// linear scan of the partial result, which beats a map for the small k
+// values the replication policy produces.
+func (r *Ring) SuccessorsInto(h uint64, k int, out []AgentID) []AgentID {
+	out = out[:0]
+	if len(r.points) == 0 || k <= 0 {
+		return out
+	}
+	if k > len(r.members) {
+		k = len(r.members)
+	}
 	start := r.successor(h)
 	for i := 0; i < len(r.points) && len(out) < k; i++ {
 		p := r.points[(start+i)%len(r.points)]
-		if _, dup := seen[p.agent]; dup {
-			continue
+		dup := false
+		for _, a := range out {
+			if a == p.agent {
+				dup = true
+				break
+			}
 		}
-		seen[p.agent] = struct{}{}
-		out = append(out, p.agent)
+		if !dup {
+			out = append(out, p.agent)
+		}
 	}
 	return out
 }
@@ -160,6 +178,24 @@ func (r *Ring) Successors(h uint64, k int) []AgentID {
 // replica (the agent that combines partial state between supersteps).
 func (r *Ring) ReplicaSet(v uint64, k int) []AgentID {
 	return r.Successors(r.hash.Hash(v), k)
+}
+
+// ReplicaSetInto is ReplicaSet writing into out (reset to out[:0]),
+// allocating nothing when out has capacity k.
+func (r *Ring) ReplicaSetInto(v uint64, k int, out []AgentID) []AgentID {
+	return r.SuccessorsInto(r.hash.Hash(v), k, out)
+}
+
+// PickReplica applies the second-level hash of Figure 3 to an already
+// resolved replica set: the destination vertex v selects which replica of
+// the set stores the edge. set must be a (prefix of a) result of
+// ReplicaSet/Successors for the answer to match EdgeOwner.
+func (r *Ring) PickReplica(set []AgentID, v uint64) (AgentID, bool) {
+	if len(set) == 0 {
+		return 0, false
+	}
+	idx := hashing.Combine(r.hash.Hash(v), uint64(len(set))) % uint64(len(set))
+	return set[idx], true
 }
 
 // EdgeOwner resolves the owner of edge (u,v) given u's replica count k:
@@ -173,12 +209,7 @@ func (r *Ring) EdgeOwner(u, v uint64, k int) (AgentID, bool) {
 	if k <= 1 {
 		return r.OwnerOfVertex(u)
 	}
-	set := r.ReplicaSet(u, k)
-	if len(set) == 0 {
-		return 0, false
-	}
-	idx := hashing.Combine(r.hash.Hash(v), uint64(len(set))) % uint64(len(set))
-	return set[idx], true
+	return r.PickReplica(r.ReplicaSet(u, k), v)
 }
 
 // AnyReplica returns one replica of vertex v chosen by the salt (callers

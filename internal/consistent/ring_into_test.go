@@ -1,0 +1,68 @@
+package consistent
+
+import (
+	"testing"
+
+	"elga/internal/hashing"
+)
+
+func ringOf(n int) *Ring {
+	members := make([]AgentID, 0, n)
+	for i := 1; i <= n; i++ {
+		members = append(members, AgentID(i*11))
+	}
+	return New(members, Options{Virtual: 8})
+}
+
+func TestSuccessorsIntoMatchesSuccessors(t *testing.T) {
+	r := ringOf(6)
+	var buf []AgentID
+	for k := 0; k <= 8; k++ {
+		for i := 0; i < 50; i++ {
+			h := hashing.Wang(uint64(i) + 99)
+			want := r.Successors(h, k)
+			buf = r.SuccessorsInto(h, k, buf)
+			if len(buf) != len(want) {
+				t.Fatalf("k=%d h=%d: len %d vs %d", k, h, len(buf), len(want))
+			}
+			for j := range want {
+				if buf[j] != want[j] {
+					t.Fatalf("k=%d h=%d idx=%d: %d vs %d", k, h, j, buf[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestReplicaSetIntoReusesBuffer(t *testing.T) {
+	r := ringOf(5)
+	buf := make([]AgentID, 0, 5)
+	allocs := testing.AllocsPerRun(100, func() {
+		for v := uint64(0); v < 32; v++ {
+			buf = r.ReplicaSetInto(v, 3, buf)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("ReplicaSetInto with capacity allocates: %v allocs/run", allocs)
+	}
+}
+
+func TestPickReplicaMatchesEdgeOwner(t *testing.T) {
+	r := ringOf(6)
+	for u := uint64(0); u < 40; u++ {
+		for k := 2; k <= 4; k++ {
+			set := r.ReplicaSet(u, k)
+			for v := uint64(0); v < 10; v++ {
+				want, wantOK := r.EdgeOwner(u, v, k)
+				got, gotOK := r.PickReplica(set, v)
+				if got != want || gotOK != wantOK {
+					t.Fatalf("u=%d v=%d k=%d: PickReplica=%d,%v EdgeOwner=%d,%v",
+						u, v, k, got, gotOK, want, wantOK)
+				}
+			}
+		}
+	}
+	if _, ok := r.PickReplica(nil, 1); ok {
+		t.Fatal("PickReplica on empty set reported ok")
+	}
+}

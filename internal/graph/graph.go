@@ -293,6 +293,9 @@ func (s *Store) ActiveCount() int { return len(s.active) }
 // algorithms seed each batch's first superstep from this set (§4.3: "only
 // vertices directly modified in the batch are activated").
 func (s *Store) TakeActive() []VertexID {
+	if len(s.active) == 0 {
+		return nil
+	}
 	out := make([]VertexID, 0, len(s.active))
 	for v := range s.active {
 		out = append(out, v)

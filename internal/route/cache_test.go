@@ -1,0 +1,210 @@
+package route
+
+import (
+	"sync"
+	"testing"
+
+	"elga/internal/consistent"
+	"elga/internal/graph"
+	"elga/internal/sketch"
+)
+
+// refEdgeOwner resolves edge ownership straight from the sketch and ring,
+// bypassing the lookup cache — the uncached Figure 3 semantics the cache
+// must reproduce bit-identically.
+func refEdgeOwner(r *Router, u, other graph.VertexID) (consistent.AgentID, bool) {
+	rt := r.computeRoute(u)
+	if len(rt.set) == 0 {
+		return 0, false
+	}
+	if rt.k <= 1 {
+		return rt.set[0], true
+	}
+	return r.ring.PickReplica(rt.set, uint64(other))
+}
+
+// assertCachedMatchesUncached compares every cached lookup against the
+// uncached reference for the given vertices.
+func assertCachedMatchesUncached(t *testing.T, r *Router, vertices []graph.VertexID, tag string) {
+	t.Helper()
+	for _, v := range vertices {
+		ref := r.computeRoute(v)
+		if got := r.Replicas(v); got != ref.k {
+			t.Fatalf("%s: Replicas(%d) = %d, want %d", tag, v, got, ref.k)
+		}
+		if got := r.Split(v); got != (ref.k > 1) {
+			t.Fatalf("%s: Split(%d) = %v, want %v", tag, v, got, ref.k > 1)
+		}
+		set := r.ReplicaSet(v)
+		if len(set) != len(ref.set) {
+			t.Fatalf("%s: ReplicaSet(%d) len = %d, want %d", tag, v, len(set), len(ref.set))
+		}
+		for i := range set {
+			if set[i] != ref.set[i] {
+				t.Fatalf("%s: ReplicaSet(%d)[%d] = %d, want %d", tag, v, i, set[i], ref.set[i])
+			}
+		}
+		into := r.ReplicaSetInto(v, nil)
+		for i := range into {
+			if into[i] != ref.set[i] {
+				t.Fatalf("%s: ReplicaSetInto(%d)[%d] = %d, want %d", tag, v, i, into[i], ref.set[i])
+			}
+		}
+		m, ok := r.Master(v)
+		if len(ref.set) == 0 {
+			if ok {
+				t.Fatalf("%s: Master(%d) ok on empty set", tag, v)
+			}
+		} else if !ok || m != ref.set[0] {
+			t.Fatalf("%s: Master(%d) = %d,%v, want %d", tag, v, m, ok, ref.set[0])
+		}
+		for _, id := range r.Agents() {
+			inRef := false
+			for _, a := range ref.set {
+				if a == id {
+					inRef = true
+					break
+				}
+			}
+			if got := r.IsReplica(v, id); got != inRef {
+				t.Fatalf("%s: IsReplica(%d, %d) = %v, want %v", tag, v, id, got, inRef)
+			}
+		}
+		if r.IsReplica(v, 0xdead) {
+			t.Fatalf("%s: IsReplica(%d, non-member) = true", tag, v)
+		}
+		for _, other := range []graph.VertexID{v + 1, v * 7, 12345} {
+			want, wantOK := refEdgeOwner(r, v, other)
+			got, gotOK := r.EdgeOwner(v, other)
+			if got != want || gotOK != wantOK {
+				t.Fatalf("%s: EdgeOwner(%d,%d) = %d,%v, want %d,%v", tag, v, other, got, gotOK, want, wantOK)
+			}
+		}
+		for salt := uint64(0); salt < 5; salt++ {
+			var want consistent.AgentID
+			wantOK := len(ref.set) > 0
+			if wantOK {
+				if ref.k <= 1 {
+					want = ref.set[0]
+				} else {
+					want = ref.set[salt%uint64(len(ref.set))]
+				}
+			}
+			got, gotOK := r.AnyReplica(v, salt)
+			if got != want || gotOK != wantOK {
+				t.Fatalf("%s: AnyReplica(%d,%d) = %d,%v, want %d,%v", tag, v, salt, got, gotOK, want, wantOK)
+			}
+		}
+	}
+}
+
+// degSketch builds a sketch where vertex v has degree v*scale, putting a
+// band of vertices over the replication threshold.
+func degSketch(c *sketch.Sketch, n, scale int) *sketch.Sketch {
+	for v := 0; v < n; v++ {
+		for i := 0; i < v*scale; i++ {
+			c.Add(uint64(v))
+		}
+	}
+	return c
+}
+
+func TestRouteCacheMatchesUncachedAcrossEpochs(t *testing.T) {
+	c := cfg()
+	r := New(c)
+	vertices := make([]graph.VertexID, 0, 64)
+	for v := graph.VertexID(0); v < 64; v++ {
+		vertices = append(vertices, v)
+	}
+
+	// Epoch 1: four members, degrees 0..63 (threshold 10 → vertices split
+	// with growing k, capped at MaxReplicas and the ring size).
+	if _, err := r.Update(view(t, 1, []uint64{1, 2, 3, 4}, degSketch(c.NewSketch(), 64, 1))); err != nil {
+		t.Fatal(err)
+	}
+	assertCachedMatchesUncached(t, r, vertices, "epoch1/cold")
+	// Second pass: every answer now serves from the warm cache.
+	assertCachedMatchesUncached(t, r, vertices, "epoch1/warm")
+
+	before := make(map[graph.VertexID]consistent.AgentID)
+	for _, v := range vertices {
+		if m, ok := r.Master(v); ok {
+			before[v] = m
+		}
+	}
+
+	// Epoch 2: member 2 leaves, member 5 joins, and every degree triples —
+	// both the ring and the sketch change under the cached answers.
+	if _, err := r.Update(view(t, 2, []uint64{1, 3, 4, 5}, degSketch(c.NewSketch(), 64, 3))); err != nil {
+		t.Fatal(err)
+	}
+	assertCachedMatchesUncached(t, r, vertices, "epoch2/cold")
+	assertCachedMatchesUncached(t, r, vertices, "epoch2/warm")
+
+	// The epoch bump must actually change some answers — otherwise this
+	// test could pass against a cache that never invalidates.
+	changed := 0
+	for _, v := range vertices {
+		if m, ok := r.Master(v); ok && m != before[v] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no routing answer changed across the epoch bump; invalidation untested")
+	}
+}
+
+func TestRouteCacheConcurrentLookups(t *testing.T) {
+	// The compute-phase worker pool issues lookups concurrently; under
+	// -race this exercises the cache's shard locking.
+	c := cfg()
+	r := New(c)
+	if _, err := r.Update(view(t, 1, []uint64{1, 2, 3, 4}, degSketch(c.NewSketch(), 256, 1))); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed graph.VertexID) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				for v := graph.VertexID(0); v < 256; v++ {
+					u := (v + seed) % 256
+					r.Replicas(u)
+					r.EdgeOwner(u, v)
+					r.IsReplica(u, 1)
+					if _, ok := r.Master(u); !ok {
+						panic("Master lost the ring")
+					}
+				}
+			}
+		}(graph.VertexID(w * 31))
+	}
+	wg.Wait()
+	assertCachedMatchesUncached(t, r, []graph.VertexID{0, 17, 99, 200}, "concurrent")
+}
+
+func TestRouteLookupsDoNotAllocateWarm(t *testing.T) {
+	c := cfg()
+	r := New(c)
+	if _, err := r.Update(view(t, 1, []uint64{1, 2, 3, 4}, degSketch(c.NewSketch(), 64, 1))); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache.
+	for v := graph.VertexID(0); v < 64; v++ {
+		r.EdgeOwner(v, v+1)
+	}
+	buf := make([]consistent.AgentID, 0, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		for v := graph.VertexID(0); v < 64; v++ {
+			r.Replicas(v)
+			r.EdgeOwner(v, v+1)
+			r.Master(v)
+			r.IsReplica(v, 2)
+			buf = r.ReplicaSetInto(v, buf)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm lookups allocate: %v allocs/run", allocs)
+	}
+}

@@ -6,6 +6,7 @@ package route
 
 import (
 	"fmt"
+	"sync"
 
 	"elga/internal/config"
 	"elga/internal/consistent"
@@ -14,9 +15,57 @@ import (
 	"elga/internal/wire"
 )
 
+// routeShards is the lookup-cache shard count; a power of two so the
+// shard index is a shift of a mixed vertex ID.
+const routeShards = 64
+
+// vertexRoute is the memoized outcome of the two-level lookup of Figure 3
+// for one vertex under one view epoch: its replica count k (sketch
+// estimate pushed through the replication policy, capped by the ring
+// size) and its replica set (index 0 is the master). Both are pure
+// functions of (epoch, vertex), so an entry is immutable once published
+// and stays valid until the next view installs.
+type vertexRoute struct {
+	k   int
+	set []consistent.AgentID
+}
+
+type routeShard struct {
+	mu sync.RWMutex
+	m  map[graph.VertexID]*vertexRoute
+}
+
+// lookupCache memoizes vertexRoute entries for the installed view epoch.
+// Update swaps every shard map wholesale, so a stale entry can never
+// survive an epoch bump. Shards bound lock contention when an agent's
+// compute-phase worker pool resolves ownership concurrently; all other
+// Router users are single-threaded and only pay an uncontended lock.
+type lookupCache struct {
+	epoch  uint64
+	shards [routeShards]routeShard
+}
+
+func (c *lookupCache) invalidate(epoch uint64) {
+	c.epoch = epoch
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[graph.VertexID]*vertexRoute)
+		sh.mu.Unlock()
+	}
+}
+
+func shardOf(v graph.VertexID) uint64 {
+	// Fibonacci multiply-shift so consecutive vertex IDs spread across
+	// shards; the top bits select one of the 64 shards.
+	return (uint64(v) * 0x9e3779b97f4a7c15) >> 58
+}
+
 // Router resolves edge and vertex ownership under one directory view. A
-// Router is mutated only by its owning entity's event loop (Update); reads
-// are plain method calls, keeping with the shared-nothing design.
+// Router is mutated only by its owning entity's event loop (Update);
+// lookups are safe to issue concurrently from that entity's intra-phase
+// worker pool, because the ring, sketch, and address table are immutable
+// between Updates and the lookup cache is internally locked.
 type Router struct {
 	cfg   config.Config
 	epoch uint64
@@ -25,16 +74,50 @@ type Router struct {
 	ring  *consistent.Ring
 	sk    *sketch.Sketch
 	addrs map[uint64]string
+	cache lookupCache
 }
 
 // New creates a Router with an empty view.
 func New(cfg config.Config) *Router {
-	return &Router{
+	r := &Router{
 		cfg:   cfg,
 		ring:  consistent.New(nil, consistent.Options{Virtual: cfg.Virtual, Hash: cfg.Hash}),
 		sk:    cfg.NewSketch(),
 		addrs: map[uint64]string{},
 	}
+	r.cache.invalidate(0)
+	return r
+}
+
+// computeRoute resolves v's routing entry directly from the sketch and
+// ring, bypassing the cache. It is the cache-fill path and the reference
+// the cache is tested against.
+func (r *Router) computeRoute(v graph.VertexID) *vertexRoute {
+	k := r.cfg.Replicas(r.sk.Estimate(uint64(v)))
+	if n := r.ring.Size(); k > n && n > 0 {
+		k = n
+	}
+	return &vertexRoute{k: k, set: r.ring.ReplicaSet(uint64(v), k)}
+}
+
+// routeOf returns v's memoized routing entry, filling the cache on miss.
+func (r *Router) routeOf(v graph.VertexID) *vertexRoute {
+	sh := &r.cache.shards[shardOf(v)]
+	sh.mu.RLock()
+	rt := sh.m[v]
+	sh.mu.RUnlock()
+	if rt != nil {
+		return rt
+	}
+	rt = r.computeRoute(v)
+	sh.mu.Lock()
+	if prev, ok := sh.m[v]; ok {
+		rt = prev // another worker published first; keep its entry
+	} else {
+		sh.m[v] = rt
+	}
+	sh.mu.Unlock()
+	return rt
 }
 
 // Update installs a directory view, rebuilding the ring and sketch.
@@ -61,6 +144,9 @@ func (r *Router) Update(v *wire.View) (bool, error) {
 	r.ring = consistent.New(members, consistent.Options{Virtual: r.cfg.Virtual, Hash: r.cfg.Hash})
 	r.sk = sk
 	r.addrs = addrs
+	// Wholesale invalidation: every cached answer was a function of the
+	// previous (ring, sketch) pair and none may survive the epoch bump.
+	r.cache.invalidate(v.Epoch)
 	return true, nil
 }
 
@@ -88,11 +174,7 @@ func (r *Router) AddrOf(id consistent.AgentID) (string, bool) {
 // Replicas returns k for vertex v: the sketch degree estimate pushed
 // through the replication policy, capped by the ring size.
 func (r *Router) Replicas(v graph.VertexID) int {
-	k := r.cfg.Replicas(r.sk.Estimate(uint64(v)))
-	if n := r.ring.Size(); k > n && n > 0 {
-		k = n
-	}
-	return k
+	return r.routeOf(v).k
 }
 
 // DegreeEstimate exposes the sketch estimate (Fig. 7 instrumentation).
@@ -101,9 +183,18 @@ func (r *Router) DegreeEstimate(v graph.VertexID) uint64 {
 }
 
 // EdgeOwner resolves the agent owning vertex u's copy of edge (u,other):
-// the two-level lookup of Figure 3.
+// the two-level lookup of Figure 3. The first level (u's replica window)
+// comes from the cache; only the cheap second hash over the destination
+// runs per edge.
 func (r *Router) EdgeOwner(u, other graph.VertexID) (consistent.AgentID, bool) {
-	return r.ring.EdgeOwner(uint64(u), uint64(other), r.Replicas(u))
+	rt := r.routeOf(u)
+	if len(rt.set) == 0 {
+		return 0, false
+	}
+	if rt.k <= 1 {
+		return rt.set[0], true
+	}
+	return r.ring.PickReplica(rt.set, uint64(other))
 }
 
 // CopyOwner resolves the owner of one routed edge-change copy: Out copies
@@ -116,13 +207,32 @@ func (r *Router) CopyOwner(c wire.EdgeChange) (consistent.AgentID, bool) {
 }
 
 // ReplicaSet returns vertex v's replica agents; index 0 is the master.
+// The returned slice is shared with the cache: callers must not mutate or
+// retain it across a view Update (use ReplicaSetInto for an owned copy).
 func (r *Router) ReplicaSet(v graph.VertexID) []consistent.AgentID {
-	return r.ring.ReplicaSet(uint64(v), r.Replicas(v))
+	return r.routeOf(v).set
 }
 
-// Master returns v's master replica.
+// ReplicaSetInto copies v's replica set into out (reset to out[:0]),
+// allocating nothing when out has capacity.
+func (r *Router) ReplicaSetInto(v graph.VertexID, out []consistent.AgentID) []consistent.AgentID {
+	return append(out[:0], r.routeOf(v).set...)
+}
+
+// IsReplica reports whether id is one of v's replicas, without
+// materializing the set.
+func (r *Router) IsReplica(v graph.VertexID, id consistent.AgentID) bool {
+	for _, a := range r.routeOf(v).set {
+		if a == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Master returns v's master replica without allocating.
 func (r *Router) Master(v graph.VertexID) (consistent.AgentID, bool) {
-	set := r.ReplicaSet(v)
+	set := r.routeOf(v).set
 	if len(set) == 0 {
 		return 0, false
 	}
@@ -132,11 +242,18 @@ func (r *Router) Master(v graph.VertexID) (consistent.AgentID, bool) {
 // AnyReplica returns one of v's replicas, chosen by salt — the random-
 // replica query fast path of §3.4.1.
 func (r *Router) AnyReplica(v graph.VertexID, salt uint64) (consistent.AgentID, bool) {
-	return r.ring.AnyReplica(uint64(v), r.Replicas(v), salt)
+	rt := r.routeOf(v)
+	if len(rt.set) == 0 {
+		return 0, false
+	}
+	if rt.k <= 1 {
+		return rt.set[0], true
+	}
+	return rt.set[salt%uint64(len(rt.set))], true
 }
 
 // Split reports whether v is split across multiple agents.
-func (r *Router) Split(v graph.VertexID) bool { return r.Replicas(v) > 1 }
+func (r *Router) Split(v graph.VertexID) bool { return r.routeOf(v).k > 1 }
 
 // IsMember reports ring membership.
 func (r *Router) IsMember(id consistent.AgentID) bool { return r.ring.Contains(id) }
