@@ -21,6 +21,7 @@ import (
 	"elga/internal/graph"
 	"elga/internal/route"
 	"elga/internal/sketch"
+	"elga/internal/stats"
 	"elga/internal/transport"
 	"elga/internal/wire"
 )
@@ -38,6 +39,20 @@ type Options struct {
 	// DirIndex selects which directory to subscribe to (mod the
 	// directory count); control traffic always goes to the coordinator.
 	DirIndex int
+}
+
+// Validate reports option errors before any resource is allocated.
+func (o *Options) Validate() error {
+	if err := o.Config.Validate(); err != nil {
+		return err
+	}
+	if o.Network == nil {
+		return fmt.Errorf("agent: options: network is required")
+	}
+	if o.MasterAddr == "" {
+		return fmt.Errorf("agent: options: master address is required")
+	}
+	return nil
 }
 
 // ackGroup tracks a set of outstanding acked sends with a common
@@ -133,6 +148,9 @@ type Agent struct {
 	partials map[uint32]map[graph.VertexID]*partialEntry
 
 	run *runCtx
+	// pendingAdv parks an Advance whose TAlgoStart is still in flight
+	// (retransmission reorders frames); handleAlgoStart replays it.
+	pendingAdv *wire.Advance
 
 	phaseGate    *ackGroup
 	reqToGroups  map[uint32][]*ackGroup
@@ -181,7 +199,7 @@ type Agent struct {
 // subscribes to one, joins through the coordinator, and starts its event
 // loop.
 func Start(opts Options) (*Agent, error) {
-	if err := opts.Config.Validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	node, err := transport.NewNode(opts.Network, opts.Addr, 0)
@@ -207,11 +225,14 @@ func Start(opts Options) (*Agent, error) {
 	}
 	// Directories register with the master concurrently with agent
 	// startup, so an empty list is retried until the deadline rather
-	// than treated as fatal.
+	// than treated as fatal. Each individual request retries through the
+	// shared policy so bootstrap survives dropped frames.
+	policy := transport.Retry{Attempts: 5}
 	var dirs []string
 	deadline := time.Now().Add(opts.Config.RequestTimeout)
 	for {
-		reply, err := node.Request(opts.MasterAddr, wire.TGetDirectory, nil, opts.Config.RequestTimeout)
+		reply, err := node.RequestRetry(opts.MasterAddr, policy, opts.Config.RequestTimeout,
+			func() []byte { return node.NewFrame(wire.TGetDirectory) })
 		if err != nil {
 			node.Close()
 			return nil, fmt.Errorf("agent: bootstrap: %w", err)
@@ -230,13 +251,23 @@ func Start(opts Options) (*Agent, error) {
 	a.coordAddr = dirs[0]
 	a.dirAddr = dirs[opts.DirIndex%len(dirs)]
 	// Subscribe before joining so the join's view broadcast is not missed.
-	if err := node.SendFrame(a.dirAddr, node.NewFrame(wire.TSubscribe)); err != nil {
+	// The subscription is acked: a dropped TSubscribe would silently cut
+	// this agent off from every future view.
+	if err := node.SendFrameAcked(a.dirAddr, node.NewFrame(wire.TSubscribe)); err != nil {
 		node.Close()
 		return nil, err
 	}
-	jr, err := node.RequestFrame(a.coordAddr,
-		wire.AppendJoin(node.NewFrame(wire.TJoin), &wire.Join{Addr: node.Addr()}),
-		opts.Config.RequestTimeout)
+	// Joins are idempotent at the coordinator (deduplicated by address),
+	// so retrying a timed-out join cannot mint a second agent ID — and a
+	// retried join gets its reply re-sent immediately. Short tries matter
+	// here: until the reply lands this agent sends no heartbeats, so every
+	// second spent waiting on a dropped reply runs down its lease.
+	joinPolicy := policy
+	joinPolicy.Attempts = 20
+	joinPolicy.PerTry = opts.Config.RequestTimeout / 20
+	jr, err := node.RequestRetry(a.coordAddr, joinPolicy, opts.Config.RequestTimeout, func() []byte {
+		return wire.AppendJoin(node.NewFrame(wire.TJoin), &wire.Join{Addr: node.Addr()})
+	})
 	if err != nil {
 		node.Close()
 		return nil, fmt.Errorf("agent: join: %w", err)
@@ -264,17 +295,21 @@ func (a *Agent) Done() <-chan struct{} { return a.done }
 
 // Leave announces a graceful departure: the agent stays alive to migrate
 // its edges away and exits once the directory confirms the rebalance.
+// The announcement is acked — a silently dropped TLeave would leave the
+// caller waiting on Done forever.
 func (a *Agent) Leave() error {
-	return a.node.SendFrame(a.coordAddr,
+	return a.node.SendFrameAcked(a.coordAddr,
 		wire.AppendLeave(a.node.NewFrame(wire.TLeave), &wire.Leave{AgentID: a.id}))
 }
 
-// Close terminates the agent immediately (non-graceful).
-func (a *Agent) Close() {
+// Close terminates the agent immediately (non-graceful). The directory
+// notices the silence through the lease timeout and evicts the agent.
+func (a *Agent) Close() error {
 	if a.stopped.CompareAndSwap(false, true) {
 		a.node.Close()
 	}
 	<-a.done
+	return nil
 }
 
 func (a *Agent) runLoop(initial *wire.View) {
@@ -282,6 +317,8 @@ func (a *Agent) runLoop(initial *wire.View) {
 	if initial != nil {
 		a.handleView(initial)
 	}
+	a.sendHeartbeat()
+	a.scheduleHeartbeat()
 	for pkt := range a.node.Inbox() {
 		retained := a.handlePacket(pkt)
 		a.copyCount.Store(int64(a.store.NumEdgeCopies()))
@@ -310,6 +347,7 @@ func (a *Agent) handlePacket(pkt *wire.Packet) bool {
 		if v, err := wire.DecodeView(pkt.Payload); err == nil {
 			a.handleView(v)
 		}
+		a.node.Ack(pkt)
 	case wire.TEdges:
 		return a.handleEdges(pkt)
 	case wire.TVertexMsgs:
@@ -322,14 +360,22 @@ func (a *Agent) handlePacket(pkt *wire.Packet) bool {
 		a.handleRegister(pkt)
 	case wire.TAlgoStart:
 		a.handleAlgoStart(pkt)
+		a.node.Ack(pkt)
 	case wire.TAdvance:
 		if adv, err := wire.DecodeAdvance(pkt.Payload); err == nil {
 			a.handleAdvance(adv)
 		}
+		a.node.Ack(pkt)
 	case wire.TAlgoDone:
-		a.handleAlgoDone()
+		a.handleAlgoDone(pkt)
+		a.node.Ack(pkt)
 	case wire.TBatchOpen:
 		a.handleBatchOpen()
+		a.node.Ack(pkt)
+	case wire.TTick:
+		// Self-addressed heartbeat tick: renew the lease from the event
+		// loop, where id/epoch/leaving are safe to read.
+		a.sendHeartbeat()
 	case wire.TQuery:
 		a.handleQuery(pkt)
 	case wire.TPing:
@@ -447,7 +493,10 @@ func (a *Agent) sendReady(step uint32, phase uint8, masters uint64) {
 		r.Residual = a.run.residual
 		r.SplitWork = a.run.splitWork
 	}
-	_ = a.node.SendFrame(a.coordAddr, wire.AppendReady(a.node.NewFrame(wire.TReady), r))
+	// Barrier votes are acked: a dropped Ready would wedge the whole
+	// cluster at the barrier, so the transport retransmits it.
+	a.trace("send-ready step=%d phase=%d masters=%d", step, phase, masters)
+	_ = a.node.SendFrameAcked(a.coordAddr, wire.AppendReady(a.node.NewFrame(wire.TReady), r))
 }
 
 // maybeReady fires the barrier vote once local processing is complete and
@@ -470,6 +519,33 @@ func (a *Agent) maybeReady() {
 	}
 }
 
+// sendHeartbeat renews this agent's lease at the coordinator. Heartbeats
+// are deliberately lossy (unacked): the lease timeout absorbs several
+// consecutive losses, and a false eviction is recoverable — the
+// coordinator pushes the latest view back to any zombie it hears from.
+func (a *Agent) sendHeartbeat() {
+	if a.leaving {
+		return
+	}
+	_ = a.node.SendFrame(a.coordAddr, wire.AppendHeartbeat(
+		a.node.NewFrame(wire.THeartbeat), &wire.Heartbeat{AgentID: a.id, Epoch: a.router.Epoch()}))
+}
+
+// scheduleHeartbeat runs the lease-renewal clock. The timer re-arms
+// itself directly (so a lost tick cannot kill the chain) and injects a
+// TTick, moving the actual send onto the event loop; the injection
+// bypasses the transport so only the heartbeat itself rides the lossy
+// network.
+func (a *Agent) scheduleHeartbeat() {
+	if a.stopped.Load() {
+		return
+	}
+	time.AfterFunc(a.opts.Config.HeartbeatEvery(), func() {
+		_ = a.node.Inject(wire.TTick, nil)
+		a.scheduleHeartbeat()
+	})
+}
+
 // sendMetric pushes one autoscaler sample to the coordinator.
 func (a *Agent) sendMetric(name string, value float64) {
 	_ = a.node.SendFrame(a.coordAddr, wire.AppendMetric(a.node.NewFrame(wire.TMetric), &wire.Metric{
@@ -486,6 +562,24 @@ func (a *Agent) Stats() (forwarded, applied, queries uint64) {
 // TransportStats returns the agent node's transport counters (frame
 // volumes, malformed drops, enqueue stalls, write coalescing).
 func (a *Agent) TransportStats() transport.Stats { return a.node.Stats() }
+
+// StatsMap implements stats.Provider over the agent's race-safe
+// counters; it is callable concurrently with the event loop.
+func (a *Agent) StatsMap() stats.Counters {
+	ts := a.node.Stats()
+	return stats.Counters{
+		"forwarded":   atomic.LoadUint64(&a.statForwarded),
+		"applied":     atomic.LoadUint64(&a.statApplied),
+		"queries":     atomic.LoadUint64(&a.statQueries),
+		"edge_copies": uint64(a.copyCount.Load()),
+		"vertices":    uint64(a.vertexCount.Load()),
+		"frames_in":   ts.FramesIn,
+		"frames_out":  ts.FramesOut,
+		"retransmits": ts.Retransmits,
+		"dups_dropped": ts.DuplicatesDropped,
+		"ack_give_ups": ts.AckGiveUps,
+	}
+}
 
 // EdgeCopies returns the stored copy count as of the last processed
 // packet — the agent's memory-relevant load (Figures 5b, 6, 16a).

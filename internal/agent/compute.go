@@ -7,6 +7,7 @@ import (
 	"elga/internal/algorithm"
 	"elga/internal/consistent"
 	"elga/internal/graph"
+	"elga/internal/trace"
 	"elga/internal/wire"
 )
 
@@ -40,6 +41,7 @@ func (a *Agent) handleAlgoStart(pkt *wire.Packet) {
 			}
 			a.run = r
 			a.replayDeferred()
+			a.replayParkedAdvance()
 		}
 		return
 	}
@@ -71,13 +73,34 @@ func (a *Agent) handleAlgoStart(pkt *wire.Packet) {
 	if spec.Async {
 		a.startAsync()
 	}
+	a.replayParkedAdvance()
+}
+
+// replayParkedAdvance re-drives an Advance that outran its TAlgoStart.
+func (a *Agent) replayParkedAdvance() {
+	adv := a.pendingAdv
+	if adv == nil || a.run == nil || adv.RunID != a.run.id {
+		return
+	}
+	a.pendingAdv = nil
+	a.trace("replay-advance run=%d step=%d phase=%d", adv.RunID, adv.Step, adv.Phase)
+	a.handleAdvance(adv)
 }
 
 // handleAlgoDone tears down the run and applies changes buffered while the
 // batch computation was executing ("once the batch is over, these updates
-// can be processed", §3.4).
-func (a *Agent) handleAlgoDone() {
+// can be processed", §3.4). Acked-send retransmission does not preserve
+// cross-frame order, so a dropped TAlgoDone can be redelivered after the
+// NEXT run's TAlgoStart — the RunID guard keeps that straggler from
+// tearing down the new run.
+func (a *Agent) handleAlgoDone(pkt *wire.Packet) {
+	done, err := wire.DecodeAlgoDone(pkt.Payload)
+	if err != nil || a.run == nil || done.RunID != a.run.id {
+		return
+	}
+	a.trace("algo-done run=%d", done.RunID)
 	a.run = nil
+	a.pendingAdv = nil
 	// Free per-run message state.
 	a.mailbox = make(map[uint32]map[graph.VertexID]*mailEntry)
 	a.partials = make(map[uint32]map[graph.VertexID]*partialEntry)
@@ -97,6 +120,16 @@ func (a *Agent) handleAdvance(adv *wire.Advance) {
 	}
 	r := a.run
 	if r == nil || adv.RunID != r.id {
+		// The run this Advance drives hasn't been announced here yet: a
+		// dropped TAlgoStart can be redelivered after the step-0 Advance
+		// (retransmission reorders frames). Discarding would wedge the
+		// barrier — the coordinator never re-sends an Advance — so park
+		// it for handleAlgoStart to replay. Halting Advances of finished
+		// runs need no replay.
+		if !adv.Halt && adv.RunID != 0 && (r == nil || adv.RunID > r.id) {
+			a.trace("park-advance run=%d step=%d phase=%d", adv.RunID, adv.Step, adv.Phase)
+			a.pendingAdv = adv
+		}
 		return
 	}
 	if adv.Halt {
@@ -475,7 +508,7 @@ func (a *Agent) deliverLocal(step uint32, v graph.VertexID, val algorithm.Word) 
 	}
 	e.n++
 	e.have = true
-	if traceEnabled {
+	if trace.Enabled() {
 		a.trace("mail-store v=%d step=%d run=%v", v, step, a.run != nil)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"elga/internal/autoscale"
 	"elga/internal/consistent"
 	"elga/internal/graph"
+	"elga/internal/transport"
 	"elga/internal/wire"
 )
 
@@ -14,6 +15,14 @@ import (
 // the migration round of §3.4.3: re-evaluate the destination of every
 // held edge copy, forward misplaced ones, and vote the round complete.
 func (a *Agent) handleView(v *wire.View) {
+	// Snapshot the outgoing membership before the router re-indexes, so
+	// in-flight sends stranded toward evicted peers can be reclaimed.
+	prevAddrs := make(map[string]bool)
+	for _, id := range a.router.Agents() {
+		if addr, ok := a.router.AddrOf(id); ok {
+			prevAddrs[addr] = true
+		}
+	}
 	changed, err := a.router.Update(v)
 	if err != nil || !changed {
 		return
@@ -30,7 +39,89 @@ func (a *Agent) handleView(v *wire.View) {
 		// leave").
 		a.leaving = true
 	}
+	// Mastership moves with the membership: forget which masters were
+	// told about our split vertices so refreshRegistrations re-announces
+	// them under the new view.
+	clear(a.registered)
+	// Reclaim unacknowledged sends toward peers that left the view and
+	// re-route their contents under the new epoch. The gates those sends
+	// fed stay held until the replacements complete, so barrier
+	// accounting survives peer death without losing data.
+	for _, id := range a.router.Agents() {
+		if addr, ok := a.router.AddrOf(id); ok {
+			delete(prevAddrs, addr)
+		}
+	}
+	delete(prevAddrs, a.node.Addr())
+	for addr := range prevAddrs {
+		for _, f := range a.node.CancelPeer(addr) {
+			a.rerouteFailed(f)
+		}
+	}
 	a.migrate(uint32(epoch))
+}
+
+// rerouteFailed re-dispatches one reclaimed in-flight send under the
+// current view. Vertex messages re-resolve their owner, edge shipments
+// re-apply (forwarding misplaced copies), and replica partials chase the
+// vertex's new master. Everything re-sent funnels through a fresh gate
+// whose drain releases the original request, keeping the phase gates the
+// failed send fed correctly held in the meantime. Types with no
+// surviving destination — value updates to the dead replica,
+// registrations (re-announced after the registered reset) — are dropped.
+func (a *Agent) rerouteFailed(f transport.FailedSend) {
+	pkt := wire.GetPacket()
+	if err := wire.UnmarshalPacketInto(pkt, f.Frame, nil); err != nil {
+		wire.ReleasePacket(pkt)
+		a.onAck(f.Req)
+		return
+	}
+	g := &ackGroup{}
+	self := consistent.AgentID(a.id)
+	switch pkt.Type {
+	case wire.TVertexMsgs:
+		batch := &a.scratchVMB
+		if err := wire.DecodeVertexMsgBatchInto(batch, pkt.Payload); err == nil && !batch.Async {
+			b := a.getBatcher(batch.Step)
+			for _, m := range batch.Msgs {
+				v := graph.VertexID(m.Target)
+				if a.router.IsReplica(v, self) {
+					a.deliverLocal(batch.Step, v, algorithm.Word(m.Value))
+					continue
+				}
+				if dst, ok := a.router.EdgeOwner(v, graph.VertexID(m.Via)); ok {
+					b.add(dst, m)
+				} else {
+					// No owner known; accept locally to avoid loss.
+					a.deliverLocal(batch.Step, v, algorithm.Word(m.Value))
+				}
+			}
+			b.flush(g)
+			a.putBatcher(b)
+		}
+	case wire.TEdges:
+		batch := &a.scratchEB
+		if err := wire.DecodeEdgeBatchInto(batch, pkt.Payload); err == nil {
+			states := make(map[graph.VertexID]wire.VertexState, len(batch.States))
+			for _, st := range batch.States {
+				states[st.Vertex] = st
+			}
+			a.applyChanges(batch.Changes, batch.Migration, g, states)
+		}
+	case wire.TReplicaPartial:
+		if p, err := wire.DecodeReplicaPartial(pkt.Payload); err == nil {
+			if master, ok := a.router.Master(p.Vertex); ok {
+				if master == self {
+					a.stashPartial(p.Step, p.Vertex, algorithm.Word(p.Agg), p.MsgCount, p.HaveMsgs, p.LocalOutDeg)
+					a.store.Pin(p.Vertex)
+				} else if addr, ok2 := a.router.AddrOf(master); ok2 {
+					a.sendGated(addr, wire.TReplicaPartial, pkt.Payload, g)
+				}
+			}
+		}
+	}
+	wire.ReleasePacket(pkt)
+	a.voteWhenDrained(g, func() { a.onAck(f.Req) })
 }
 
 // migrationShipment accumulates copies and state headed to one agent.
@@ -90,8 +181,10 @@ func (a *Agent) migrate(epochLow uint32) {
 		}
 	}
 
+	// Migration runs its own gate; the run's phase gate (owned by
+	// handleAdvance) stays untouched so a mid-phase view change cannot
+	// clobber in-progress barrier accounting.
 	gate := &ackGroup{}
-	a.phaseGate = gate
 	for owner, s := range shipments {
 		addr, ok := a.router.AddrOf(owner)
 		if !ok {
@@ -347,7 +440,6 @@ func (a *Agent) handleBatchOpen() {
 	a.sendMetric(autoscale.MetricQueryRate, float64(queries-a.lastQueries))
 	a.lastApplied, a.lastQueries = applied, queries
 	gate := &ackGroup{}
-	a.phaseGate = gate
 	if a.skDelta.Count() > 0 {
 		data, err := a.skDelta.MarshalBinary()
 		if err == nil {

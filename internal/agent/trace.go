@@ -1,16 +1,12 @@
 package agent
 
-import (
-	"fmt"
-	"os"
-)
+import "elga/internal/trace"
 
-// traceEnabled turns on the event trace used to debug routing issues.
-var traceEnabled = os.Getenv("ELGA_TRACE") != ""
-
+// trace logs one agent-tagged line when ELGA_TRACE is set; see the
+// trace package for why the control planes trace their transitions.
 func (a *Agent) trace(format string, args ...any) {
-	if !traceEnabled {
+	if !trace.Enabled() {
 		return
 	}
-	fmt.Fprintf(os.Stderr, "TRACE a%d "+format+"\n", append([]any{a.id}, args...)...)
+	trace.Printf("a%d "+format, append([]any{a.id}, args...)...)
 }

@@ -14,6 +14,8 @@ import (
 // algorithms with different bottlenecks important future work).
 type PPR struct{}
 
+func init() { Register("ppr", func() Program { return PPR{} }) }
+
 // Name implements Program.
 func (PPR) Name() string { return "ppr" }
 

@@ -13,7 +13,6 @@
 package algorithm
 
 import (
-	"fmt"
 	"math"
 
 	"elga/internal/graph"
@@ -79,28 +78,14 @@ type Program interface {
 	HaltOnQuiescence() bool
 }
 
-// New returns the registered program for name.
-func New(name string) (Program, error) {
-	switch name {
-	case "pagerank":
-		return PageRank{}, nil
-	case "wcc":
-		return WCC{}, nil
-	case "bfs":
-		return BFS{}, nil
-	case "sssp":
-		return SSSP{}, nil
-	case "degree":
-		return Degree{}, nil
-	case "ppr":
-		return PPR{}, nil
-	}
-	return nil, fmt.Errorf("algorithm: unknown program %q", name)
-}
-
-// Names lists the registered programs.
-func Names() []string {
-	return []string{"pagerank", "wcc", "bfs", "sssp", "degree", "ppr"}
+// The built-in programs self-register; see registry.go for the Register
+// and Lookup API external programs use.
+func init() {
+	Register("pagerank", func() Program { return PageRank{} })
+	Register("wcc", func() Program { return WCC{} })
+	Register("bfs", func() Program { return BFS{} })
+	Register("sssp", func() Program { return SSSP{} })
+	Register("degree", func() Program { return Degree{} })
 }
 
 // Damping is PageRank's damping factor, the conventional 0.85.

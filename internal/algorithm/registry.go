@@ -1,0 +1,59 @@
+package algorithm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// registry maps program names to constructors. Programs self-register
+// from init, so adding an algorithm is one file with one Register call —
+// no central switch to edit.
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]func() Program)
+)
+
+// Register adds a program constructor under name. It panics on a
+// duplicate or empty name: registration happens at init time, where a
+// collision is a programming error that should fail loudly.
+func Register(name string, ctor func() Program) {
+	if name == "" || ctor == nil {
+		panic("algorithm: Register with empty name or nil constructor")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("algorithm: program %q registered twice", name))
+	}
+	registry[name] = ctor
+}
+
+// Lookup returns the constructor registered under name, if any.
+func Lookup(name string) (func() Program, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	ctor, ok := registry[name]
+	return ctor, ok
+}
+
+// New returns a fresh instance of the program registered under name.
+func New(name string) (Program, error) {
+	ctor, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("algorithm: unknown program %q", name)
+	}
+	return ctor(), nil
+}
+
+// Names lists the registered programs in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

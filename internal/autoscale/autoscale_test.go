@@ -43,6 +43,48 @@ func TestEMASmoothsSpikes(t *testing.T) {
 	}
 }
 
+func TestEMAUnprimedValueIsZero(t *testing.T) {
+	e := NewEMA(10 * time.Second)
+	if e.Value() != 0 {
+		t.Errorf("unprimed Value = %v, want 0", e.Value())
+	}
+	if e.Primed() {
+		t.Error("fresh EMA reports primed")
+	}
+}
+
+func TestEMAZeroDt(t *testing.T) {
+	// Two samples with the same timestamp: the dt clamp must keep the
+	// alpha finite (a zero dt would make the update a no-op or NaN
+	// depending on the formula) and the value between the two samples.
+	e := NewEMA(10 * time.Second)
+	now := time.Unix(50, 0)
+	e.Observe(now, 100)
+	e.Observe(now, 200)
+	v := e.Value()
+	if math.IsNaN(v) || v < 100 || v > 200 {
+		t.Errorf("same-timestamp EMA = %v, want within [100,200]", v)
+	}
+	// dt is clamped to a nanosecond, so the second sample should barely
+	// move a 10s-half-life average.
+	if v > 101 {
+		t.Errorf("zero-dt sample moved the EMA to %v; clamp should make it negligible", v)
+	}
+}
+
+func TestEMANegativeDt(t *testing.T) {
+	// Out-of-order timestamps (clock skew between reporting agents): the
+	// clamp treats them like zero dt instead of producing a negative
+	// alpha that would extrapolate away from the sample.
+	e := NewEMA(10 * time.Second)
+	e.Observe(time.Unix(100, 0), 10)
+	e.Observe(time.Unix(90, 0), 1000)
+	v := e.Value()
+	if math.IsNaN(v) || v < 10 || v > 1000 {
+		t.Errorf("backwards-time EMA = %v, want within [10,1000]", v)
+	}
+}
+
 func TestPolicyTarget(t *testing.T) {
 	p := Policy{PerAgentCapacity: 100, Min: 2, Max: 16}
 	cases := map[float64]int{0: 2, 150: 2, 250: 3, 1000: 10, 99999: 16}

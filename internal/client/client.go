@@ -12,6 +12,7 @@ import (
 	"elga/internal/config"
 	"elga/internal/graph"
 	"elga/internal/route"
+	"elga/internal/stats"
 	"elga/internal/transport"
 	"elga/internal/wire"
 )
@@ -26,6 +27,40 @@ type Options struct {
 	MasterAddr string
 }
 
+// Validate reports option errors before any resource is allocated.
+func (o *Options) Validate() error {
+	if err := o.Config.Validate(); err != nil {
+		return err
+	}
+	if o.Network == nil {
+		return fmt.Errorf("client: options: network is required")
+	}
+	if o.MasterAddr == "" {
+		return fmt.Errorf("client: options: master address is required")
+	}
+	return nil
+}
+
+// CallOpts makes the timeout and retry policy of one blocking call
+// explicit instead of burying them in the cluster configuration. The
+// zero value selects the configured request timeout and the default
+// retry policy.
+type CallOpts struct {
+	// Timeout bounds the whole call including retries (0 selects
+	// Config.RequestTimeout).
+	Timeout time.Duration
+	// Retry shapes the per-attempt schedule; the zero value selects the
+	// transport defaults (3 attempts, jittered exponential backoff).
+	Retry transport.Retry
+}
+
+func (co CallOpts) timeout(cfg *config.Config) time.Duration {
+	if co.Timeout > 0 {
+		return co.Timeout
+	}
+	return cfg.RequestTimeout
+}
+
 // Client is a client proxy. It is not safe for concurrent use.
 type Client struct {
 	opts      Options
@@ -34,11 +69,13 @@ type Client struct {
 	coordAddr string
 	dirAddr   string
 	salt      uint64
+	queries   uint64
+	retried   uint64
 }
 
 // Start boots a client proxy and waits for a directory view.
 func Start(opts Options) (*Client, error) {
-	if err := opts.Config.Validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	node, err := transport.NewNode(opts.Network, "", 0)
@@ -46,7 +83,9 @@ func Start(opts Options) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{opts: opts, node: node, router: route.New(opts.Config)}
-	reply, err := node.Request(opts.MasterAddr, wire.TGetDirectory, nil, opts.Config.RequestTimeout)
+	reply, err := node.RequestRetry(opts.MasterAddr, transport.Retry{Attempts: 5},
+		opts.Config.RequestTimeout,
+		func() []byte { return node.NewFrame(wire.TGetDirectory) })
 	if err != nil {
 		node.Close()
 		return nil, fmt.Errorf("client: bootstrap: %w", err)
@@ -59,7 +98,9 @@ func Start(opts Options) (*Client, error) {
 	}
 	c.coordAddr = dirs[0]
 	c.dirAddr = dirs[len(dirs)-1]
-	if err := node.SendFrame(c.dirAddr, wire.AppendSubscribeTypes(
+	// The subscription is acked: losing it would freeze this client's
+	// view of the membership forever.
+	if err := node.SendFrameAcked(c.dirAddr, wire.AppendSubscribeTypes(
 		node.NewFrame(wire.TSubscribe), wire.TDirUpdate)); err != nil {
 		node.Close()
 		return nil, err
@@ -68,10 +109,29 @@ func Start(opts Options) (*Client, error) {
 }
 
 // Close unsubscribes from directory broadcasts and releases the client.
-func (c *Client) Close() {
+func (c *Client) Close() error {
 	_ = c.node.SendFrame(c.dirAddr, c.node.NewFrame(wire.TUnsubscribe))
 	c.node.Close()
+	return nil
 }
+
+// StatsMap implements stats.Provider. The client is single-threaded, so
+// snapshots are taken between calls.
+func (c *Client) StatsMap() stats.Counters {
+	ts := c.node.Stats()
+	return stats.Counters{
+		"queries":    c.queries,
+		"retries":    c.retried,
+		"frames_in":  ts.FramesIn,
+		"frames_out": ts.FramesOut,
+	}
+}
+
+// Epoch returns the view epoch the client last installed.
+func (c *Client) Epoch() uint64 { return c.router.Epoch() }
+
+// NumAgents returns the agent count of the installed view.
+func (c *Client) NumAgents() int { return c.router.NumAgents() }
 
 func (c *Client) drainViews(block bool) error {
 	deadline := time.Now().Add(c.opts.Config.RequestTimeout)
@@ -79,12 +139,13 @@ func (c *Client) drainViews(block bool) error {
 		select {
 		case pkt, ok := <-c.node.Inbox():
 			if !ok {
-				return transport.ErrClosed
+				return transport.ErrNodeClosed
 			}
 			if pkt.Type == wire.TDirUpdate {
 				if v, err := wire.DecodeView(pkt.Payload); err == nil {
 					_, _ = c.router.Update(v)
 				}
+				c.node.Ack(pkt)
 				block = false
 			}
 			wire.ReleasePacket(pkt)
@@ -93,7 +154,7 @@ func (c *Client) drainViews(block bool) error {
 				return nil
 			}
 			if time.Now().After(deadline) {
-				return fmt.Errorf("client: timed out waiting for a view")
+				return fmt.Errorf("client: waiting for a view: %w", transport.ErrTimeout)
 			}
 			time.Sleep(time.Millisecond)
 		}
@@ -105,7 +166,7 @@ func (c *Client) WaitReady() error {
 	deadline := time.Now().Add(c.opts.Config.RequestTimeout)
 	for c.router.NumAgents() == 0 {
 		if time.Now().After(deadline) {
-			return fmt.Errorf("client: no agents before timeout")
+			return fmt.Errorf("client: no agents: %w", transport.ErrTimeout)
 		}
 		if err := c.drainViews(true); err != nil {
 			return err
@@ -135,13 +196,47 @@ type RunSpec struct {
 }
 
 // Run asks the directory system to execute an algorithm and blocks until
-// it completes, returning the run statistics.
+// it completes, returning the run statistics. Run is deliberately not
+// retried: a timed-out request may still be executing at the directory,
+// and re-submitting it would start a second run. Callers whose specs are
+// idempotent can opt into retries with RunWith.
 func (c *Client) Run(spec RunSpec) (*wire.RunStats, error) {
 	timeout := spec.Timeout
 	if timeout <= 0 {
 		timeout = 10 * time.Minute
 	}
-	frame := wire.AppendAlgoStart(c.node.NewFrame(wire.TRunAlgo), &wire.AlgoStart{
+	reply, err := c.node.RequestFrame(c.coordAddr, c.runFrame(spec), timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: run %s: %w", spec.Algo, err)
+	}
+	stats, err := wire.DecodeRunStats(reply.Payload)
+	wire.ReleasePacket(reply)
+	return stats, err
+}
+
+// RunWith is Run under an explicit retry policy. A retried submission
+// whose predecessor actually reached the directory queues a second,
+// identical run — the directory executes runs in order — so RunWith is
+// only safe for idempotent specs: deterministic FromScratch runs.
+// Incremental runs (FromScratch false) must use Run. The per-try wait
+// must cover a full run's duration, not just the request round-trip.
+func (c *Client) RunWith(spec RunSpec, co CallOpts) (*wire.RunStats, error) {
+	timeout := spec.Timeout
+	if timeout <= 0 {
+		timeout = co.timeout(&c.opts.Config)
+	}
+	reply, err := c.node.RequestRetry(c.coordAddr, co.Retry, timeout,
+		func() []byte { return c.runFrame(spec) })
+	if err != nil {
+		return nil, fmt.Errorf("client: run %s: %w", spec.Algo, err)
+	}
+	stats, err := wire.DecodeRunStats(reply.Payload)
+	wire.ReleasePacket(reply)
+	return stats, err
+}
+
+func (c *Client) runFrame(spec RunSpec) []byte {
+	return wire.AppendAlgoStart(c.node.NewFrame(wire.TRunAlgo), &wire.AlgoStart{
 		Algo:        spec.Algo,
 		Async:       spec.Async,
 		MaxSteps:    spec.MaxSteps,
@@ -149,51 +244,87 @@ func (c *Client) Run(spec RunSpec) (*wire.RunStats, error) {
 		FromScratch: spec.FromScratch,
 		Source:      spec.Source,
 	})
-	reply, err := c.node.RequestFrame(c.coordAddr, frame, timeout)
-	if err != nil {
-		return nil, err
-	}
-	stats, err := wire.DecodeRunStats(reply.Payload)
-	wire.ReleasePacket(reply)
-	return stats, err
 }
 
-// Seal asks the directory system to reach a batch boundary: all buffered
-// changes applied, sketch deltas merged, and any resulting rebalance
-// completed. It blocks until the cluster is quiescent.
-func (c *Client) Seal() error {
-	reply, err := c.node.RequestFrame(c.coordAddr,
-		c.node.NewFrame(wire.TIngest), c.opts.Config.RequestTimeout)
+// Seal asks the directory system to reach a batch boundary with the
+// default call policy. See SealWith.
+func (c *Client) Seal() error { return c.SealWith(CallOpts{}) }
+
+// SealWith asks the directory system to reach a batch boundary: all
+// buffered changes applied, sketch deltas merged, and any resulting
+// rebalance completed. It blocks until the cluster is quiescent. Seals
+// are idempotent, so the call retries under co's policy.
+func (c *Client) SealWith(co CallOpts) error {
+	reply, err := c.node.RequestRetry(c.coordAddr, co.Retry, co.timeout(&c.opts.Config),
+		func() []byte { return c.node.NewFrame(wire.TIngest) })
 	if reply != nil {
 		wire.ReleasePacket(reply)
 	}
-	return err
+	if err != nil {
+		return fmt.Errorf("client: seal: %w", err)
+	}
+	return nil
 }
 
-// Query returns vertex v's current algorithm state from a random replica.
+// Query returns vertex v's current algorithm state from a random replica
+// with the default call policy. See QueryWith.
 func (c *Client) Query(v graph.VertexID) (algorithm.Word, bool, error) {
-	if err := c.drainViews(false); err != nil {
-		return 0, false, err
+	return c.QueryWith(v, CallOpts{})
+}
+
+// QueryWith returns vertex v's current algorithm state from a random
+// replica under an explicit timeout and retry policy. Each attempt
+// re-resolves the replica set against the freshest view, so a retry
+// naturally routes around an agent that died since the last attempt.
+func (c *Client) QueryWith(v graph.VertexID, co CallOpts) (algorithm.Word, bool, error) {
+	overall := co.timeout(&c.opts.Config)
+	policy := co.Retry
+	perTry := policy.PerTry
+	if perTry <= 0 {
+		attempts := policy.Attempts
+		if attempts <= 0 {
+			attempts = 3
+		}
+		perTry = overall / time.Duration(attempts)
+		if perTry < 50*time.Millisecond {
+			perTry = 50 * time.Millisecond
+		}
 	}
-	c.salt++
-	agentID, ok := c.router.AnyReplica(v, c.salt)
-	if !ok {
-		return 0, false, fmt.Errorf("client: no agents")
-	}
-	addr, ok := c.router.AddrOf(agentID)
-	if !ok {
-		return 0, false, fmt.Errorf("client: unknown agent %d", agentID)
-	}
-	reply, err := c.node.RequestFrame(addr,
-		wire.AppendQuery(c.node.NewFrame(wire.TQuery), &wire.Query{Vertex: v}),
-		c.opts.Config.RequestTimeout)
+	deadline := time.Now().Add(overall)
+	c.queries++
+	var qr *wire.QueryReply
+	attempt := 0
+	err := policy.Do(deadline, func() error {
+		if attempt++; attempt > 1 {
+			c.retried++
+		}
+		if err := c.drainViews(false); err != nil {
+			return err
+		}
+		c.salt++
+		agentID, ok := c.router.AnyReplica(v, c.salt)
+		if !ok {
+			return fmt.Errorf("client: no agents: %w", transport.ErrUnavailable)
+		}
+		addr, ok := c.router.AddrOf(agentID)
+		if !ok {
+			return fmt.Errorf("client: unknown agent %d: %w", agentID, transport.ErrUnavailable)
+		}
+		reply, rerr := c.node.RequestFrame(addr,
+			wire.AppendQuery(c.node.NewFrame(wire.TQuery), &wire.Query{Vertex: v}), perTry)
+		if rerr != nil {
+			return rerr
+		}
+		decoded, derr := wire.DecodeQueryReply(reply.Payload)
+		wire.ReleasePacket(reply)
+		if derr != nil {
+			return derr
+		}
+		qr = decoded
+		return nil
+	})
 	if err != nil {
-		return 0, false, err
-	}
-	qr, err := wire.DecodeQueryReply(reply.Payload)
-	wire.ReleasePacket(reply)
-	if err != nil {
-		return 0, false, err
+		return 0, false, fmt.Errorf("client: query %d: %w", v, err)
 	}
 	return algorithm.Word(qr.State), qr.Found, nil
 }

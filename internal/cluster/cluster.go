@@ -15,9 +15,18 @@ import (
 	"elga/internal/config"
 	"elga/internal/directory"
 	"elga/internal/graph"
+	"elga/internal/stats"
 	"elga/internal/streamer"
 	"elga/internal/transport"
 	"elga/internal/wire"
+)
+
+// Every participant exposes the shared stats shape.
+var (
+	_ stats.Provider = (*agent.Agent)(nil)
+	_ stats.Provider = (*directory.Directory)(nil)
+	_ stats.Provider = (*client.Client)(nil)
+	_ stats.Provider = (*streamer.Streamer)(nil)
 )
 
 // Options configures a cluster.
@@ -161,6 +170,39 @@ func (c *Cluster) RemoveAgent(i int) error {
 	return nil
 }
 
+// KillAgent fail-stops the i-th agent without a leave announcement,
+// simulating a crash: its node closes immediately and its edges are NOT
+// migrated. The coordinator's failure detector notices the missing
+// heartbeats, evicts the agent via the leave/scale-down path, and
+// survivors re-own its key ranges. The killed agent's data is lost until
+// re-streamed (the system is fail-stop without replication).
+func (c *Cluster) KillAgent(i int) error {
+	if i < 0 || i >= len(c.agents) {
+		return fmt.Errorf("cluster: no agent %d", i)
+	}
+	a := c.agents[i]
+	c.agents = append(c.agents[:i], c.agents[i+1:]...)
+	return a.Close()
+}
+
+// Epoch returns the view epoch as seen by the control client.
+func (c *Cluster) Epoch() uint64 {
+	return c.ctl.Epoch()
+}
+
+// StatsMaps collects every live agent's counters plus each directory's,
+// keyed by participant.
+func (c *Cluster) StatsMaps() map[string]stats.Counters {
+	out := make(map[string]stats.Counters)
+	for _, a := range c.agents {
+		out[fmt.Sprintf("agent-%d", a.ID())] = a.StatsMap()
+	}
+	for i, d := range c.dirs {
+		out[fmt.Sprintf("directory-%d", i)] = d.StatsMap()
+	}
+	return out
+}
+
 // NewStreamer creates a streamer attached to this cluster.
 func (c *Cluster) NewStreamer() (*streamer.Streamer, error) {
 	s, err := streamer.Start(streamer.Options{
@@ -256,6 +298,9 @@ func (c *Cluster) TransportStats() transport.Stats {
 		t.EnqueueStalls += s.EnqueueStalls
 		t.ConnWrites += s.ConnWrites
 		t.CoalescedFrames += s.CoalescedFrames
+		t.Retransmits += s.Retransmits
+		t.DuplicatesDropped += s.DuplicatesDropped
+		t.AckGiveUps += s.AckGiveUps
 	}
 	return t
 }

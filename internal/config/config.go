@@ -32,6 +32,39 @@ type Config struct {
 	MaxReplicas int
 	// RequestTimeout bounds every blocking request in the cluster.
 	RequestTimeout time.Duration
+	// HeartbeatInterval paces agent lease renewals to the coordinator.
+	// Zero selects DefaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
+	// LeaseTimeout is how long the coordinator waits after the last
+	// heartbeat before declaring an agent dead and evicting it from the
+	// view. Zero selects DefaultLeaseTimeout. It should be several
+	// heartbeat intervals so a few lost heartbeats (they are deliberately
+	// lossy) do not trigger a false eviction.
+	LeaseTimeout time.Duration
+}
+
+// Failure-detector defaults: renew well inside the lease so eviction
+// needs ~8 consecutive losses, and keep the lease short enough that a
+// dead agent stalls a run for at most a few seconds.
+const (
+	DefaultHeartbeatInterval = 500 * time.Millisecond
+	DefaultLeaseTimeout      = 4 * time.Second
+)
+
+// HeartbeatEvery returns the effective heartbeat interval.
+func (c *Config) HeartbeatEvery() time.Duration {
+	if c.HeartbeatInterval <= 0 {
+		return DefaultHeartbeatInterval
+	}
+	return c.HeartbeatInterval
+}
+
+// LeaseExpiry returns the effective lease timeout.
+func (c *Config) LeaseExpiry() time.Duration {
+	if c.LeaseTimeout <= 0 {
+		return DefaultLeaseTimeout
+	}
+	return c.LeaseTimeout
 }
 
 // Default returns the laptop-scale default configuration: Wang hash, 100
@@ -61,6 +94,12 @@ func (c *Config) Validate() error {
 	}
 	if c.RequestTimeout <= 0 {
 		return fmt.Errorf("config: request timeout must be positive")
+	}
+	if c.HeartbeatInterval < 0 || c.LeaseTimeout < 0 {
+		return fmt.Errorf("config: heartbeat interval and lease timeout must be non-negative")
+	}
+	if c.LeaseTimeout > 0 && c.LeaseTimeout < c.HeartbeatEvery() {
+		return fmt.Errorf("config: lease timeout %v shorter than heartbeat interval %v", c.LeaseTimeout, c.HeartbeatEvery())
 	}
 	return nil
 }

@@ -4,11 +4,14 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"elga/internal/algorithm"
 	"elga/internal/config"
 	"elga/internal/sketch"
+	"elga/internal/stats"
+	"elga/internal/trace"
 	"elga/internal/transport"
 	"elga/internal/wire"
 )
@@ -28,6 +31,20 @@ type Options struct {
 	MetricHandler func(*wire.Metric)
 }
 
+// Validate reports option errors before any resource is allocated.
+func (o *Options) Validate() error {
+	if err := o.Config.Validate(); err != nil {
+		return err
+	}
+	if o.Network == nil {
+		return fmt.Errorf("directory: options: nil network")
+	}
+	if o.MasterAddr == "" {
+		return fmt.Errorf("directory: options: empty master address")
+	}
+	return nil
+}
+
 // Directory is one directory server. The first Directory registered with
 // the master becomes the coordinator and owns the canonical cluster
 // state; later ones relay coordinator broadcasts to their subscribers.
@@ -45,7 +62,10 @@ type Directory struct {
 	nextAgentID uint64
 	nextRunID   uint32
 	agents      map[uint64]string
-	sk          *sketch.Sketch
+	// leases maps each agent to its last heartbeat (or join) time; an
+	// agent silent past Config.LeaseExpiry is evicted.
+	leases map[uint64]time.Time
+	sk     *sketch.Sketch
 	skDirty     bool
 	n           uint64
 	// lastView is an owned buffer (never aliases a pooled frame): the
@@ -64,6 +84,10 @@ type Directory struct {
 	migration *migrationState
 	seal      *sealState
 	run       *runState
+
+	// statEvictions counts agents evicted by the failure detector
+	// (atomic: read by StatsMap off the event loop).
+	statEvictions atomic.Uint64
 }
 
 type migrationState struct {
@@ -101,6 +125,10 @@ type runState struct {
 	prevRecv     uint64
 	prevValid    bool
 	probePending bool
+	// lossy records that an agent was evicted mid-run: its unreceived
+	// messages make the sent/received sums permanently unbalanced, so
+	// quiescence falls back to two consecutive unchanged probes.
+	lossy bool
 }
 
 // asyncProbeInterval paces quiescence probes.
@@ -110,7 +138,7 @@ const asyncProbeInterval = 2 * time.Millisecond
 // coordinator if it is first), subscribes to the coordinator if it is a
 // relay, and begins its event loop.
 func Start(opts Options) (*Directory, error) {
-	if err := opts.Config.Validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	node, err := transport.NewNode(opts.Network, opts.Addr, 0)
@@ -123,11 +151,15 @@ func Start(opts Options) (*Directory, error) {
 		pub:    transport.NewPublisher(node),
 		done:   make(chan struct{}),
 		agents: make(map[uint64]string),
+		leases: make(map[uint64]time.Time),
 		sk:     opts.Config.NewSketch(),
 	}
-	reply, err := node.RequestFrame(opts.MasterAddr,
-		wire.AppendJoin(node.NewFrame(wire.TRegisterDirectory), &wire.Join{Addr: node.Addr()}),
-		opts.Config.RequestTimeout)
+	// Registration is idempotent (the master dedups by address), so it is
+	// safe to retry through transient faults.
+	reply, err := node.RequestRetry(opts.MasterAddr, transport.Retry{Attempts: 5},
+		opts.Config.RequestTimeout, func() []byte {
+			return wire.AppendJoin(node.NewFrame(wire.TRegisterDirectory), &wire.Join{Addr: node.Addr()})
+		})
 	if err != nil {
 		node.Close()
 		return nil, fmt.Errorf("directory: register with master: %w", err)
@@ -142,10 +174,11 @@ func Start(opts Options) (*Directory, error) {
 	d.coordinator = d.coordAddr == node.Addr()
 	if d.coordinator {
 		d.lastView = wire.EncodeView(d.view())
+		d.scheduleLeaseSweep()
 	} else {
 		// Relays subscribe to every coordinator broadcast and fan it
 		// out to their own subscribers.
-		if err := node.SendFrame(d.coordAddr, node.NewFrame(wire.TSubscribe)); err != nil {
+		if err := node.SendFrameAcked(d.coordAddr, node.NewFrame(wire.TSubscribe)); err != nil {
 			node.Close()
 			return nil, err
 		}
@@ -164,9 +197,24 @@ func (d *Directory) IsCoordinator() bool { return d.coordinator }
 func (d *Directory) CoordinatorAddr() string { return d.coordAddr }
 
 // Close shuts the directory down.
-func (d *Directory) Close() {
+func (d *Directory) Close() error {
 	d.node.Close()
 	<-d.done
+	return nil
+}
+
+// StatsMap implements stats.Provider over the directory's race-safe
+// counters; it is callable concurrently with the event loop.
+func (d *Directory) StatsMap() stats.Counters {
+	ts := d.node.Stats()
+	return stats.Counters{
+		"evictions":    d.statEvictions.Load(),
+		"frames_in":    ts.FramesIn,
+		"frames_out":   ts.FramesOut,
+		"retransmits":  ts.Retransmits,
+		"dups_dropped": ts.DuplicatesDropped,
+		"ack_give_ups": ts.AckGiveUps,
+	}
 }
 
 func (d *Directory) view() *wire.View {
@@ -221,8 +269,12 @@ func (d *Directory) handleRelay(pkt *wire.Packet) {
 	case wire.TSubscribe:
 		d.pub.Subscribe(pkt.From, wire.DecodeSubscribeTypes(pkt.Payload)...)
 		if d.lastView != nil {
-			_ = d.node.Send(pkt.From, wire.TDirUpdate, d.lastView)
+			// Acked: this catch-up is the subscriber's only copy of any
+			// view published before its subscription landed — losing it
+			// can wedge a migration barrier waiting on that subscriber.
+			_ = d.node.SendAcked(pkt.From, wire.TDirUpdate, d.lastView)
 		}
+		d.node.Ack(pkt)
 	case wire.TUnsubscribe:
 		d.pub.Unsubscribe(pkt.From)
 	case wire.TDirUpdate:
@@ -230,8 +282,10 @@ func (d *Directory) handleRelay(pkt *wire.Packet) {
 		// released while lastView survives for late subscribers.
 		d.lastView = append(d.lastView[:0], pkt.Payload...)
 		d.pub.Publish(pkt.Type, d.lastView)
+		d.node.Ack(pkt)
 	case wire.TAdvance, wire.TAlgoStart, wire.TAlgoDone, wire.TBatchOpen:
 		d.pub.Publish(pkt.Type, pkt.Payload)
+		d.node.Ack(pkt)
 	case wire.TDirectoryList:
 		// Peer list refresh from the master; relays have no use for it
 		// beyond knowing the coordinator, which cannot change.
@@ -240,7 +294,14 @@ func (d *Directory) handleRelay(pkt *wire.Packet) {
 	default:
 		// Control packets sent to a relay by mistake are forwarded to
 		// the coordinator so stale participants still make progress.
-		_ = d.node.Send(d.coordAddr, pkt.Type, pkt.Payload)
+		// Reliable (acked) traffic stays reliable across the hop: the
+		// relay acks the sender and takes over retransmission.
+		if wire.AckedPush(pkt.Type) {
+			_ = d.node.SendAcked(d.coordAddr, pkt.Type, pkt.Payload)
+			d.node.Ack(pkt)
+		} else {
+			_ = d.node.Send(d.coordAddr, pkt.Type, pkt.Payload)
+		}
 	}
 }
 
@@ -252,8 +313,11 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 	case wire.TSubscribe:
 		d.pub.Subscribe(pkt.From, wire.DecodeSubscribeTypes(pkt.Payload)...)
 		if d.lastView != nil {
-			_ = d.node.Send(pkt.From, wire.TDirUpdate, d.lastView)
+			// Acked: see the relay subscribe path — a lost catch-up view
+			// can wedge a migration barrier on the late subscriber.
+			_ = d.node.SendAcked(pkt.From, wire.TDirUpdate, d.lastView)
 		}
+		d.node.Ack(pkt)
 	case wire.TUnsubscribe:
 		d.pub.Unsubscribe(pkt.From)
 	case wire.TJoin:
@@ -261,9 +325,15 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 		d.advanceWork()
 		return true
 	case wire.TLeave:
+		// Ack at receipt: the departure is now durable coordinator state
+		// (the packet is parked until membership applies), so the agent's
+		// retransmission can stop.
+		d.node.Ack(pkt)
 		d.pendingLeaves = append(d.pendingLeaves, pkt)
 		d.advanceWork()
 		return true
+	case wire.THeartbeat:
+		d.handleHeartbeat(pkt)
 	case wire.TSketchDelta:
 		var delta sketch.Sketch
 		if err := delta.UnmarshalBinary(pkt.Payload); err == nil {
@@ -275,9 +345,11 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 	case wire.TReady:
 		m, err := wire.DecodeReady(pkt.Payload)
 		if err != nil {
+			d.node.Ack(pkt) // malformed: ack to stop the retransmission
 			return false
 		}
 		d.handleReady(m)
+		d.node.Ack(pkt)
 	case wire.TRunAlgo:
 		d.pendingRuns = append(d.pendingRuns, pkt)
 		d.advanceWork()
@@ -295,7 +367,14 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 	case wire.TDirectoryList:
 		// Peer directories fan out on their own; nothing to track here.
 	case wire.TTick:
-		d.sendAsyncProbe()
+		// Self-ticks multiplex two timers, distinguished by a 1-byte tag:
+		// empty = async quiescence probe, 1 = lease sweep.
+		if len(pkt.Payload) > 0 && pkt.Payload[0] == leaseTick {
+			d.sweepLeases(time.Now())
+			d.scheduleLeaseSweep()
+		} else {
+			d.sendAsyncProbe()
+		}
 	case wire.TPing:
 		_ = d.node.ReplyFrame(pkt, d.node.NewFrame(wire.TPong))
 	default:
@@ -339,9 +418,27 @@ func (d *Directory) applyMembership() {
 			wire.ReleasePacket(pkt)
 			continue
 		}
-		d.nextAgentID++
-		id := d.nextAgentID
-		d.agents[id] = j.Addr
+		// Joins are idempotent by address so a client-side Retry (whose
+		// earlier attempt may have been applied but its reply lost) does
+		// not mint a second identity for the same agent.
+		var id uint64
+		for eid, addr := range d.agents {
+			if addr == j.Addr {
+				id = eid
+				break
+			}
+		}
+		if id == 0 {
+			d.nextAgentID++
+			id = d.nextAgentID
+			d.agents[id] = j.Addr
+			d.leases[id] = time.Now()
+		}
+		// Joining implies subscribing: an eviction unsubscribes the
+		// address, so a falsely-suspected agent that rejoins (under a
+		// fresh ID) would otherwise be deaf to every later broadcast —
+		// it could never vote a barrier again.
+		d.pub.Subscribe(j.Addr)
 		// Reply after the view is final so the new agent sees itself.
 		defer func(p *wire.Packet, assigned uint64) {
 			_ = d.node.ReplyFrame(p, wire.AppendJoinReply(
@@ -357,6 +454,7 @@ func (d *Directory) applyMembership() {
 		if err == nil {
 			if _, ok := d.agents[l.AgentID]; ok {
 				delete(d.agents, l.AgentID)
+				delete(d.leases, l.AgentID)
 				leavers[l.AgentID] = true
 			}
 		}
@@ -379,6 +477,7 @@ func (d *Directory) applyMembership() {
 		expected: expected,
 		votes:    make(map[uint64]bool),
 	}
+	trace.Printf("dir migration-start epoch=%d expected=%v", d.epoch, expected)
 	d.maybeFinishMigration()
 }
 
@@ -387,6 +486,7 @@ func (d *Directory) maybeFinishMigration() {
 	if m == nil || len(m.votes) < len(m.expected) {
 		return
 	}
+	trace.Printf("dir migration-done epoch=%d", m.epochLow)
 	d.migration = nil
 	// Migration-complete broadcast: leavers may now disconnect, agents
 	// may resume.
@@ -403,6 +503,7 @@ func (d *Directory) maybeFinishMigration() {
 
 func (d *Directory) startSeal() {
 	d.batchID++
+	trace.Printf("dir seal-start batch=%d agents=%d", d.batchID, len(d.agents))
 	d.seal = &sealState{votes: make(map[uint64]bool)}
 	d.scratch = binary.LittleEndian.AppendUint64(d.scratch[:0], d.batchID)
 	d.pub.Publish(wire.TBatchOpen, d.scratch)
@@ -414,6 +515,7 @@ func (d *Directory) maybeFinishSeal() {
 	if s == nil || len(s.votes) < len(d.agents) {
 		return
 	}
+	trace.Printf("dir seal-done batch=%d skDirty=%v", d.batchID, d.skDirty)
 	d.seal = nil
 	if len(d.agents) > 0 {
 		d.n = s.masters
@@ -509,11 +611,144 @@ func (d *Directory) maybeStartRun() {
 }
 
 // scheduleAsyncProbe arms the self-tick that triggers the next probe.
+// The tick is injected, not sent: a probe tick lost to transport faults
+// would end quiescence detection for good.
 func (d *Directory) scheduleAsyncProbe() {
-	addr := d.node.Addr()
 	time.AfterFunc(asyncProbeInterval, func() {
-		_ = d.node.Send(addr, wire.TTick, nil)
+		_ = d.node.Inject(wire.TTick, nil)
 	})
+}
+
+// leaseTick tags a TTick self-send as a lease sweep (vs. async probe).
+const leaseTick = 1
+
+var leaseTickPayload = []byte{leaseTick}
+
+// scheduleLeaseSweep arms the failure detector's next pass. The tick is
+// injected (never subject to transport faults — a dropped tick would
+// kill the detector chain permanently); the chain re-arms from the event
+// loop after every sweep and dies naturally with the node: an inject
+// into a closed node fails and the handler never runs.
+func (d *Directory) scheduleLeaseSweep() {
+	time.AfterFunc(d.opts.Config.LeaseExpiry()/4, func() {
+		_ = d.node.Inject(wire.TTick, leaseTickPayload)
+	})
+}
+
+// handleHeartbeat renews the sender's lease. A heartbeat from an unknown
+// agent means the sender was already evicted but is still alive (a false
+// suspicion); pushing it the latest view makes it observe its own absence
+// and migrate its data back to the members through the ordinary leave
+// path.
+func (d *Directory) handleHeartbeat(pkt *wire.Packet) {
+	h, err := wire.DecodeHeartbeat(pkt.Payload)
+	if err != nil {
+		return
+	}
+	if _, ok := d.agents[h.AgentID]; ok {
+		d.leases[h.AgentID] = time.Now()
+		return
+	}
+	if d.lastView != nil && pkt.From != "" {
+		// Acked: an evicted zombie only learns it is gone from this push.
+		_ = d.node.SendAcked(pkt.From, wire.TDirUpdate, d.lastView)
+	}
+}
+
+// sweepLeases evicts every agent whose lease expired.
+func (d *Directory) sweepLeases(now time.Time) {
+	timeout := d.opts.Config.LeaseExpiry()
+	var dead []uint64
+	for id := range d.agents {
+		last, ok := d.leases[id]
+		if !ok {
+			d.leases[id] = now
+			continue
+		}
+		if now.Sub(last) > timeout {
+			dead = append(dead, id)
+		}
+	}
+	if len(dead) > 0 {
+		trace.Printf("dir evict %v", dead)
+		d.evictAgents(dead)
+	}
+}
+
+// evictAgents removes silently-failed agents from the view, reusing the
+// leave/scale-down path of §3.4.2: the epoch bumps, a new view publishes,
+// and consistent hashing hands the dead agents' ranges to survivors, who
+// re-own the affected copies in the migration round that follows. Unlike
+// a graceful leave this can interrupt a running phase: open barriers are
+// re-based on the surviving population (dead votes pruned, counts
+// re-checked), and if a synchronous phase was in flight the run pauses at
+// the barrier until the eviction migration completes, then resumes.
+func (d *Directory) evictAgents(dead []uint64) {
+	for _, id := range dead {
+		addr := d.agents[id]
+		delete(d.agents, id)
+		delete(d.leases, id)
+		d.pub.Unsubscribe(addr)
+		// Reclaim the directory's own in-flight acked broadcasts to the
+		// corpse so its writer and retransmission state die with it.
+		for _, f := range d.node.CancelPeer(addr) {
+			wire.ReleaseFrame(f.Frame)
+		}
+		d.statEvictions.Add(1)
+	}
+	d.epoch++
+	d.broadcastView()
+	expected := make(map[uint64]bool, len(d.agents))
+	for id := range d.agents {
+		expected[id] = true
+	}
+	// Supersede any in-flight migration: survivors re-migrate under the
+	// new epoch and re-vote; only live agents are expected.
+	d.migration = &migrationState{
+		epochLow: uint32(d.epoch),
+		expected: expected,
+		votes:    make(map[uint64]bool),
+	}
+	if s := d.seal; s != nil {
+		for _, id := range dead {
+			delete(s.votes, id)
+		}
+	}
+	if r := d.run; r != nil {
+		for _, id := range dead {
+			delete(r.votes, id)
+		}
+		r.lossy = true
+		if r.spec.Async && r.probePending {
+			// The aborted probe round summed the dead agents' counters;
+			// restart probing against the survivors and drop counter
+			// history.
+			r.probePending = false
+			r.prevValid = false
+			d.scheduleAsyncProbe()
+		}
+	}
+	if len(d.agents) == 0 && d.run != nil {
+		d.finishRun(false)
+	}
+	d.maybeFinishMigration()
+	d.maybeFinishSeal()
+	d.maybeFinishRunBarrier()
+}
+
+// maybeFinishRunBarrier re-checks a synchronous phase barrier after the
+// agent population shrank underneath it.
+func (d *Directory) maybeFinishRunBarrier() {
+	r := d.run
+	if r == nil || r.paused || r.spec.Async || len(d.agents) == 0 {
+		return
+	}
+	if r.phase != wire.PhaseCompute && r.phase != wire.PhaseCombine {
+		return
+	}
+	if len(r.votes) >= len(d.agents) {
+		d.finishPhase()
+	}
 }
 
 // sendAsyncProbe broadcasts a quiescence probe to all agents.
@@ -549,7 +784,7 @@ func (d *Directory) handleAsyncProbeVote(m *wire.Ready) {
 		return
 	}
 	r.probePending = false
-	balanced := r.probeSent == r.probeRecv
+	balanced := r.probeSent == r.probeRecv || r.lossy
 	unchanged := r.prevValid && r.probeSent == r.prevSent && r.probeRecv == r.prevRecv
 	r.prevSent, r.prevRecv, r.prevValid = r.probeSent, r.probeRecv, true
 	if balanced && unchanged {
@@ -561,6 +796,7 @@ func (d *Directory) handleAsyncProbeVote(m *wire.Ready) {
 }
 
 func (d *Directory) handleReady(m *wire.Ready) {
+	trace.Printf("dir ready from=a%d step=%d phase=%d masters=%d", m.AgentID, m.Step, m.Phase, m.Masters)
 	switch m.Phase {
 	case wire.PhaseMigrate:
 		if mg := d.migration; mg != nil && m.Step == mg.epochLow && mg.expected[m.AgentID] {
@@ -590,7 +826,9 @@ func (d *Directory) handleReady(m *wire.Ready) {
 		r.residual += m.Residual
 		r.splitAny = r.splitAny || m.SplitWork
 		r.mastersSum += m.Masters
-		if len(r.votes) == len(d.agents) {
+		// >= tolerates the population shrinking under the barrier when an
+		// eviction pruned votes between this vote and the last.
+		if len(r.votes) >= len(d.agents) {
 			d.finishPhase()
 		}
 	}
@@ -611,6 +849,7 @@ func (d *Directory) finishPhase() {
 		return
 	}
 	// Superstep complete.
+	trace.Printf("dir step-done run=%d step=%d active=%d residual=%g", r.spec.RunID, r.step, r.activeSum, r.residual)
 	r.stepTimes = append(r.stepTimes, time.Since(r.stepStart))
 	if r.mastersSum > 0 {
 		d.n = r.mastersSum
@@ -634,6 +873,13 @@ func (d *Directory) finishPhase() {
 	r.votes = make(map[uint64]bool)
 	r.activeSum, r.residual, r.splitAny, r.mastersSum = 0, 0, false, 0
 	r.phase = wire.PhaseCompute
+	if d.migration != nil {
+		// An eviction bumped the view mid-phase: hold the run at this
+		// boundary until the survivors' migration round completes;
+		// maybeFinishMigration → advanceWork resumes it.
+		r.paused = true
+		return
+	}
 	if len(d.pendingJoins) > 0 || len(d.pendingLeaves) > 0 {
 		// Elastic event mid-run: pause at the superstep boundary, apply
 		// membership + migration, then resume (Fig. 17).

@@ -35,7 +35,7 @@ func startDir(t *testing.T, nw transport.Network, masterAddr string) *Directory 
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { _ = d.Close() })
 	return d
 }
 
@@ -254,6 +254,72 @@ func TestMetricHandlerInvoked(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("metric never delivered")
+	}
+}
+
+// TestMetricHandlerConcurrentBursts hammers the coordinator with TMetric
+// frames from many concurrent senders. The handler runs on the directory
+// event loop, so it may use unsynchronized state (the plain map below);
+// under -race this test proves the serialization, and the final tally
+// proves no sample was dropped on the way in.
+func TestMetricHandlerConcurrentBursts(t *testing.T) {
+	const senders, perSender = 8, 200
+	nw := transport.NewInproc()
+	m := startMaster(t, nw)
+	counts := make(map[uint64]int) // touched only on the event loop
+	var sum float64
+	done := make(chan struct{})
+	d, err := Start(Options{
+		Config: testCfg(), Network: nw, MasterAddr: m.Addr(),
+		MetricHandler: func(mt *wire.Metric) {
+			counts[mt.AgentID]++
+			sum += mt.Value
+			total := 0
+			for _, n := range counts {
+				total += n
+			}
+			if total == senders*perSender {
+				close(done)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = d.Close() }()
+
+	// Sender nodes outlive the burst: metric pushes are fire-and-forget,
+	// and closing a node drops frames still queued behind its writers.
+	for s := 0; s < senders; s++ {
+		node, err := transport.NewNode(nw, "", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		go func(id uint64) {
+			for i := 0; i < perSender; i++ {
+				_ = node.Send(d.Addr(), wire.TMetric, wire.EncodeMetric(&wire.Metric{
+					AgentID: id, Name: "qps", Value: 1,
+				}))
+			}
+		}(uint64(s + 1))
+	}
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		// Don't inspect counts here: the handler may still be running.
+		t.Fatalf("burst incomplete: fewer than %d samples delivered", senders*perSender)
+	}
+	// close(done) happens-before this read, so inspecting the handler
+	// state here is race-free.
+	for s := 1; s <= senders; s++ {
+		if counts[uint64(s)] != perSender {
+			t.Errorf("sender %d: %d samples, want %d", s, counts[uint64(s)], perSender)
+		}
+	}
+	if sum != float64(senders*perSender) {
+		t.Errorf("sum = %v, want %d", sum, senders*perSender)
 	}
 }
 

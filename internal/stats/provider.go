@@ -1,0 +1,34 @@
+package stats
+
+import "sort"
+
+// Counters is the shared shape every participant's Stats() endpoint
+// reports: a flat name → count map. A uniform shape lets harnesses,
+// tests, and the CLI aggregate across Agents, Directories, Streamers and
+// Clients without per-type accessors.
+type Counters map[string]uint64
+
+// Provider is implemented by every long-lived participant. StatsMap must
+// be safe to call concurrently with the participant's event loop; values
+// are a point-in-time snapshot.
+type Provider interface {
+	StatsMap() Counters
+}
+
+// Merge sums other into c, returning c for chaining.
+func (c Counters) Merge(other Counters) Counters {
+	for k, v := range other {
+		c[k] += v
+	}
+	return c
+}
+
+// Keys returns the counter names in sorted order, for stable output.
+func (c Counters) Keys() []string {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

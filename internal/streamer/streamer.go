@@ -14,6 +14,7 @@ import (
 	"elga/internal/consistent"
 	"elga/internal/graph"
 	"elga/internal/route"
+	"elga/internal/stats"
 	"elga/internal/transport"
 	"elga/internal/wire"
 )
@@ -33,6 +34,20 @@ type Options struct {
 	BatchSize int
 }
 
+// Validate reports option errors before any resource is allocated.
+func (o *Options) Validate() error {
+	if err := o.Config.Validate(); err != nil {
+		return err
+	}
+	if o.Network == nil {
+		return fmt.Errorf("streamer: options: network is required")
+	}
+	if o.MasterAddr == "" {
+		return fmt.Errorf("streamer: options: master address is required")
+	}
+	return nil
+}
+
 // Streamer injects edge changes into the cluster. It is not safe for
 // concurrent use; run one Streamer per producing goroutine, exactly as
 // ElGA runs independent streamer processes.
@@ -49,7 +64,7 @@ type Streamer struct {
 // Start boots a streamer: it discovers directories, subscribes to view
 // updates, and waits for a first view.
 func Start(opts Options) (*Streamer, error) {
-	if err := opts.Config.Validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.BatchSize <= 0 {
@@ -65,7 +80,9 @@ func Start(opts Options) (*Streamer, error) {
 		router:  route.New(opts.Config),
 		pending: make(map[consistent.AgentID][]wire.EdgeChange),
 	}
-	reply, err := node.Request(opts.MasterAddr, wire.TGetDirectory, nil, opts.Config.RequestTimeout)
+	reply, err := node.RequestRetry(opts.MasterAddr, transport.Retry{Attempts: 5},
+		opts.Config.RequestTimeout,
+		func() []byte { return node.NewFrame(wire.TGetDirectory) })
 	if err != nil {
 		node.Close()
 		return nil, fmt.Errorf("streamer: bootstrap: %w", err)
@@ -77,7 +94,9 @@ func Start(opts Options) (*Streamer, error) {
 		return nil, fmt.Errorf("streamer: no directories")
 	}
 	s.dirAddr = dirs[0]
-	if err := node.SendFrame(s.dirAddr, wire.AppendSubscribeTypes(
+	// Acked subscription: a streamer that silently misses views would
+	// route every future change against a stale membership.
+	if err := node.SendFrameAcked(s.dirAddr, wire.AppendSubscribeTypes(
 		node.NewFrame(wire.TSubscribe), wire.TDirUpdate)); err != nil {
 		node.Close()
 		return nil, err
@@ -92,14 +111,9 @@ func (s *Streamer) drainViews(block bool) error {
 		select {
 		case pkt, ok := <-s.node.Inbox():
 			if !ok {
-				return transport.ErrClosed
+				return transport.ErrNodeClosed
 			}
-			if pkt.Type == wire.TDirUpdate {
-				if v, err := wire.DecodeView(pkt.Payload); err == nil {
-					_, _ = s.router.Update(v)
-				}
-			}
-			wire.ReleasePacket(pkt)
+			s.applyView(pkt)
 			block = false
 		default:
 			if !block {
@@ -108,20 +122,27 @@ func (s *Streamer) drainViews(block bool) error {
 			select {
 			case pkt, ok := <-s.node.Inbox():
 				if !ok {
-					return transport.ErrClosed
+					return transport.ErrNodeClosed
 				}
-				if pkt.Type == wire.TDirUpdate {
-					if v, err := wire.DecodeView(pkt.Payload); err == nil {
-						_, _ = s.router.Update(v)
-					}
-				}
-				wire.ReleasePacket(pkt)
+				s.applyView(pkt)
 				block = false
 			case <-time.After(s.opts.Config.RequestTimeout):
-				return fmt.Errorf("streamer: timed out waiting for a directory view")
+				return fmt.Errorf("streamer: waiting for a directory view: %w", transport.ErrTimeout)
 			}
 		}
 	}
+}
+
+// applyView installs a broadcast view and acknowledges it, so the
+// directory stops retransmitting.
+func (s *Streamer) applyView(pkt *wire.Packet) {
+	if pkt.Type == wire.TDirUpdate {
+		if v, err := wire.DecodeView(pkt.Payload); err == nil {
+			_, _ = s.router.Update(v)
+		}
+		s.node.Ack(pkt)
+	}
+	wire.ReleasePacket(pkt)
 }
 
 // WaitReady blocks until the streamer has a view with at least one agent.
@@ -205,6 +226,18 @@ func (s *Streamer) Flush() error {
 
 // Sent returns the number of edge-change copies flushed so far.
 func (s *Streamer) Sent() uint64 { return s.sent }
+
+// StatsMap implements stats.Provider. The streamer is single-threaded,
+// so snapshots are taken between calls.
+func (s *Streamer) StatsMap() stats.Counters {
+	ts := s.node.Stats()
+	return stats.Counters{
+		"sent":        s.sent,
+		"frames_in":   ts.FramesIn,
+		"frames_out":  ts.FramesOut,
+		"retransmits": ts.Retransmits,
+	}
+}
 
 // Close flushes, unsubscribes from directory broadcasts, and releases the
 // streamer.

@@ -1,0 +1,34 @@
+// Package trace provides a near-zero-cost debug trace hook, enabled by
+// setting ELGA_TRACE=1 in the environment. Coordination protocols (view
+// epochs, barrier votes, seal rounds) wedge in ways a goroutine dump
+// cannot explain — the interesting state is which vote never arrived,
+// not where anyone is blocked — so the control planes trace their
+// transitions through here.
+package trace
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+var (
+	enabled = os.Getenv("ELGA_TRACE") != ""
+	mu      sync.Mutex
+	start   = time.Now()
+)
+
+// Enabled reports whether tracing is on, letting callers skip building
+// expensive arguments.
+func Enabled() bool { return enabled }
+
+// Printf logs one trace line to stderr with a monotonic timestamp.
+func Printf(format string, args ...any) {
+	if !enabled {
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Fprintf(os.Stderr, "%10.4fs %s\n", time.Since(start).Seconds(), fmt.Sprintf(format, args...))
+}

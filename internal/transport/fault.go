@@ -1,0 +1,204 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultConfig parameterizes deterministic fault injection. All
+// probabilities are per-frame, per-link; the Seed fixes the decision
+// sequence so a chaos run is reproducible.
+type FaultConfig struct {
+	// Seed fixes the random fault sequence (0 selects a fixed default).
+	Seed int64
+	// Drop is the probability a frame is silently discarded.
+	Drop float64
+	// Delay is the maximum extra latency injected per frame; the actual
+	// delay is uniform in [0, Delay). Delays are applied in the sender's
+	// per-peer writer, so per-link FIFO ordering is preserved.
+	Delay time.Duration
+	// Duplicate is the probability a frame is delivered twice.
+	Duplicate float64
+}
+
+// FaultNetwork wraps any Network (Inproc, TCP) and injects seeded
+// drop/delay/duplicate faults on every outbound frame, plus two directed
+// controls: Block (recoverable one-way partition toward an address) and
+// Kill (permanent peer death — listener closed, future dials refused).
+//
+// Faults apply on the dialer side of each conn. In this transport every
+// data-carrying send goes out on a dialed conn (accepted conns are
+// receive-only), so this covers all traffic.
+type FaultNetwork struct {
+	inner Network
+	cfg   FaultConfig
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	blocked   map[string]bool
+	killed    map[string]bool
+	listeners map[string]*faultListener
+}
+
+// NewFaultNetwork wraps inner with fault injection configured by cfg.
+func NewFaultNetwork(inner Network, cfg FaultConfig) *FaultNetwork {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &FaultNetwork{
+		inner:     inner,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
+		blocked:   make(map[string]bool),
+		killed:    make(map[string]bool),
+		listeners: make(map[string]*faultListener),
+	}
+}
+
+// Name identifies the transport in diagnostics.
+func (f *FaultNetwork) Name() string { return "fault+" + f.inner.Name() }
+
+// Listen passes through to the inner network, tracking the listener so
+// Kill can tear it down.
+func (f *FaultNetwork) Listen(addr string) (Listener, error) {
+	l, err := f.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	fl := &faultListener{f: f, inner: l}
+	f.mu.Lock()
+	f.listeners[l.Addr()] = fl
+	f.mu.Unlock()
+	return fl, nil
+}
+
+// Dial refuses killed addresses and wraps the conn for fault injection.
+func (f *FaultNetwork) Dial(addr string) (Conn, error) {
+	f.mu.Lock()
+	dead := f.killed[addr]
+	f.mu.Unlock()
+	if dead {
+		return nil, fmt.Errorf("fault: dial %s: %w", addr, ErrPeerClosed)
+	}
+	c, err := f.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultConn{f: f, inner: c, remote: addr}, nil
+}
+
+// Block starts a one-way partition: every frame toward addr is dropped
+// until Unblock. The reverse direction is unaffected.
+func (f *FaultNetwork) Block(addr string) {
+	f.mu.Lock()
+	f.blocked[addr] = true
+	f.mu.Unlock()
+}
+
+// Unblock heals a partition started by Block.
+func (f *FaultNetwork) Unblock(addr string) {
+	f.mu.Lock()
+	delete(f.blocked, addr)
+	f.mu.Unlock()
+}
+
+// Kill marks addr permanently dead: its listener is closed, frames toward
+// it error with ErrPeerClosed, and future dials are refused. There is no
+// resurrection — a restarted process must listen on a fresh address.
+func (f *FaultNetwork) Kill(addr string) {
+	f.mu.Lock()
+	f.killed[addr] = true
+	fl := f.listeners[addr]
+	f.mu.Unlock()
+	if fl != nil {
+		fl.Close()
+	}
+}
+
+// decide rolls the per-frame fault dice under the lock, so concurrent
+// writers observe one deterministic global sequence.
+func (f *FaultNetwork) decide(remote string) (drop, dup bool, delay time.Duration, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.killed[remote] {
+		return false, false, 0, fmt.Errorf("fault: send to %s: %w", remote, ErrPeerClosed)
+	}
+	if f.blocked[remote] {
+		return true, false, 0, nil
+	}
+	if f.cfg.Drop > 0 && f.rng.Float64() < f.cfg.Drop {
+		drop = true
+	}
+	if f.cfg.Duplicate > 0 && f.rng.Float64() < f.cfg.Duplicate {
+		dup = true
+	}
+	if f.cfg.Delay > 0 {
+		delay = time.Duration(f.rng.Int63n(int64(f.cfg.Delay)))
+	}
+	return drop, dup, delay, nil
+}
+
+type faultListener struct {
+	f     *FaultNetwork
+	inner Listener
+	once  sync.Once
+}
+
+func (l *faultListener) Accept() (Conn, error) { return l.inner.Accept() }
+func (l *faultListener) Addr() string          { return l.inner.Addr() }
+
+func (l *faultListener) Close() error {
+	l.f.mu.Lock()
+	delete(l.f.listeners, l.inner.Addr())
+	l.f.mu.Unlock()
+	var err error
+	l.once.Do(func() { err = l.inner.Close() })
+	return err
+}
+
+// faultConn injects faults on the send side. Conns never retain frames
+// past Send, which is what makes delivering a frame twice safe.
+type faultConn struct {
+	f      *FaultNetwork
+	inner  Conn
+	remote string
+}
+
+func (c *faultConn) send(frame []byte) error {
+	drop, dup, delay, err := c.f.decide(c.remote)
+	if err != nil {
+		return err
+	}
+	if drop {
+		return nil // caller recycles the frame as if it were written
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err := c.inner.Send(frame); err != nil {
+		return err
+	}
+	if dup {
+		return c.inner.Send(frame)
+	}
+	return nil
+}
+
+func (c *faultConn) Send(frame []byte) error { return c.send(frame) }
+
+// SendBatch applies the fault dice per frame, so a coalesced write does
+// not dodge injection.
+func (c *faultConn) SendBatch(frames [][]byte) error {
+	for _, f := range frames {
+		if err := c.send(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *faultConn) Recv() ([]byte, error) { return c.inner.Recv() }
+func (c *faultConn) Close() error          { return c.inner.Close() }

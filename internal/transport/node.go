@@ -28,6 +28,26 @@ const maxCoalesce = 64
 // hint; control frames fit the smallest pool class.
 const frameSizeHint = 256
 
+// Acked-send retransmission parameters: an unacknowledged acked-PUSH is
+// retransmitted after ackRTO, doubling per attempt up to ackRTOMax, at
+// most ackMaxResend times before the node gives up and (under
+// SetAckNotify) synthesizes a local TAck so barrier gates still drain.
+// Give-up is a last resort — a dead peer is normally reclaimed earlier by
+// CancelPeer when the membership view evicts it.
+const (
+	ackRTO       = 200 * time.Millisecond
+	ackRTOMax    = 2 * time.Second
+	ackMaxResend = 6
+	rexmitTick   = 50 * time.Millisecond
+)
+
+// dedupWindowSize bounds per-sender duplicate detection: the request IDs
+// of the last dedupWindowSize acked pushes from one sender are remembered,
+// so a retransmitted duplicate arriving within that window is dropped and
+// re-acked instead of being processed twice. The window comfortably covers
+// the retransmission horizon (ackRTOMax × ackMaxResend).
+const dedupWindowSize = 8192
+
 // Node is one Participant's communication endpoint: a listen address, an
 // inbox of inbound packets, per-peer outbound queues with dedicated writer
 // goroutines, request/reply correlation, and acknowledgement tracking.
@@ -59,8 +79,16 @@ type Node struct {
 
 	ackMu       sync.Mutex
 	ackCond     *sync.Cond
-	outstanding map[uint32]struct{}
+	outstanding map[uint32]*pendingAck
 	ackNotify   bool
+
+	dedupMu sync.Mutex
+	dedup   map[string]*dedupWindow
+
+	// injectMu fences Inject against the inbox close: Inject runs from
+	// timer goroutines the wg doesn't track, so Close must exclude it
+	// explicitly before closing the inbox channel.
+	injectMu sync.RWMutex
 
 	stats nodeStats
 
@@ -73,15 +101,37 @@ type peer struct {
 	done  chan struct{}
 }
 
+// pendingAck tracks one unacknowledged acked-PUSH. The frame copy is
+// retained so the retransmission loop can resend it verbatim; it is
+// released when the ack arrives, the send is cancelled, or the node gives
+// up.
+type pendingAck struct {
+	addr     string
+	frame    []byte
+	attempts int
+	nextAt   time.Time
+}
+
+// dedupWindow remembers the last dedupWindowSize acked-push request IDs
+// from one sender in a ring, evicting the oldest as new ones arrive.
+type dedupWindow struct {
+	seen map[uint32]struct{}
+	ring []uint32
+	pos  int
+}
+
 // nodeStats holds the node's transport counters, updated lock-free from
 // the read and write goroutines.
 type nodeStats struct {
-	framesIn  atomic.Uint64
-	framesOut atomic.Uint64
-	malformed atomic.Uint64
-	stalls    atomic.Uint64
-	writes    atomic.Uint64
-	coalesced atomic.Uint64
+	framesIn    atomic.Uint64
+	framesOut   atomic.Uint64
+	malformed   atomic.Uint64
+	stalls      atomic.Uint64
+	writes      atomic.Uint64
+	coalesced   atomic.Uint64
+	retransmits atomic.Uint64
+	dupsDropped atomic.Uint64
+	ackGiveUps  atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of a node's transport counters.
@@ -103,17 +153,28 @@ type Stats struct {
 	// CoalescedFrames counts frames that shared a conn write with at
 	// least one other frame.
 	CoalescedFrames uint64
+	// Retransmits counts acked sends resent after an RTO expiry.
+	Retransmits uint64
+	// DuplicatesDropped counts inbound acked pushes recognized as
+	// already-delivered and dropped (after re-acking).
+	DuplicatesDropped uint64
+	// AckGiveUps counts acked sends abandoned after ackMaxResend
+	// retransmissions — permanent loss toward an unresponsive peer.
+	AckGiveUps uint64
 }
 
 // Stats returns a snapshot of the node's transport counters.
 func (n *Node) Stats() Stats {
 	return Stats{
-		FramesIn:        n.stats.framesIn.Load(),
-		FramesOut:       n.stats.framesOut.Load(),
-		MalformedFrames: n.stats.malformed.Load(),
-		EnqueueStalls:   n.stats.stalls.Load(),
-		ConnWrites:      n.stats.writes.Load(),
-		CoalescedFrames: n.stats.coalesced.Load(),
+		FramesIn:          n.stats.framesIn.Load(),
+		FramesOut:         n.stats.framesOut.Load(),
+		MalformedFrames:   n.stats.malformed.Load(),
+		EnqueueStalls:     n.stats.stalls.Load(),
+		ConnWrites:        n.stats.writes.Load(),
+		CoalescedFrames:   n.stats.coalesced.Load(),
+		Retransmits:       n.stats.retransmits.Load(),
+		DuplicatesDropped: n.stats.dupsDropped.Load(),
+		AckGiveUps:        n.stats.ackGiveUps.Load(),
 	}
 }
 
@@ -136,11 +197,13 @@ func NewNode(network Network, addr string, inboxDepth int) (*Node, error) {
 		peers:       make(map[string]*peer),
 		pending:     make(map[uint32]chan *wire.Packet),
 		accepted:    make(map[Conn]struct{}),
-		outstanding: make(map[uint32]struct{}),
+		outstanding: make(map[uint32]*pendingAck),
+		dedup:       make(map[string]*dedupWindow),
 	}
 	n.ackCond = sync.NewCond(&n.ackMu)
-	n.wg.Add(1)
+	n.wg.Add(2)
 	go n.acceptLoop()
+	go n.rexmitLoop()
 	return n, nil
 }
 
@@ -204,13 +267,19 @@ func (n *Node) dispatch(pkt *wire.Packet) {
 	switch pkt.Type {
 	case wire.TAck:
 		n.ackMu.Lock()
-		if _, ok := n.outstanding[pkt.Req]; ok {
+		pa, known := n.outstanding[pkt.Req]
+		if known {
 			delete(n.outstanding, pkt.Req)
 			n.ackCond.Broadcast()
 		}
 		notify := n.ackNotify
 		n.ackMu.Unlock()
-		if !notify {
+		if known {
+			wire.ReleaseFrame(pa.frame)
+		}
+		// Duplicate acks (a retransmitted send acked twice) stop here so
+		// per-send bookkeeping upstream sees each completion once.
+		if !notify || !known {
 			wire.ReleasePacket(pkt)
 			return
 		}
@@ -218,9 +287,20 @@ func (n *Node) dispatch(pkt *wire.Packet) {
 		// their inbox for per-send bookkeeping.
 	default:
 	}
-	// Reply correlation: a packet carrying a pending request ID resolves
-	// that request instead of entering the inbox.
-	if pkt.Req != 0 {
+	// Acked pushes never correlate to a pending request (their Req lives
+	// in the *sender's* ID namespace); they are deduplicated instead, so a
+	// retransmitted duplicate is re-acked and dropped rather than applied
+	// twice.
+	if pkt.Req != 0 && pkt.From != "" && wire.AckedPush(pkt.Type) {
+		if n.seenOrRecord(pkt.From, pkt.Req) {
+			n.stats.dupsDropped.Add(1)
+			n.Ack(pkt)
+			wire.ReleasePacket(pkt)
+			return
+		}
+	} else if pkt.Req != 0 {
+		// Reply correlation: a packet carrying a pending request ID
+		// resolves that request instead of entering the inbox.
 		n.mu.Lock()
 		ch, ok := n.pending[pkt.Req]
 		if ok {
@@ -245,7 +325,7 @@ func (n *Node) getPeer(addr string) (*peer, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
-		return nil, ErrClosed
+		return nil, ErrNodeClosed
 	}
 	if p, ok := n.peers[addr]; ok {
 		return p, nil
@@ -255,6 +335,153 @@ func (n *Node) getPeer(addr string) (*peer, error) {
 	n.wg.Add(1)
 	go n.writeLoop(p)
 	return p, nil
+}
+
+// seenOrRecord reports whether req was already delivered by from,
+// recording it otherwise. The per-sender window is bounded: the oldest
+// remembered ID is forgotten once dedupWindowSize newer ones arrive.
+func (n *Node) seenOrRecord(from string, req uint32) bool {
+	n.dedupMu.Lock()
+	defer n.dedupMu.Unlock()
+	w := n.dedup[from]
+	if w == nil {
+		w = &dedupWindow{seen: make(map[uint32]struct{}), ring: make([]uint32, dedupWindowSize)}
+		n.dedup[from] = w
+	}
+	if _, dup := w.seen[req]; dup {
+		return true
+	}
+	if old := w.ring[w.pos]; old != 0 {
+		delete(w.seen, old)
+	}
+	w.ring[w.pos] = req
+	w.pos = (w.pos + 1) % dedupWindowSize
+	w.seen[req] = struct{}{}
+	return false
+}
+
+// rexmitLoop periodically resends unacknowledged acked sends whose RTO
+// expired — the loss-recovery half of the acked-PUSH pattern. Receivers
+// deduplicate, so a spurious retransmission (slow ack, not a lost frame)
+// is harmless.
+func (n *Node) rexmitLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(rexmitTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-t.C:
+		}
+		n.retransmitDue(time.Now())
+	}
+}
+
+func (n *Node) retransmitDue(now time.Time) {
+	type resend struct {
+		addr  string
+		frame []byte
+	}
+	type giveup struct {
+		req   uint32
+		addr  string
+		frame []byte
+	}
+	var resends []resend
+	var giveups []giveup
+	n.ackMu.Lock()
+	for req, pa := range n.outstanding {
+		if pa.nextAt.After(now) {
+			continue
+		}
+		if pa.attempts >= ackMaxResend {
+			delete(n.outstanding, req)
+			giveups = append(giveups, giveup{req: req, addr: pa.addr, frame: pa.frame})
+			continue
+		}
+		pa.attempts++
+		rto := ackRTO << uint(pa.attempts)
+		if rto > ackRTOMax {
+			rto = ackRTOMax
+		}
+		pa.nextAt = now.Add(rto)
+		resends = append(resends, resend{pa.addr, append(wire.GetFrame(len(pa.frame)), pa.frame...)})
+	}
+	if len(giveups) > 0 {
+		n.ackCond.Broadcast()
+	}
+	notify := n.ackNotify
+	n.ackMu.Unlock()
+	for _, r := range resends {
+		n.stats.retransmits.Add(1)
+		// Best-effort: a saturated queue drops this copy; the entry's RTO
+		// already advanced, so the next tick tries again.
+		_ = n.tryEnqueueFrame(r.addr, r.frame)
+	}
+	for _, g := range giveups {
+		n.stats.ackGiveUps.Add(1)
+		wire.ReleaseFrame(g.frame)
+		if notify {
+			// Synthesize a local TAck so the owner's barrier gates drain
+			// instead of wedging on a peer that will never answer.
+			n.syntheticAck(g.req, g.addr)
+		}
+	}
+}
+
+// syntheticAck injects a locally-fabricated TAck for req into the inbox,
+// standing in for a peer that will never acknowledge.
+func (n *Node) syntheticAck(req uint32, from string) {
+	pkt := wire.GetPacket()
+	pkt.Type = wire.TAck
+	pkt.Req = req
+	pkt.From = from
+	select {
+	case n.inbox <- pkt:
+	case <-n.done:
+		wire.ReleasePacket(pkt)
+	}
+}
+
+// FailedSend is one acked send reclaimed by CancelPeer: the request ID
+// the caller's bookkeeping knows it by, plus the full retained wire frame
+// (header included — re-parse with wire.UnmarshalPacket). Ownership of
+// Frame transfers to the caller, who must eventually ReleaseFrame it.
+type FailedSend struct {
+	Req   uint32
+	Frame []byte
+}
+
+// CancelPeer tears down addr's writer and reclaims every unacknowledged
+// acked send destined for it. Entities call it when a membership view
+// declares a peer dead: the returned frames carry the in-flight data so
+// the caller can re-route it under the new view instead of losing it.
+// Acks arriving later from the (presumed-dead) peer are ignored.
+func (n *Node) CancelPeer(addr string) []FailedSend {
+	n.mu.Lock()
+	p, ok := n.peers[addr]
+	if ok {
+		delete(n.peers, addr)
+	}
+	n.mu.Unlock()
+	if ok {
+		close(p.done)
+	}
+	var failed []FailedSend
+	n.ackMu.Lock()
+	for req, pa := range n.outstanding {
+		if pa.addr != addr {
+			continue
+		}
+		delete(n.outstanding, req)
+		failed = append(failed, FailedSend{Req: req, Frame: pa.frame})
+	}
+	if len(failed) > 0 {
+		n.ackCond.Broadcast()
+	}
+	n.ackMu.Unlock()
+	return failed
 }
 
 func (n *Node) writeLoop(p *peer) {
@@ -402,7 +629,25 @@ func (n *Node) enqueueFrame(addr string, frame []byte) error {
 		return nil
 	case <-p.done:
 		wire.ReleaseFrame(frame)
-		return ErrClosed
+		return ErrPeerClosed
+	}
+}
+
+// tryEnqueueFrame is enqueueFrame without the blocking fallback: a
+// saturated or closed peer queue drops the frame immediately. Used by the
+// retransmission loop, which must never block on one slow peer.
+func (n *Node) tryEnqueueFrame(addr string, frame []byte) error {
+	p, err := n.getPeer(addr)
+	if err != nil {
+		wire.ReleaseFrame(frame)
+		return err
+	}
+	select {
+	case p.queue <- frame:
+		return nil
+	default:
+		wire.ReleaseFrame(frame)
+		return ErrUnavailable
 	}
 }
 
@@ -424,6 +669,42 @@ func (n *Node) SendFrame(addr string, frame []byte) error {
 // their payload directly should prefer NewFrame + SendFrame.
 func (n *Node) Send(addr string, typ wire.Type, payload []byte) error {
 	return n.SendFrame(addr, append(n.NewFrameHint(typ, len(payload)), payload...))
+}
+
+// Inject synthesizes a local packet straight into this node's inbox,
+// bypassing the network. Timer ticks and other self-notifications are
+// process internals, not traffic: routing them through the transport
+// would subject them to injected faults (a dropped self-tick silently
+// kills a timer chain) and cost a wire round trip. Blocks if the inbox
+// is full; fails only after Close.
+func (n *Node) Inject(typ wire.Type, payload []byte) error {
+	frame := append(n.NewFrameHint(typ, len(payload)), payload...)
+	if err := wire.FinishFrame(frame); err != nil {
+		wire.ReleaseFrame(frame)
+		return err
+	}
+	pkt := wire.GetPacket()
+	if err := wire.UnmarshalPacketInto(pkt, frame, nil); err != nil {
+		wire.ReleasePacket(pkt)
+		return err
+	}
+	n.injectMu.RLock()
+	defer n.injectMu.RUnlock()
+	select {
+	case <-n.done:
+		// done closes before the inbox does; bail here so the send arm
+		// below can never race Close's close(n.inbox).
+		wire.ReleasePacket(pkt)
+		return ErrNodeClosed
+	default:
+	}
+	select {
+	case n.inbox <- pkt:
+		return nil
+	case <-n.done:
+		wire.ReleasePacket(pkt)
+		return ErrNodeClosed
+	}
 }
 
 // SetAckNotify controls whether TAck packets are delivered to the inbox
@@ -458,12 +739,18 @@ func (n *Node) SendFrameAckedReq(addr string, frame []byte) (uint32, error) {
 		wire.ReleaseFrame(frame)
 		return 0, err
 	}
+	// Retain a copy for loss recovery: the writer consumes frame, the
+	// retransmission loop resends the copy until the ack arrives.
+	retained := append(wire.GetFrame(len(frame)), frame...)
 	n.ackMu.Lock()
-	n.outstanding[req] = struct{}{}
+	n.outstanding[req] = &pendingAck{addr: addr, frame: retained, nextAt: time.Now().Add(ackRTO)}
 	n.ackMu.Unlock()
 	if err := n.enqueueFrame(addr, frame); err != nil {
 		n.ackMu.Lock()
-		delete(n.outstanding, req)
+		if pa, ok := n.outstanding[req]; ok {
+			delete(n.outstanding, req)
+			wire.ReleaseFrame(pa.frame)
+		}
 		n.ackCond.Broadcast()
 		n.ackMu.Unlock()
 		return 0, err
@@ -575,7 +862,7 @@ func (n *Node) RequestFrame(addr string, frame []byte, timeout time.Duration) (*
 	if n.closed {
 		n.mu.Unlock()
 		wire.ReleaseFrame(frame)
-		return nil, ErrClosed
+		return nil, ErrNodeClosed
 	}
 	n.nextReq++
 	if n.nextReq == 0 {
@@ -609,7 +896,7 @@ func (n *Node) RequestFrame(addr string, frame []byte, timeout time.Duration) (*
 		n.mu.Lock()
 		delete(n.pending, req)
 		n.mu.Unlock()
-		return nil, fmt.Errorf("transport: request %s to %s timed out", typ, addr)
+		return nil, fmt.Errorf("transport: request %s to %s: %w", typ, addr, ErrTimeout)
 	}
 }
 
@@ -663,7 +950,16 @@ func (n *Node) Close() {
 	n.ackMu.Unlock()
 
 	n.wg.Wait()
+	n.ackMu.Lock()
+	for req, pa := range n.outstanding {
+		delete(n.outstanding, req)
+		wire.ReleaseFrame(pa.frame)
+	}
+	n.ackCond.Broadcast()
+	n.ackMu.Unlock()
+	n.injectMu.Lock()
 	close(n.inbox)
+	n.injectMu.Unlock()
 }
 
 // Publisher implements the PUB/SUB pattern with publisher-side filtering
@@ -721,6 +1017,12 @@ func (p *Publisher) Subscribers() []string {
 // payload is copied into one pooled frame per subscriber (each peer's
 // writer owns and recycles its copy independently); the caller keeps
 // ownership of payload and may recycle it after Publish returns.
+//
+// Broadcasts carrying protocol state (views, phase advances) must not be
+// lost, so each per-subscriber send is acked: the node retransmits until
+// the subscriber confirms processing, and gives up only after the full
+// retransmission budget (by which point the membership machinery should
+// have evicted the dead subscriber).
 func (p *Publisher) Publish(typ wire.Type, payload []byte) {
 	p.mu.Lock()
 	targets := make([]string, 0, len(p.subs))
@@ -731,6 +1033,10 @@ func (p *Publisher) Publish(typ wire.Type, payload []byte) {
 	}
 	p.mu.Unlock()
 	for _, addr := range targets {
-		_ = p.node.Send(addr, typ, payload)
+		if wire.AckedPush(typ) {
+			_ = p.node.SendAcked(addr, typ, payload)
+		} else {
+			_ = p.node.Send(addr, typ, payload)
+		}
 	}
 }

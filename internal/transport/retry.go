@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"elga/internal/wire"
+)
+
+// Retry is a bounded-attempt, jittered exponential-backoff policy for
+// REQ/REP call sites. The zero value selects sensible defaults (3
+// attempts, 10ms first backoff, 500ms cap, ±20% jitter). A Seed makes the
+// jitter sequence deterministic for reproducible tests; Seed 0 draws one
+// from the clock.
+type Retry struct {
+	// Attempts is the total try count, including the first (default 3).
+	Attempts int
+	// PerTry bounds each attempt's blocking wait. Zero derives it from
+	// the overall budget in RequestRetry, or leaves ops unbounded in Do.
+	PerTry time.Duration
+	// BaseDelay is the backoff before the second attempt (default 10ms);
+	// it doubles per attempt up to MaxDelay (default 500ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter is the ± fraction applied to each backoff (default 0.2).
+	Jitter float64
+	// Seed fixes the jitter sequence; 0 uses a clock-derived seed.
+	Seed int64
+}
+
+func (r Retry) attempts() int {
+	if r.Attempts <= 0 {
+		return 3
+	}
+	return r.Attempts
+}
+
+// Do runs op until it succeeds, attempts are exhausted, the next backoff
+// would cross deadline, or the error is terminal (ErrNodeClosed). A zero
+// deadline disables the deadline check. The last error is returned.
+func (r Retry) Do(deadline time.Time, op func() error) error {
+	base := r.BaseDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	maxDelay := r.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 500 * time.Millisecond
+	}
+	jitter := r.Jitter
+	if jitter <= 0 {
+		jitter = 0.2
+	}
+	seed := r.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attempts := r.attempts()
+	delay := base
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if !Retryable(err) || i == attempts-1 {
+			return err
+		}
+		d := delay + time.Duration((rng.Float64()*2-1)*jitter*float64(delay))
+		if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
+			return err
+		}
+		time.Sleep(d)
+		delay *= 2
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+	return err
+}
+
+// RequestRetry is RequestFrame under a Retry policy. overall is the total
+// time budget (zero: DefaultRequestTimeout); each attempt waits at most
+// policy.PerTry (zero: overall divided across attempts). build must
+// return a fresh frame per call — frames are consumed by each attempt.
+// The reply packet is pooled; release it with wire.ReleasePacket.
+func (n *Node) RequestRetry(addr string, policy Retry, overall time.Duration, build func() []byte) (*wire.Packet, error) {
+	if overall <= 0 {
+		overall = DefaultRequestTimeout
+	}
+	deadline := time.Now().Add(overall)
+	perTry := policy.PerTry
+	if perTry <= 0 {
+		perTry = overall / time.Duration(policy.attempts())
+		if perTry < 50*time.Millisecond {
+			perTry = 50 * time.Millisecond
+		}
+	}
+	var reply *wire.Packet
+	err := policy.Do(deadline, func() error {
+		t := perTry
+		if rem := time.Until(deadline); rem < t {
+			t = rem
+		}
+		if t <= 0 {
+			return fmt.Errorf("transport: retry budget exhausted: %w", ErrTimeout)
+		}
+		rp, err := n.RequestFrame(addr, build(), t)
+		if err != nil {
+			return err
+		}
+		reply = rp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reply, nil
+}

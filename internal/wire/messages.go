@@ -712,3 +712,30 @@ func DecodeLeave(data []byte) (*Leave, error) {
 	}
 	return l, nil
 }
+
+// Heartbeat is an agent's periodic lease renewal to its coordinator.
+// Epoch carries the sender's installed view epoch so the coordinator can
+// push a fresh view to an agent that fell behind (e.g. one it already
+// evicted).
+type Heartbeat struct {
+	AgentID uint64
+	Epoch   uint64
+}
+
+// AppendHeartbeat appends a heartbeat payload to dst.
+func AppendHeartbeat(dst []byte, h *Heartbeat) []byte {
+	w := Writer{buf: dst}
+	w.U64(h.AgentID)
+	w.U64(h.Epoch)
+	return w.buf
+}
+
+// DecodeHeartbeat parses a heartbeat.
+func DecodeHeartbeat(data []byte) (*Heartbeat, error) {
+	r := NewReader(data)
+	h := &Heartbeat{AgentID: r.U64(), Epoch: r.U64()}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("decode heartbeat: %w", err)
+	}
+	return h, nil
+}

@@ -111,9 +111,28 @@ const (
 	// TTick is a coordinator self-timer used to pace async quiescence
 	// probes; it never crosses the system boundary.
 	TTick
+	// THeartbeat is an agent's periodic lease renewal to its coordinator;
+	// a lease left unrenewed past the timeout evicts the agent.
+	THeartbeat
 
 	typeCount
 )
+
+// AckedPush reports whether t is delivered with the acked-PUSH discipline:
+// the receiver acknowledges after processing, the sender retransmits on
+// loss, and the transport deduplicates redelivery. This is exactly the set
+// of types whose loss would wedge a barrier or whose double-processing
+// would corrupt state. Lossy traffic (metrics, heartbeats) and REQ/REP
+// types stay out: requests recover via Retry at the call site.
+func AckedPush(t Type) bool {
+	switch t {
+	case TEdges, TVertexMsgs, TReplicaPartial, TValueUpdate, TReplicaRegister,
+		TSketchDelta, TDirUpdate, TAdvance, TAlgoStart, TAlgoDone, TBatchOpen,
+		TReady, TSubscribe, TLeave, TMembershipForward:
+		return true
+	}
+	return false
+}
 
 var typeNames = [...]string{
 	TInvalid: "invalid", TRegisterDirectory: "register-directory",
@@ -128,7 +147,7 @@ var typeNames = [...]string{
 	TAck: "ack", TReady: "ready", TMetric: "metric",
 	TSketchDelta: "sketch-delta", TQuery: "query", TQueryReply: "query-reply",
 	TRunAlgo: "run-algo", TRunReply: "run-reply", TIngest: "ingest",
-	TPing: "ping", TPong: "pong", TTick: "tick",
+	TPing: "ping", TPong: "pong", TTick: "tick", THeartbeat: "heartbeat",
 }
 
 // String names the type for logs.
