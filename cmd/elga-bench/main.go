@@ -1,14 +1,19 @@
 // Command elga-bench regenerates the paper's evaluation: one sub-command
 // per table/figure of §4 plus the §3.5 latency table, printing the rows
 // the paper plots. `elga-bench all` runs everything in paper order;
-// `-md` emits Markdown suitable for EXPERIMENTS.md.
+// `-md` emits Markdown suitable for EXPERIMENTS.md; `-json FILE` writes a
+// machine-readable record (per-experiment tables plus a metered superstep
+// performance block: ns/op, allocs/op, phase breakdown) for regression
+// tracking across PRs.
 //
-//	elga-bench fig11            # PageRank vs baselines
-//	elga-bench -quick all       # smoke-scale pass over every experiment
+//	elga-bench fig11                      # PageRank vs baselines
+//	elga-bench -quick all                 # smoke-scale pass over every experiment
 //	elga-bench -md all > out.md
+//	elga-bench -quick -json BENCH_4.json perf
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,11 +22,29 @@ import (
 	"elga/internal/experiments"
 )
 
+// jsonExperiment is one experiment's table in the -json record.
+type jsonExperiment struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	Seconds float64    `json:"seconds"`
+}
+
+// jsonOutput is the whole -json record.
+type jsonOutput struct {
+	Scale       string                     `json:"scale"`
+	Experiments []jsonExperiment           `json:"experiments,omitempty"`
+	Superstep   *experiments.SuperstepPerf `json:"superstep,omitempty"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced trials and inputs")
 	md := flag.Bool("md", false, "emit Markdown tables")
+	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: elga-bench [-quick] [-md] {all")
+		fmt.Fprintf(os.Stderr, "usage: elga-bench [-quick] [-md] [-json FILE] {all|perf")
 		for _, id := range experiments.Order {
 			fmt.Fprintf(os.Stderr, "|%s", id)
 		}
@@ -33,15 +56,33 @@ func main() {
 		os.Exit(2)
 	}
 	scale := experiments.Full
+	scaleName := "full"
 	if *quick {
 		scale = experiments.Quick
+		scaleName = "quick"
 	}
 	ids := flag.Args()
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.Order
 	}
+	out := jsonOutput{Scale: scaleName}
 	failed := 0
 	for _, id := range ids {
+		if id == "perf" {
+			// The metered superstep run only goes to the JSON record (and a
+			// one-line stderr summary); it has no paper table to print.
+			start := time.Now()
+			perf, err := experiments.MeasureSuperstepPerf(scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "elga-bench: perf failed: %v\n", err)
+				failed++
+				continue
+			}
+			out.Superstep = perf
+			fmt.Fprintf(os.Stderr, "[perf: %.0f ns/step, %.0f allocs/step over %d steps, in %s]\n\n",
+				perf.NsPerStep, perf.AllocsPerStep, perf.Steps, time.Since(start).Round(time.Millisecond))
+			continue
+		}
 		fn, ok := experiments.Registry[id]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "elga-bench: unknown experiment %q\n", id)
@@ -60,7 +101,35 @@ func main() {
 		} else {
 			fmt.Print(rep.String())
 		}
-		fmt.Fprintf(os.Stderr, "[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		out.Experiments = append(out.Experiments, jsonExperiment{
+			ID: rep.ID, Title: rep.Title, Header: rep.Header, Rows: rep.Rows,
+			Notes: rep.Notes, Seconds: elapsed.Seconds(),
+		})
+		fmt.Fprintf(os.Stderr, "[%s completed in %s]\n\n", id, elapsed.Round(time.Millisecond))
+	}
+	if *jsonPath != "" {
+		// A -json run without an explicit perf sub-command still meters the
+		// superstep: the JSON record's point is regression tracking.
+		if out.Superstep == nil && failed == 0 {
+			perf, err := experiments.MeasureSuperstepPerf(scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "elga-bench: perf failed: %v\n", err)
+				failed++
+			} else {
+				out.Superstep = perf
+			}
+		}
+		buf, err := json.MarshalIndent(&out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elga-bench: writing %s: %v\n", *jsonPath, err)
+			failed++
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -31,6 +31,7 @@ import (
 	"elga/internal/config"
 	"elga/internal/directory"
 	"elga/internal/graph"
+	"elga/internal/metrics"
 	"elga/internal/streamer"
 	"elga/internal/transport"
 )
@@ -117,11 +118,20 @@ func runDirectory(args []string) error {
 	fs := flag.NewFlagSet("directory", flag.ExitOnError)
 	master, cfg := commonFlags(fs)
 	addr := fs.String("addr", "", "listen address (empty = ephemeral)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	reg, srv, err := startMetrics(*metricsAddr)
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		defer srv.Close()
+	}
 	d, err := directory.Start(directory.Options{
 		Config: *cfg, Network: transport.NewTCP(), MasterAddr: *master, Addr: *addr,
+		Metrics: reg,
 	})
 	if err != nil {
 		return err
@@ -140,13 +150,22 @@ func runAgent(args []string) error {
 	fs := flag.NewFlagSet("agent", flag.ExitOnError)
 	master, cfg := commonFlags(fs)
 	n := fs.Int("n", 1, "number of agents to run in this process")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	reg, srv, err := startMetrics(*metricsAddr)
+	if err != nil {
+		return err
+	}
+	if srv != nil {
+		defer srv.Close()
 	}
 	agents := make([]*agent.Agent, 0, *n)
 	for i := 0; i < *n; i++ {
 		a, err := agent.Start(agent.Options{
 			Config: *cfg, Network: transport.NewTCP(), MasterAddr: *master, DirIndex: i,
+			Metrics: reg,
 		})
 		if err != nil {
 			return err
@@ -311,6 +330,21 @@ func runQuery(args []string) error {
 		fmt.Printf("vertex %d: %d\n", *vertex, uint64(w))
 	}
 	return nil
+}
+
+// startMetrics boots the observability endpoint when addr is non-empty.
+// All roles in this process share the returned registry.
+func startMetrics(addr string) (*metrics.Registry, *metrics.Server, error) {
+	if addr == "" {
+		return nil, nil, nil
+	}
+	reg := metrics.NewRegistry()
+	srv, err := metrics.ListenAndServe(addr, reg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("metrics: %w", err)
+	}
+	fmt.Printf("elga metrics on http://%s/metrics (pprof at /debug/pprof)\n", srv.Addr())
+	return reg, srv, nil
 }
 
 func waitForSignal() {

@@ -19,6 +19,7 @@ import (
 	"elga/internal/config"
 	"elga/internal/consistent"
 	"elga/internal/graph"
+	"elga/internal/metrics"
 	"elga/internal/route"
 	"elga/internal/sketch"
 	"elga/internal/stats"
@@ -39,6 +40,10 @@ type Options struct {
 	// DirIndex selects which directory to subscribe to (mod the
 	// directory count); control traffic always goes to the coordinator.
 	DirIndex int
+	// Metrics, when non-nil, registers this agent's counters, gauges, and
+	// phase histograms for the /metrics endpoint. Nil leaves every handle
+	// nil (observation points become single branches).
+	Metrics *metrics.Registry
 }
 
 // Validate reports option errors before any resource is allocated.
@@ -122,6 +127,9 @@ type runCtx struct {
 	doneLocal  bool
 	readySent  bool
 	phaseStart time.Time
+	// votedAt stamps the barrier vote so the next Advance can measure
+	// how long this agent idled at the barrier.
+	votedAt time.Time
 }
 
 // Agent is one ElGA agent.
@@ -193,6 +201,13 @@ type Agent struct {
 	lastQueries   uint64
 	copyCount     atomic.Int64
 	vertexCount   atomic.Int64
+
+	// m holds optional instrumentation handles (nil without a registry);
+	// tickCount and lastRetransmits pace the periodic load-metric report
+	// riding every fourth heartbeat tick.
+	m               agentMetrics
+	tickCount       uint64
+	lastRetransmits uint64
 }
 
 // Start boots an agent: it discovers the directories via the master,
@@ -223,6 +238,7 @@ func Start(opts Options) (*Agent, error) {
 		reqToGroups: make(map[uint32][]*ackGroup),
 		done:        make(chan struct{}),
 	}
+	a.initMetrics(opts.Metrics)
 	// Directories register with the master concurrently with agent
 	// startup, so an empty list is retried until the deadline rather
 	// than treated as fatal. Each individual request retries through the
@@ -374,8 +390,14 @@ func (a *Agent) handlePacket(pkt *wire.Packet) bool {
 		a.node.Ack(pkt)
 	case wire.TTick:
 		// Self-addressed heartbeat tick: renew the lease from the event
-		// loop, where id/epoch/leaving are safe to read.
+		// loop, where id/epoch/leaving are safe to read. Every fourth
+		// tick piggybacks a load report so the directory's autoscaler
+		// sees queue pressure and fault signals between supersteps.
 		a.sendHeartbeat()
+		a.tickCount++
+		if a.tickCount%4 == 0 {
+			a.sendLoadMetrics()
+		}
 	case wire.TQuery:
 		a.handleQuery(pkt)
 	case wire.TPing:
@@ -507,15 +529,25 @@ func (a *Agent) maybeReady() {
 		return
 	}
 	r.readySent = true
+	r.votedAt = time.Now()
 	a.sendReady(r.step, r.phase, 0)
 	// Reset per-phase accumulators after voting; combine-phase votes
 	// report only combine-phase contributions.
 	r.activeNext = 0
 	r.residual = 0
-	// Metric collection API (§3.4.3): superstep times flow to the
-	// directory's autoscaler sink.
-	if r.phase == wire.PhaseCompute && !r.phaseStart.IsZero() {
-		a.sendMetric(autoscale.MetricStepTime, time.Since(r.phaseStart).Seconds())
+	// Metric collection API (§3.4.3): superstep phase times flow to the
+	// directory's autoscaler sink and the local phase histograms.
+	if r.phaseStart.IsZero() {
+		return
+	}
+	dur := r.votedAt.Sub(r.phaseStart).Seconds()
+	switch r.phase {
+	case wire.PhaseCompute:
+		a.m.phaseCompute.Observe(dur)
+		a.sendMetric(autoscale.MetricStepTime, dur)
+	case wire.PhaseCombine:
+		a.m.phaseCombine.Observe(dur)
+		a.sendMetric(autoscale.MetricCombineTime, dur)
 	}
 }
 
@@ -546,6 +578,20 @@ func (a *Agent) scheduleHeartbeat() {
 	})
 }
 
+// sendLoadMetrics reports queue depths and the retransmission delta to
+// the coordinator — the backpressure/fault half of the metric API, sent
+// on a heartbeat-derived cadence so it flows even between runs.
+func (a *Agent) sendLoadMetrics() {
+	if a.leaving {
+		return
+	}
+	a.sendMetric(autoscale.MetricInboxDepth, float64(a.node.InboxDepth()))
+	a.sendMetric(autoscale.MetricQueueDepth, float64(a.node.QueueDepth()))
+	rexmits := a.node.Stats().Retransmits
+	a.sendMetric(autoscale.MetricRetransmits, float64(rexmits-a.lastRetransmits))
+	a.lastRetransmits = rexmits
+}
+
 // sendMetric pushes one autoscaler sample to the coordinator.
 func (a *Agent) sendMetric(name string, value float64) {
 	_ = a.node.SendFrame(a.coordAddr, wire.AppendMetric(a.node.NewFrame(wire.TMetric), &wire.Metric{
@@ -568,16 +614,20 @@ func (a *Agent) TransportStats() transport.Stats { return a.node.Stats() }
 func (a *Agent) StatsMap() stats.Counters {
 	ts := a.node.Stats()
 	return stats.Counters{
-		"forwarded":   atomic.LoadUint64(&a.statForwarded),
-		"applied":     atomic.LoadUint64(&a.statApplied),
-		"queries":     atomic.LoadUint64(&a.statQueries),
-		"edge_copies": uint64(a.copyCount.Load()),
-		"vertices":    uint64(a.vertexCount.Load()),
-		"frames_in":   ts.FramesIn,
-		"frames_out":  ts.FramesOut,
-		"retransmits": ts.Retransmits,
+		"forwarded":    atomic.LoadUint64(&a.statForwarded),
+		"applied":      atomic.LoadUint64(&a.statApplied),
+		"queries":      atomic.LoadUint64(&a.statQueries),
+		"edge_copies":  uint64(a.copyCount.Load()),
+		"vertices":     uint64(a.vertexCount.Load()),
+		"frames_in":    ts.FramesIn,
+		"frames_out":   ts.FramesOut,
+		"retransmits":  ts.Retransmits,
 		"dups_dropped": ts.DuplicatesDropped,
 		"ack_give_ups": ts.AckGiveUps,
+		"malformed":    ts.MalformedFrames,
+		"stalls":       ts.EnqueueStalls,
+		"writes":       ts.ConnWrites,
+		"coalesced":    ts.CoalescedFrames,
 	}
 }
 

@@ -1,6 +1,7 @@
 package agent
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -148,18 +149,33 @@ func (a *Agent) handleAdvance(adv *wire.Advance) {
 	r.doneLocal = false
 	r.readySent = false
 	r.phaseStart = time.Now()
+	// The gap between our vote and this Advance is barrier idle time —
+	// the straggler signal the phase histograms can't show.
+	if !r.votedAt.IsZero() {
+		a.m.barrierWait.Observe(r.phaseStart.Sub(r.votedAt).Seconds())
+		r.votedAt = time.Time{}
+	}
 	if adv.Phase == wire.PhaseCompute {
 		r.splitWork = false
 	}
 	// Fresh gate per phase; prior gates are drained (votes fire only
 	// when empty) so nothing is lost.
 	a.phaseGate = &ackGroup{}
+	var sp trace.Span
+	if trace.Enabled() {
+		name := "compute"
+		if adv.Phase == wire.PhaseCombine {
+			name = "combine"
+		}
+		sp = trace.StartSpan(fmt.Sprintf("a%d %s step=%d", a.id, name, adv.Step))
+	}
 	switch adv.Phase {
 	case wire.PhaseCompute:
 		a.processCompute()
 	case wire.PhaseCombine:
 		a.processCombine()
 	}
+	sp.End()
 }
 
 // processCompute is superstep phase 1: gather mailboxes, update and

@@ -1,0 +1,56 @@
+package agent
+
+import (
+	"sync/atomic"
+
+	"elga/internal/metrics"
+)
+
+// agentMetrics holds the agent's hot-seam instrumentation handles. Every
+// field stays nil when the agent was started without a Registry, and all
+// handle methods are nil-safe, so an uninstrumented agent pays one branch
+// per phase boundary and nothing per message.
+type agentMetrics struct {
+	phaseCompute *metrics.Histogram
+	phaseCombine *metrics.Histogram
+	barrierWait  *metrics.Histogram
+	migBatch     *metrics.Histogram
+	migBytes     *metrics.Counter
+}
+
+// initMetrics registers the agent's metric families on reg. Phase and
+// migration histograms are label-shared across agents (one cluster-wide
+// distribution each); per-agent counters and gauges carry the agent's
+// address so multiple agents in one process stay distinct.
+func (a *Agent) initMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	a.m.phaseCompute = reg.Histogram("elga_superstep_phase_seconds",
+		"Superstep phase processing duration by phase.",
+		metrics.Labels{"phase": "compute"}, metrics.DurationBuckets)
+	a.m.phaseCombine = reg.Histogram("elga_superstep_phase_seconds",
+		"Superstep phase processing duration by phase.",
+		metrics.Labels{"phase": "combine"}, metrics.DurationBuckets)
+	a.m.barrierWait = reg.Histogram("elga_barrier_wait_seconds",
+		"Wait between an agent's barrier vote and the next Advance.",
+		nil, metrics.DurationBuckets)
+	a.m.migBatch = reg.Histogram("elga_migration_batch_edges",
+		"Edge changes per migration shipment.",
+		nil, metrics.SizeBuckets)
+	a.m.migBytes = reg.Counter("elga_migration_bytes_total",
+		"Wire bytes of migration shipments sent.", nil)
+
+	a.node.RegisterMetrics(reg, "agent")
+	lbl := metrics.Labels{"addr": a.node.Addr()}
+	reg.CounterFunc("elga_agent_forwarded_total", "Packets forwarded to their correct owner.", lbl,
+		func() uint64 { return atomic.LoadUint64(&a.statForwarded) })
+	reg.CounterFunc("elga_agent_applied_total", "Edge changes applied to the local store.", lbl,
+		func() uint64 { return atomic.LoadUint64(&a.statApplied) })
+	reg.CounterFunc("elga_agent_queries_total", "Vertex queries answered.", lbl,
+		func() uint64 { return atomic.LoadUint64(&a.statQueries) })
+	reg.GaugeFunc("elga_agent_vertices", "Locally present vertices.", lbl,
+		func() float64 { return float64(a.vertexCount.Load()) })
+	reg.GaugeFunc("elga_agent_edge_copies", "Locally stored edge copies.", lbl,
+		func() float64 { return float64(a.copyCount.Load()) })
+}

@@ -1,12 +1,14 @@
 package agent
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"elga/internal/algorithm"
 	"elga/internal/autoscale"
 	"elga/internal/consistent"
 	"elga/internal/graph"
+	"elga/internal/trace"
 	"elga/internal/transport"
 	"elga/internal/wire"
 )
@@ -135,6 +137,11 @@ type migrationShipment struct {
 // refreshes replica registrations, and votes Ready(PhaseMigrate) once all
 // shipments are acknowledged.
 func (a *Agent) migrate(epochLow uint32) {
+	var sp trace.Span
+	if trace.Enabled() {
+		sp = trace.StartSpan(fmt.Sprintf("a%d migrate epoch=%d", a.id, epochLow))
+	}
+	defer sp.End()
 	self := consistent.AgentID(a.id)
 	shipments := make(map[consistent.AgentID]*migrationShipment)
 	var drop []graph.EdgeCopy
@@ -185,6 +192,7 @@ func (a *Agent) migrate(epochLow uint32) {
 	// handleAdvance) stays untouched so a mid-phase view change cannot
 	// clobber in-progress barrier accounting.
 	gate := &ackGroup{}
+	var shippedBytes uint64
 	for owner, s := range shipments {
 		addr, ok := a.router.AddrOf(owner)
 		if !ok {
@@ -194,11 +202,20 @@ func (a *Agent) migrate(epochLow uint32) {
 		for _, st := range s.states {
 			states = append(states, st)
 		}
-		a.sendGatedFrame(addr, wire.AppendEdgeBatch(
+		frame := wire.AppendEdgeBatch(
 			a.node.NewFrameHint(wire.TEdges, 32+32*len(s.changes)+24*len(states)),
 			&wire.EdgeBatch{
 				Epoch: a.router.Epoch(), Migration: true, Changes: s.changes, States: states,
-			}), gate)
+			})
+		a.m.migBatch.Observe(float64(len(s.changes)))
+		shippedBytes += uint64(len(frame))
+		a.sendGatedFrame(addr, frame, gate)
+	}
+	if shippedBytes > 0 {
+		a.m.migBytes.Add(shippedBytes)
+		// The directory sees migration cost too: heavy shipments are the
+		// scale-decision backpressure §3.4.3 warns about.
+		a.sendMetric(autoscale.MetricMigrationBytes, float64(shippedBytes))
 	}
 
 	// Re-route pending mailbox contributions for every vertex this agent

@@ -9,6 +9,7 @@ package autoscale
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"time"
 )
@@ -19,8 +20,22 @@ const (
 	MetricQueryRate = "query_rate"
 	// MetricChangeRate is applied edge changes per second per agent.
 	MetricChangeRate = "change_rate"
-	// MetricStepTime is the latest superstep duration in seconds.
+	// MetricStepTime is the latest superstep compute-phase duration in
+	// seconds.
 	MetricStepTime = "step_time"
+	// MetricCombineTime is the latest combine-phase duration in seconds.
+	MetricCombineTime = "combine_time"
+	// MetricInboxDepth is the instantaneous transport inbox occupancy.
+	MetricInboxDepth = "inbox_depth"
+	// MetricQueueDepth is the total frames queued behind per-peer writers
+	// (send backpressure).
+	MetricQueueDepth = "queue_depth"
+	// MetricMigrationBytes is bytes of migration shipments sent for one
+	// view change.
+	MetricMigrationBytes = "migration_bytes"
+	// MetricRetransmits is acked-push retransmissions since the last
+	// report (a fault/pressure signal).
+	MetricRetransmits = "retransmits"
 )
 
 // EMA is an exponential moving average over irregular samples, using a
@@ -156,4 +171,55 @@ func (a *Autoscaler) History() []Decision {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return append([]Decision(nil), a.history...)
+}
+
+// SignalSet smooths every metric name the agents report, not just the
+// one the scaling policy keys on. The directory feeds it from TMetric
+// samples; operators and the harness read per-signal EMAs to see load,
+// backpressure, and fault pressure side by side.
+type SignalSet struct {
+	mu       sync.Mutex
+	halfLife time.Duration
+	signals  map[string]*EMA
+}
+
+// NewSignalSet creates a set whose EMAs all share one half-life.
+func NewSignalSet(halfLife time.Duration) *SignalSet {
+	return &SignalSet{halfLife: halfLife, signals: make(map[string]*EMA)}
+}
+
+// Observe folds a sample for the named signal at time now.
+func (s *SignalSet) Observe(now time.Time, name string, v float64) {
+	s.mu.Lock()
+	e, ok := s.signals[name]
+	if !ok {
+		e = NewEMA(s.halfLife)
+		s.signals[name] = e
+	}
+	e.Observe(now, v)
+	s.mu.Unlock()
+}
+
+// Value returns the smoothed value for name and whether the signal has
+// ever been observed.
+func (s *SignalSet) Value(name string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.signals[name]
+	if !ok {
+		return 0, false
+	}
+	return e.Value(), e.Primed()
+}
+
+// Names returns the observed signal names in sorted order.
+func (s *SignalSet) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.signals))
+	for n := range s.signals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }

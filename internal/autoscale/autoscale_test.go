@@ -173,3 +173,27 @@ func TestDecideUnprimedDoesNothing(t *testing.T) {
 		t.Error("current changed without samples")
 	}
 }
+
+func TestSignalSetTracksPerName(t *testing.T) {
+	s := NewSignalSet(30 * time.Second)
+	if _, ok := s.Value(MetricStepTime); ok {
+		t.Fatal("unobserved signal reported primed")
+	}
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		s.Observe(now.Add(time.Duration(i)*time.Second), MetricStepTime, 0.5)
+		s.Observe(now.Add(time.Duration(i)*time.Second), MetricInboxDepth, 100)
+	}
+	v, ok := s.Value(MetricStepTime)
+	if !ok || v < 0.49 || v > 0.51 {
+		t.Fatalf("step_time = %v primed=%v", v, ok)
+	}
+	v, ok = s.Value(MetricInboxDepth)
+	if !ok || v < 99 || v > 101 {
+		t.Fatalf("inbox_depth = %v primed=%v", v, ok)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != MetricInboxDepth || names[1] != MetricStepTime {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -6,11 +6,13 @@ package client
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"elga/internal/algorithm"
 	"elga/internal/config"
 	"elga/internal/graph"
+	"elga/internal/metrics"
 	"elga/internal/route"
 	"elga/internal/stats"
 	"elga/internal/transport"
@@ -25,6 +27,9 @@ type Options struct {
 	Network transport.Network
 	// MasterAddr locates the DirectoryMaster.
 	MasterAddr string
+	// Metrics, when non-nil, registers the client's query counters and
+	// transport stats for the /metrics endpoint.
+	Metrics *metrics.Registry
 }
 
 // Validate reports option errors before any resource is allocated.
@@ -61,7 +66,9 @@ func (co CallOpts) timeout(cfg *config.Config) time.Duration {
 	return cfg.RequestTimeout
 }
 
-// Client is a client proxy. It is not safe for concurrent use.
+// Client is a client proxy. It is not safe for concurrent use, but its
+// counters are atomics so metric scrapes may read them from other
+// goroutines.
 type Client struct {
 	opts      Options
 	node      *transport.Node
@@ -69,8 +76,8 @@ type Client struct {
 	coordAddr string
 	dirAddr   string
 	salt      uint64
-	queries   uint64
-	retried   uint64
+	queries   atomic.Uint64
+	retried   atomic.Uint64
 }
 
 // Start boots a client proxy and waits for a directory view.
@@ -83,6 +90,12 @@ func Start(opts Options) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{opts: opts, node: node, router: route.New(opts.Config)}
+	if opts.Metrics != nil {
+		node.RegisterMetrics(opts.Metrics, "client")
+		lbl := metrics.Labels{"addr": node.Addr()}
+		opts.Metrics.CounterFunc("elga_client_queries_total", "Vertex queries issued.", lbl, c.queries.Load)
+		opts.Metrics.CounterFunc("elga_client_retries_total", "Query attempts beyond the first.", lbl, c.retried.Load)
+	}
 	reply, err := node.RequestRetry(opts.MasterAddr, transport.Retry{Attempts: 5},
 		opts.Config.RequestTimeout,
 		func() []byte { return node.NewFrame(wire.TGetDirectory) })
@@ -115,13 +128,12 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// StatsMap implements stats.Provider. The client is single-threaded, so
-// snapshots are taken between calls.
+// StatsMap implements stats.Provider; safe concurrently with calls.
 func (c *Client) StatsMap() stats.Counters {
 	ts := c.node.Stats()
 	return stats.Counters{
-		"queries":    c.queries,
-		"retries":    c.retried,
+		"queries":    c.queries.Load(),
+		"retries":    c.retried.Load(),
 		"frames_in":  ts.FramesIn,
 		"frames_out": ts.FramesOut,
 	}
@@ -291,12 +303,12 @@ func (c *Client) QueryWith(v graph.VertexID, co CallOpts) (algorithm.Word, bool,
 		}
 	}
 	deadline := time.Now().Add(overall)
-	c.queries++
+	c.queries.Add(1)
 	var qr *wire.QueryReply
 	attempt := 0
 	err := policy.Do(deadline, func() error {
 		if attempt++; attempt > 1 {
-			c.retried++
+			c.retried.Add(1)
 		}
 		if err := c.drainViews(false); err != nil {
 			return err

@@ -11,10 +11,12 @@ import (
 	"time"
 
 	"elga/internal/agent"
+	"elga/internal/autoscale"
 	"elga/internal/client"
 	"elga/internal/config"
 	"elga/internal/directory"
 	"elga/internal/graph"
+	"elga/internal/metrics"
 	"elga/internal/stats"
 	"elga/internal/streamer"
 	"elga/internal/transport"
@@ -41,19 +43,29 @@ type Options struct {
 	// Agents is the initial agent count (default 4).
 	Agents int
 	// MetricHandler receives autoscaler metrics on the coordinator's
-	// event loop.
+	// event loop (after the cluster's own SignalSet folds them).
 	MetricHandler func(*wire.Metric)
+	// Metrics supplies a registry every participant registers on; nil
+	// creates one internally, so Registry() always works.
+	Metrics *metrics.Registry
+	// MetricsAddr, when non-empty, serves /metrics and /debug/pprof for
+	// the whole cluster on that address (":0" picks a free port; read it
+	// back with MetricsAddr()).
+	MetricsAddr string
 }
 
 // Cluster is a running ElGA deployment.
 type Cluster struct {
-	opts   Options
-	net    transport.Network
-	master *directory.Master
-	dirs   []*directory.Directory
-	agents []*agent.Agent
-	ctl    *client.Client     // internal control client for Seal/Run
-	stream *streamer.Streamer // persistent streamer for Load/ApplyBatch
+	opts    Options
+	net     transport.Network
+	master  *directory.Master
+	dirs    []*directory.Directory
+	agents  []*agent.Agent
+	ctl     *client.Client     // internal control client for Seal/Run
+	stream  *streamer.Streamer // persistent streamer for Load/ApplyBatch
+	reg     *metrics.Registry
+	srv     *metrics.Server
+	signals *autoscale.SignalSet
 }
 
 // New boots a cluster and waits until every initial agent has joined.
@@ -74,22 +86,46 @@ func New(opts Options) (*Cluster, error) {
 	if net == nil {
 		net = transport.NewInproc()
 	}
-	c := &Cluster{opts: opts, net: net}
+	c := &Cluster{opts: opts, net: net, reg: opts.Metrics}
+	if c.reg == nil {
+		c.reg = metrics.NewRegistry()
+	}
+	// Every TMetric sample feeds the cluster's signal EMAs before any
+	// caller-supplied handler sees it, so harnesses get smoothed load,
+	// backpressure, and fault signals without wiring anything. 30s is the
+	// paper's §4.9 averaging window.
+	c.signals = autoscale.NewSignalSet(30 * time.Second)
+	userMH := opts.MetricHandler
+	mh := func(m *wire.Metric) {
+		c.signals.Observe(time.Now(), m.Name, m.Value)
+		if userMH != nil {
+			userMH(m)
+		}
+	}
+	if opts.MetricsAddr != "" {
+		srv, err := metrics.ListenAndServe(opts.MetricsAddr, c.reg)
+		if err != nil {
+			return nil, err
+		}
+		c.srv = srv
+	}
 	m, err := directory.StartMaster(net, "")
 	if err != nil {
+		c.Shutdown()
 		return nil, err
 	}
 	c.master = m
 	for i := 0; i < opts.Directories; i++ {
-		var mh func(*wire.Metric)
+		var dirMH func(*wire.Metric)
 		if i == 0 {
-			mh = opts.MetricHandler
+			dirMH = mh
 		}
 		d, err := directory.Start(directory.Options{
 			Config:        opts.Config,
 			Network:       net,
 			MasterAddr:    m.Addr(),
-			MetricHandler: mh,
+			MetricHandler: dirMH,
+			Metrics:       c.reg,
 		})
 		if err != nil {
 			c.Shutdown()
@@ -103,7 +139,7 @@ func New(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 	}
-	ctl, err := client.Start(client.Options{Config: opts.Config, Network: net, MasterAddr: m.Addr()})
+	ctl, err := client.Start(client.Options{Config: opts.Config, Network: net, MasterAddr: m.Addr(), Metrics: c.reg})
 	if err != nil {
 		c.Shutdown()
 		return nil, err
@@ -142,6 +178,7 @@ func (c *Cluster) AddAgent() (*agent.Agent, error) {
 		Network:    c.net,
 		MasterAddr: c.master.Addr(),
 		DirIndex:   len(c.agents),
+		Metrics:    c.reg,
 	})
 	if err != nil {
 		return nil, err
@@ -203,10 +240,47 @@ func (c *Cluster) StatsMaps() map[string]stats.Counters {
 	return out
 }
 
+// AggregateStats folds every participant's counters into one
+// role-namespaced map ("agent_applied", "dir_evictions",
+// "client_queries", ...) — the cross-role aggregation the flat Merge
+// could only do by conflating identical names.
+func (c *Cluster) AggregateStats() stats.Counters {
+	out := make(stats.Counters)
+	for _, a := range c.agents {
+		out.MergeNamespaced("agent", a.StatsMap())
+	}
+	for _, d := range c.dirs {
+		out.MergeNamespaced("dir", d.StatsMap())
+	}
+	if c.ctl != nil {
+		out.MergeNamespaced("client", c.ctl.StatsMap())
+	}
+	if c.stream != nil {
+		out.MergeNamespaced("streamer", c.stream.StatsMap())
+	}
+	return out
+}
+
+// Registry returns the metric registry every participant registered on.
+func (c *Cluster) Registry() *metrics.Registry { return c.reg }
+
+// MetricsAddr returns the bound scrape address, or "" when Options left
+// the endpoint disabled.
+func (c *Cluster) MetricsAddr() string {
+	if c.srv == nil {
+		return ""
+	}
+	return c.srv.Addr()
+}
+
+// Signals returns the smoothed TMetric signal set (step times, change
+// and query rates, queue depths, migration bytes, retransmits).
+func (c *Cluster) Signals() *autoscale.SignalSet { return c.signals }
+
 // NewStreamer creates a streamer attached to this cluster.
 func (c *Cluster) NewStreamer() (*streamer.Streamer, error) {
 	s, err := streamer.Start(streamer.Options{
-		Config: c.opts.Config, Network: c.net, MasterAddr: c.master.Addr(),
+		Config: c.opts.Config, Network: c.net, MasterAddr: c.master.Addr(), Metrics: c.reg,
 	})
 	if err != nil {
 		return nil, err
@@ -221,7 +295,7 @@ func (c *Cluster) NewStreamer() (*streamer.Streamer, error) {
 // NewClient creates a client proxy attached to this cluster.
 func (c *Cluster) NewClient() (*client.Client, error) {
 	cl, err := client.Start(client.Options{
-		Config: c.opts.Config, Network: c.net, MasterAddr: c.master.Addr(),
+		Config: c.opts.Config, Network: c.net, MasterAddr: c.master.Addr(), Metrics: c.reg,
 	})
 	if err != nil {
 		return nil, err
@@ -301,6 +375,7 @@ func (c *Cluster) TransportStats() transport.Stats {
 		t.Retransmits += s.Retransmits
 		t.DuplicatesDropped += s.DuplicatesDropped
 		t.AckGiveUps += s.AckGiveUps
+		t.RequestRetries += s.RequestRetries
 	}
 	return t
 }
@@ -334,5 +409,9 @@ func (c *Cluster) Shutdown() {
 	c.dirs = nil
 	if c.master != nil {
 		c.master.Close()
+	}
+	if c.srv != nil {
+		_ = c.srv.Close()
+		c.srv = nil
 	}
 }

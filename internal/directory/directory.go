@@ -9,6 +9,7 @@ import (
 
 	"elga/internal/algorithm"
 	"elga/internal/config"
+	"elga/internal/metrics"
 	"elga/internal/sketch"
 	"elga/internal/stats"
 	"elga/internal/trace"
@@ -29,6 +30,9 @@ type Options struct {
 	// MetricHandler, if set, receives autoscaler metric samples on the
 	// directory's event loop (coordinator only).
 	MetricHandler func(*wire.Metric)
+	// Metrics, when non-nil, registers this directory's counters, view
+	// gauges, and superstep histogram for the /metrics endpoint.
+	Metrics *metrics.Registry
 }
 
 // Validate reports option errors before any resource is allocated.
@@ -64,10 +68,10 @@ type Directory struct {
 	agents      map[uint64]string
 	// leases maps each agent to its last heartbeat (or join) time; an
 	// agent silent past Config.LeaseExpiry is evicted.
-	leases map[uint64]time.Time
-	sk     *sketch.Sketch
-	skDirty     bool
-	n           uint64
+	leases  map[uint64]time.Time
+	sk      *sketch.Sketch
+	skDirty bool
+	n       uint64
 	// lastView is an owned buffer (never aliases a pooled frame): the
 	// coordinator re-encodes into it, relays copy into it.
 	lastView []byte
@@ -85,9 +89,17 @@ type Directory struct {
 	seal      *sealState
 	run       *runState
 
-	// statEvictions counts agents evicted by the failure detector
-	// (atomic: read by StatsMap off the event loop).
-	statEvictions atomic.Uint64
+	// Atomic mirrors of event-loop state, read by StatsMap and metric
+	// scrapes off the event loop: statEvictions counts failure-detector
+	// evictions, statAgents/statEpoch follow the published view, and
+	// statMetricSamples counts TMetric packets folded into the handler.
+	statEvictions     atomic.Uint64
+	statAgents        atomic.Int64
+	statEpoch         atomic.Uint64
+	statMetricSamples atomic.Uint64
+	// stepHist is the optional cluster-level superstep duration histogram
+	// (nil without a registry).
+	stepHist *metrics.Histogram
 }
 
 type migrationState struct {
@@ -154,6 +166,7 @@ func Start(opts Options) (*Directory, error) {
 		leases: make(map[uint64]time.Time),
 		sk:     opts.Config.NewSketch(),
 	}
+	d.initMetrics(opts.Metrics)
 	// Registration is idempotent (the master dedups by address), so it is
 	// safe to retry through transient faults.
 	reply, err := node.RequestRetry(opts.MasterAddr, transport.Retry{Attempts: 5},
@@ -187,6 +200,28 @@ func Start(opts Options) (*Directory, error) {
 	return d, nil
 }
 
+// initMetrics registers the directory's metric families on reg. The
+// superstep histogram is shared (one per registry); view gauges read the
+// atomic mirrors broadcastView maintains.
+func (d *Directory) initMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	d.node.RegisterMetrics(reg, "dir")
+	lbl := metrics.Labels{"addr": d.node.Addr()}
+	reg.CounterFunc("elga_dir_evictions_total", "Agents evicted by the failure detector.", lbl,
+		d.statEvictions.Load)
+	reg.CounterFunc("elga_dir_metric_samples_total", "TMetric samples folded into the metric handler.", lbl,
+		d.statMetricSamples.Load)
+	reg.GaugeFunc("elga_dir_agents", "Agents in the published view.", lbl,
+		func() float64 { return float64(d.statAgents.Load()) })
+	reg.GaugeFunc("elga_dir_epoch", "Current view epoch.", lbl,
+		func() float64 { return float64(d.statEpoch.Load()) })
+	d.stepHist = reg.Histogram("elga_dir_superstep_seconds",
+		"Whole-superstep wall time observed at the coordinator barrier.",
+		nil, metrics.DurationBuckets)
+}
+
 // Addr returns the directory's dialable address.
 func (d *Directory) Addr() string { return d.node.Addr() }
 
@@ -208,12 +243,15 @@ func (d *Directory) Close() error {
 func (d *Directory) StatsMap() stats.Counters {
 	ts := d.node.Stats()
 	return stats.Counters{
-		"evictions":    d.statEvictions.Load(),
-		"frames_in":    ts.FramesIn,
-		"frames_out":   ts.FramesOut,
-		"retransmits":  ts.Retransmits,
-		"dups_dropped": ts.DuplicatesDropped,
-		"ack_give_ups": ts.AckGiveUps,
+		"evictions":      d.statEvictions.Load(),
+		"agents":         uint64(d.statAgents.Load()),
+		"epoch":          d.statEpoch.Load(),
+		"metric_samples": d.statMetricSamples.Load(),
+		"frames_in":      ts.FramesIn,
+		"frames_out":     ts.FramesOut,
+		"retransmits":    ts.Retransmits,
+		"dups_dropped":   ts.DuplicatesDropped,
+		"ack_give_ups":   ts.AckGiveUps,
 	}
 }
 
@@ -232,6 +270,10 @@ func (d *Directory) view() *wire.View {
 }
 
 func (d *Directory) broadcastView() {
+	// Every epoch bump funnels through here, so the scrape-visible view
+	// mirrors stay exact without touching any other call site.
+	d.statAgents.Store(int64(len(d.agents)))
+	d.statEpoch.Store(d.epoch)
 	d.lastView = wire.AppendView(d.lastView[:0], d.view())
 	d.pub.Publish(wire.TDirUpdate, d.lastView)
 }
@@ -361,6 +403,7 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 	case wire.TMetric:
 		if d.opts.MetricHandler != nil {
 			if m, err := wire.DecodeMetric(pkt.Payload); err == nil {
+				d.statMetricSamples.Add(1)
 				d.opts.MetricHandler(m)
 			}
 		}
@@ -370,7 +413,9 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 		// Self-ticks multiplex two timers, distinguished by a 1-byte tag:
 		// empty = async quiescence probe, 1 = lease sweep.
 		if len(pkt.Payload) > 0 && pkt.Payload[0] == leaseTick {
+			sp := trace.StartSpan("dir lease-sweep")
 			d.sweepLeases(time.Now())
+			sp.End()
 			d.scheduleLeaseSweep()
 		} else {
 			d.sendAsyncProbe()
@@ -788,7 +833,9 @@ func (d *Directory) handleAsyncProbeVote(m *wire.Ready) {
 	unchanged := r.prevValid && r.probeSent == r.prevSent && r.probeRecv == r.prevRecv
 	r.prevSent, r.prevRecv, r.prevValid = r.probeSent, r.probeRecv, true
 	if balanced && unchanged {
-		r.stepTimes = append(r.stepTimes, time.Since(r.stepStart))
+		stepDur := time.Since(r.stepStart)
+		r.stepTimes = append(r.stepTimes, stepDur)
+		d.stepHist.Observe(stepDur.Seconds())
 		d.finishRun(true)
 		return
 	}
@@ -850,7 +897,9 @@ func (d *Directory) finishPhase() {
 	}
 	// Superstep complete.
 	trace.Printf("dir step-done run=%d step=%d active=%d residual=%g", r.spec.RunID, r.step, r.activeSum, r.residual)
-	r.stepTimes = append(r.stepTimes, time.Since(r.stepStart))
+	stepDur := time.Since(r.stepStart)
+	r.stepTimes = append(r.stepTimes, stepDur)
+	d.stepHist.Observe(stepDur.Seconds())
 	if r.mastersSum > 0 {
 		d.n = r.mastersSum
 	}

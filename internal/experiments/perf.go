@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"elga/internal/client"
+	"elga/internal/cluster"
+	"elga/internal/gen"
+	"elga/internal/metrics"
+)
+
+// PhaseSummary condenses one phase-duration histogram for the bench
+// reporter: enough to see where a superstep's time goes without shipping
+// raw buckets.
+type PhaseSummary struct {
+	Count       uint64  `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+}
+
+// SuperstepPerf is the machine-readable superstep performance record that
+// elga-bench -json embeds in BENCH_<n>.json. NsPerStep and AllocsPerStep
+// are the regression-tracked numbers; Phases breaks a step down into the
+// compute, combine, and barrier-wait segments measured by the metrics
+// subsystem during the same run.
+type SuperstepPerf struct {
+	Graph         string                  `json:"graph"`
+	Agents        int                     `json:"agents"`
+	Steps         uint64                  `json:"steps"`
+	NsPerStep     float64                 `json:"ns_per_step"`
+	AllocsPerStep float64                 `json:"allocs_per_step"`
+	Phases        map[string]PhaseSummary `json:"phases"`
+}
+
+// phaseSummary condenses a histogram snapshot; zero-observation phases
+// (e.g. combine when no vertex split) report zeroed quantiles.
+func phaseSummary(s metrics.HistogramSnapshot) PhaseSummary {
+	out := PhaseSummary{Count: s.Count, MeanSeconds: s.Mean()}
+	if s.Count > 0 {
+		out.P50Seconds = s.Quantile(0.5)
+		out.P99Seconds = s.Quantile(0.99)
+	}
+	return out
+}
+
+// MeasureSuperstepPerf runs metered PageRank supersteps on a skewed
+// preferential-attachment graph and reports per-step wall time,
+// per-step allocation count, and the phase breakdown the instrumented
+// cluster recorded. The allocation figure is a whole-process
+// mallocs-delta divided by steps — coarser than the loopback
+// testing.AllocsPerRun ceilings in internal/agent, but measured on a real
+// multi-agent cluster with metrics enabled, so it bounds the
+// instrumentation's own allocation cost too.
+func MeasureSuperstepPerf(s Scale) (*SuperstepPerf, error) {
+	nodes, steps := 4_000, uint32(10)
+	if s == Quick {
+		nodes, steps = 1_000, 5
+	}
+	el := gen.PreferentialAttachment(nodes, 6, 1001)
+	reg := metrics.NewRegistry()
+	c, err := cluster.New(cluster.Options{Config: baseConfig(), Agents: 4, Metrics: reg})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Shutdown()
+	if err := c.Load(el); err != nil {
+		return nil, err
+	}
+	// Warm-up run: pools fill, routes cache, code paths JIT into cache.
+	if _, err := c.Run(client.RunSpec{Algo: "pagerank", MaxSteps: 2, FromScratch: true}); err != nil {
+		return nil, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	st, err := c.Run(client.RunSpec{Algo: "pagerank", MaxSteps: steps, FromScratch: true})
+	if err != nil {
+		return nil, err
+	}
+	runtime.ReadMemStats(&after)
+	if st.Steps == 0 {
+		return nil, fmt.Errorf("perf: pagerank ran zero supersteps")
+	}
+
+	// Re-registering returns the live handles the agents observe into.
+	compute := reg.Histogram("elga_superstep_phase_seconds", "",
+		metrics.Labels{"phase": "compute"}, metrics.DurationBuckets)
+	combine := reg.Histogram("elga_superstep_phase_seconds", "",
+		metrics.Labels{"phase": "combine"}, metrics.DurationBuckets)
+	barrier := reg.Histogram("elga_barrier_wait_seconds", "", nil, metrics.DurationBuckets)
+
+	return &SuperstepPerf{
+		Graph:         fmt.Sprintf("pa-%d-6", nodes),
+		Agents:        c.NumAgents(),
+		Steps:         uint64(st.Steps),
+		NsPerStep:     float64(st.Wall) / float64(st.Steps),
+		AllocsPerStep: float64(after.Mallocs-before.Mallocs) / float64(st.Steps),
+		Phases: map[string]PhaseSummary{
+			"compute": phaseSummary(compute.Snapshot()),
+			"combine": phaseSummary(combine.Snapshot()),
+			"barrier": phaseSummary(barrier.Snapshot()),
+		},
+	}, nil
+}

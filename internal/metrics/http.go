@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry as Prometheus text.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// NewMux wires /metrics plus the /debug/pprof endpoints onto a fresh
+// mux. pprof is registered explicitly rather than via the package's
+// DefaultServeMux side effects so only opted-in listeners expose it.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running scrape endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe starts serving /metrics and /debug/pprof on addr
+// (":0" picks a free port; read it back with Addr). The listener is
+// bound synchronously so a returned *Server is already scrapeable.
+func ListenAndServe(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

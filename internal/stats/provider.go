@@ -15,10 +15,23 @@ type Provider interface {
 	StatsMap() Counters
 }
 
-// Merge sums other into c, returning c for chaining.
+// Merge sums other into c, returning c for chaining. Only use it for
+// snapshots of the same participant role — identically-named counters
+// from different roles (an agent's "frames_in" vs a directory's) would
+// silently conflate. Cross-role aggregation goes through MergeNamespaced.
 func (c Counters) Merge(other Counters) Counters {
 	for k, v := range other {
 		c[k] += v
+	}
+	return c
+}
+
+// MergeNamespaced sums other into c under role-prefixed keys
+// ("agent_frames_in", "dir_frames_in", ...), so participants of
+// different types aggregate without conflating shared counter names.
+func (c Counters) MergeNamespaced(role string, other Counters) Counters {
+	for k, v := range other {
+		c[role+"_"+k] += v
 	}
 	return c
 }

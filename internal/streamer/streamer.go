@@ -8,11 +8,13 @@ package streamer
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"elga/internal/config"
 	"elga/internal/consistent"
 	"elga/internal/graph"
+	"elga/internal/metrics"
 	"elga/internal/route"
 	"elga/internal/stats"
 	"elga/internal/transport"
@@ -32,6 +34,9 @@ type Options struct {
 	MasterAddr string
 	// BatchSize overrides DefaultBatchSize when positive.
 	BatchSize int
+	// Metrics, when non-nil, registers the streamer's change counter and
+	// transport stats for the /metrics endpoint.
+	Metrics *metrics.Registry
 }
 
 // Validate reports option errors before any resource is allocated.
@@ -58,7 +63,8 @@ type Streamer struct {
 	dirAddr string
 	pending map[consistent.AgentID][]wire.EdgeChange
 	count   int
-	sent    uint64
+	// sent is atomic so metric scrapes can read it mid-ingest.
+	sent atomic.Uint64
 }
 
 // Start boots a streamer: it discovers directories, subscribes to view
@@ -79,6 +85,11 @@ func Start(opts Options) (*Streamer, error) {
 		node:    node,
 		router:  route.New(opts.Config),
 		pending: make(map[consistent.AgentID][]wire.EdgeChange),
+	}
+	if opts.Metrics != nil {
+		node.RegisterMetrics(opts.Metrics, "streamer")
+		opts.Metrics.CounterFunc("elga_streamer_sent_total", "Edge-change copies flushed to agents.",
+			metrics.Labels{"addr": node.Addr()}, s.sent.Load)
 	}
 	reply, err := node.RequestRetry(opts.MasterAddr, transport.Retry{Attempts: 5},
 		opts.Config.RequestTimeout,
@@ -207,7 +218,7 @@ func (s *Streamer) flushPending() error {
 		if err := s.node.SendFrameAcked(addr, frame); err != nil {
 			return err
 		}
-		s.sent += uint64(len(changes))
+		s.sent.Add(uint64(len(changes)))
 	}
 	s.pending = make(map[consistent.AgentID][]wire.EdgeChange)
 	s.count = 0
@@ -225,14 +236,13 @@ func (s *Streamer) Flush() error {
 }
 
 // Sent returns the number of edge-change copies flushed so far.
-func (s *Streamer) Sent() uint64 { return s.sent }
+func (s *Streamer) Sent() uint64 { return s.sent.Load() }
 
-// StatsMap implements stats.Provider. The streamer is single-threaded,
-// so snapshots are taken between calls.
+// StatsMap implements stats.Provider; safe concurrently with ingest.
 func (s *Streamer) StatsMap() stats.Counters {
 	ts := s.node.Stats()
 	return stats.Counters{
-		"sent":        s.sent,
+		"sent":        s.sent.Load(),
 		"frames_in":   ts.FramesIn,
 		"frames_out":  ts.FramesOut,
 		"retransmits": ts.Retransmits,

@@ -1,34 +1,209 @@
-// Package trace provides a near-zero-cost debug trace hook, enabled by
-// setting ELGA_TRACE=1 in the environment. Coordination protocols (view
-// epochs, barrier votes, seal rounds) wedge in ways a goroutine dump
-// cannot explain — the interesting state is which vote never arrived,
-// not where anyone is blocked — so the control planes trace their
-// transitions through here.
+// Package trace provides a near-zero-cost structured trace hook for the
+// coordination protocols, enabled by ELGA_TRACE=1 or SetEnabled. View
+// epochs, barrier votes, seal rounds, and migrations wedge in ways a
+// goroutine dump cannot explain — the interesting state is which vote
+// never arrived, not where anyone is blocked — so the control planes
+// trace their transitions through here as events and spans.
+//
+// The enable flag is one atomic load, the sink is swappable at runtime
+// (stderr by default, a bounded ring for tests and post-mortems), and a
+// disabled call formats nothing.
 package trace
 
 import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
+// Kind says what an Event marks.
+type Kind uint8
+
+const (
+	// Instant is a one-off event (the Printf compatibility shape).
+	Instant Kind = iota
+	// Begin opens a span.
+	Begin
+	// End closes a span and carries its duration.
+	End
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Begin:
+		return "begin"
+	case End:
+		return "end"
+	default:
+		return "event"
+	}
+}
+
+// Event is one trace record. At is monotonic time since process trace
+// start; Dur is set on End events only.
+type Event struct {
+	Seq  uint64
+	At   time.Duration
+	Kind Kind
+	Name string
+	Dur  time.Duration
+}
+
+// Sink receives events. Emit may be called concurrently.
+type Sink interface {
+	Emit(Event)
+}
+
 var (
-	enabled = os.Getenv("ELGA_TRACE") != ""
-	mu      sync.Mutex
+	enabled atomic.Bool
+	seq     atomic.Uint64
+	sink    atomic.Pointer[sinkBox]
 	start   = time.Now()
 )
 
+// sinkBox wraps the interface so atomic.Pointer can hold it.
+type sinkBox struct{ s Sink }
+
+func init() {
+	enabled.Store(os.Getenv("ELGA_TRACE") != "")
+}
+
 // Enabled reports whether tracing is on, letting callers skip building
 // expensive arguments.
-func Enabled() bool { return enabled }
+func Enabled() bool { return enabled.Load() }
 
-// Printf logs one trace line to stderr with a monotonic timestamp.
-func Printf(format string, args ...any) {
-	if !enabled {
+// SetEnabled toggles tracing at runtime (tests flip this around the
+// region under scrutiny instead of restarting with ELGA_TRACE set).
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// SetSink installs s as the event sink and returns the previous one.
+// A nil s restores the default stderr sink.
+func SetSink(s Sink) Sink {
+	var nb *sinkBox
+	if s != nil {
+		nb = &sinkBox{s: s}
+	}
+	old := sink.Swap(nb)
+	if old == nil {
+		return nil
+	}
+	return old.s
+}
+
+func emit(e Event) {
+	e.Seq = seq.Add(1)
+	e.At = time.Since(start)
+	if b := sink.Load(); b != nil {
+		b.s.Emit(e)
 		return
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	fmt.Fprintf(os.Stderr, "%10.4fs %s\n", time.Since(start).Seconds(), fmt.Sprintf(format, args...))
+	stderr.Emit(e)
+}
+
+// Printf logs one instant event, formatted only when tracing is enabled.
+func Printf(format string, args ...any) {
+	if !enabled.Load() {
+		return
+	}
+	emit(Event{Kind: Instant, Name: fmt.Sprintf(format, args...)})
+}
+
+// Span is an open Begin..End interval. The zero Span (returned while
+// tracing is disabled) is inert: End on it is a no-op.
+type Span struct {
+	name  string
+	began time.Time
+}
+
+// StartSpan opens a span and emits its Begin event. When tracing is
+// disabled it returns the zero Span without formatting anything.
+func StartSpan(name string) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	emit(Event{Kind: Begin, Name: name})
+	return Span{name: name, began: time.Now()}
+}
+
+// End closes the span, emitting an End event with the measured duration.
+// Safe on the zero Span and after tracing was flipped off mid-span.
+func (s Span) End() {
+	if s.name == "" {
+		return
+	}
+	emit(Event{Kind: End, Name: s.name, Dur: time.Since(s.began)})
+}
+
+// StderrSink writes human-readable lines to stderr, serialized by its
+// own mutex (contention is confined to the sink, not the callers'
+// enable check).
+type StderrSink struct {
+	mu sync.Mutex
+}
+
+var stderr = &StderrSink{}
+
+// Emit implements Sink.
+func (s *StderrSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch e.Kind {
+	case End:
+		fmt.Fprintf(os.Stderr, "%10.4fs %s done dur=%s\n", e.At.Seconds(), e.Name, e.Dur)
+	case Begin:
+		fmt.Fprintf(os.Stderr, "%10.4fs %s...\n", e.At.Seconds(), e.Name)
+	default:
+		fmt.Fprintf(os.Stderr, "%10.4fs %s\n", e.At.Seconds(), e.Name)
+	}
+}
+
+// RingSink keeps the last n events in a bounded ring — attach it before
+// a chaos run and dump it after the wedge instead of drowning stderr.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRingSink returns a ring holding the most recent n events.
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{buf: make([]Event, n)}
+}
+
+// Emit implements Sink.
+func (r *RingSink) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the buffered events, oldest first.
+func (r *RingSink) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.buf)
+	if r.total < uint64(n) {
+		n = int(r.total)
+	}
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (r.next - n + i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Total returns how many events the ring has ever received.
+func (r *RingSink) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
 }

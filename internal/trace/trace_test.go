@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withRing routes tracing into a fresh ring for one test, restoring the
+// previous sink and enable state afterwards so tests compose.
+func withRing(t *testing.T, n int, on bool) *RingSink {
+	t.Helper()
+	ring := NewRingSink(n)
+	prev := SetSink(ring)
+	was := Enabled()
+	SetEnabled(on)
+	t.Cleanup(func() {
+		SetEnabled(was)
+		SetSink(prev)
+	})
+	return ring
+}
+
+func TestPrintfDisabledEmitsNothing(t *testing.T) {
+	ring := withRing(t, 8, false)
+	Printf("should not appear %d", 1)
+	if sp := StartSpan("ghost"); sp != (Span{}) {
+		t.Fatal("disabled StartSpan returned a live span")
+	} else {
+		sp.End()
+	}
+	if ring.Total() != 0 {
+		t.Fatalf("disabled trace emitted %d events", ring.Total())
+	}
+}
+
+func TestPrintfEnabled(t *testing.T) {
+	ring := withRing(t, 8, true)
+	Printf("hello %s", "world")
+	evs := ring.Snapshot()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	e := evs[0]
+	if e.Kind != Instant || e.Name != "hello world" || e.Seq == 0 {
+		t.Fatalf("unexpected event %+v", e)
+	}
+}
+
+func TestSpanBeginEnd(t *testing.T) {
+	ring := withRing(t, 8, true)
+	sp := StartSpan("phase")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	evs := ring.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want begin+end", len(evs))
+	}
+	if evs[0].Kind != Begin || evs[0].Name != "phase" {
+		t.Fatalf("begin event %+v", evs[0])
+	}
+	end := evs[1]
+	if end.Kind != End || end.Name != "phase" || end.Dur < time.Millisecond {
+		t.Fatalf("end event %+v", end)
+	}
+	if end.Seq <= evs[0].Seq || end.At < evs[0].At {
+		t.Fatalf("events out of order: %+v then %+v", evs[0], end)
+	}
+	if end.Kind.String() != "end" || evs[0].Kind.String() != "begin" || Instant.String() != "event" {
+		t.Fatal("Kind strings wrong")
+	}
+}
+
+func TestSetSinkRestoresDefault(t *testing.T) {
+	ring := NewRingSink(4)
+	prev := SetSink(ring)
+	defer SetSink(prev)
+	if got := SetSink(nil); got != ring {
+		t.Fatalf("SetSink returned %v, want the ring", got)
+	}
+	// nil restored the stderr default; install the ring again so the
+	// deferred restore has a known previous.
+	SetSink(ring)
+}
+
+func TestRingSinkWrapsOldestFirst(t *testing.T) {
+	ring := withRing(t, 4, true)
+	for i := 0; i < 7; i++ {
+		Printf("e%d", i)
+	}
+	if ring.Total() != 7 {
+		t.Fatalf("total = %d, want 7", ring.Total())
+	}
+	evs := ring.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := fmt.Sprintf("e%d", i+3); e.Name != want {
+			t.Fatalf("event %d = %q, want %q", i, e.Name, want)
+		}
+		if i > 0 && evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seq at %d: %+v", i, evs)
+		}
+	}
+}
+
+func TestRingSinkPartialFill(t *testing.T) {
+	ring := withRing(t, 16, true)
+	Printf("a")
+	Printf("b")
+	evs := ring.Snapshot()
+	if len(evs) != 2 || evs[0].Name != "a" || evs[1].Name != "b" {
+		t.Fatalf("snapshot %+v", evs)
+	}
+}
+
+func TestConcurrentTracing(t *testing.T) {
+	ring := withRing(t, 1024, true)
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := StartSpan("work")
+				Printf("w%d i%d", w, i)
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := ring.Total(), uint64(workers*per*3); got != want {
+		t.Fatalf("total = %d, want %d", got, want)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"elga/internal/metrics"
 	"elga/internal/wire"
 )
 
@@ -92,6 +93,12 @@ type Node struct {
 
 	stats nodeStats
 
+	// Optional histograms installed by RegisterMetrics. atomic.Pointer so
+	// the read/write goroutines observe without a lock and uninstrumented
+	// nodes pay one nil-check per seam.
+	rttHist      atomic.Pointer[metrics.Histogram]
+	coalesceHist atomic.Pointer[metrics.Histogram]
+
 	wg sync.WaitGroup
 }
 
@@ -132,6 +139,7 @@ type nodeStats struct {
 	retransmits atomic.Uint64
 	dupsDropped atomic.Uint64
 	ackGiveUps  atomic.Uint64
+	reqRetries  atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of a node's transport counters.
@@ -161,6 +169,10 @@ type Stats struct {
 	// AckGiveUps counts acked sends abandoned after ackMaxResend
 	// retransmissions — permanent loss toward an unresponsive peer.
 	AckGiveUps uint64
+	// RequestRetries counts REQ/REP attempts beyond the first inside
+	// RequestRetry — requests that failed at least once before succeeding
+	// or giving up.
+	RequestRetries uint64
 }
 
 // Stats returns a snapshot of the node's transport counters.
@@ -175,7 +187,57 @@ func (n *Node) Stats() Stats {
 		Retransmits:       n.stats.retransmits.Load(),
 		DuplicatesDropped: n.stats.dupsDropped.Load(),
 		AckGiveUps:        n.stats.ackGiveUps.Load(),
+		RequestRetries:    n.stats.reqRetries.Load(),
 	}
+}
+
+// InboxDepth returns the current inbound queue occupancy.
+func (n *Node) InboxDepth() int { return len(n.inbox) }
+
+// InboxCap returns the inbound queue capacity.
+func (n *Node) InboxCap() int { return cap(n.inbox) }
+
+// QueueDepth sums the frames queued behind every per-peer writer — the
+// send-side backpressure the autoscaler wants to see.
+func (n *Node) QueueDepth() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	depth := 0
+	for _, p := range n.peers {
+		depth += len(p.queue)
+	}
+	return depth
+}
+
+// RegisterMetrics exposes this node's transport counters, queue depths,
+// and latency histograms on reg under {role, addr} labels. The counters
+// are read at scrape time from the same atomics Stats() snapshots, so
+// the hot paths gain nothing; the two histograms (REQ/REP round trip,
+// coalesce batch size) are role-shared handles installed behind atomic
+// pointers. Call at most once per node, before traffic starts.
+func (n *Node) RegisterMetrics(reg *metrics.Registry, role string) {
+	if reg == nil {
+		return
+	}
+	lbl := metrics.Labels{"role": role, "addr": n.addr}
+	reg.CounterFunc("elga_transport_frames_in_total", "Well-formed inbound frames.", lbl, n.stats.framesIn.Load)
+	reg.CounterFunc("elga_transport_frames_out_total", "Frames handed to conn writes.", lbl, n.stats.framesOut.Load)
+	reg.CounterFunc("elga_transport_malformed_total", "Inbound frames dropped as malformed.", lbl, n.stats.malformed.Load)
+	reg.CounterFunc("elga_transport_enqueue_stalls_total", "Sends that blocked on a saturated peer queue.", lbl, n.stats.stalls.Load)
+	reg.CounterFunc("elga_transport_conn_writes_total", "Conn write calls (a coalesced batch counts once).", lbl, n.stats.writes.Load)
+	reg.CounterFunc("elga_transport_coalesced_frames_total", "Frames that shared a conn write with another frame.", lbl, n.stats.coalesced.Load)
+	reg.CounterFunc("elga_transport_retransmits_total", "Acked sends resent after an RTO expiry.", lbl, n.stats.retransmits.Load)
+	reg.CounterFunc("elga_transport_dups_dropped_total", "Duplicate acked pushes dropped after re-acking.", lbl, n.stats.dupsDropped.Load)
+	reg.CounterFunc("elga_transport_ack_give_ups_total", "Acked sends abandoned after the retransmission budget.", lbl, n.stats.ackGiveUps.Load)
+	reg.CounterFunc("elga_transport_request_retries_total", "REQ/REP attempts beyond the first.", lbl, n.stats.reqRetries.Load)
+	reg.GaugeFunc("elga_inbox_depth", "Inbound packet queue occupancy.", lbl, func() float64 { return float64(n.InboxDepth()) })
+	reg.GaugeFunc("elga_send_queue_depth", "Frames queued behind per-peer writers.", lbl, func() float64 { return float64(n.QueueDepth()) })
+	// Shared per role: registry dedup returns one handle to every node of
+	// the role, aggregating their observations (cardinality stays low).
+	n.rttHist.Store(reg.Histogram("elga_reqrep_roundtrip_seconds",
+		"REQ/REP round-trip latency.", metrics.Labels{"role": role}, metrics.DurationBuckets))
+	n.coalesceHist.Store(reg.Histogram("elga_transport_coalesce_batch_frames",
+		"Frames per coalesced conn write.", metrics.Labels{"role": role}, metrics.SizeBuckets))
 }
 
 // NewNode listens on addr ("" auto-allocates) and starts the accept loop.
@@ -576,6 +638,7 @@ func (n *Node) writeFrames(c Conn, p *peer, frames [][]byte, closing bool) Conn 
 	}
 	n.stats.writes.Add(1)
 	n.stats.framesOut.Add(uint64(len(frames)))
+	n.coalesceHist.Load().Observe(float64(len(frames)))
 	releaseFrames(frames)
 	if err != nil {
 		c.Close()
@@ -887,10 +950,12 @@ func (n *Node) RequestFrame(addr string, frame []byte, timeout time.Duration) (*
 		n.mu.Unlock()
 		return nil, err
 	}
+	start := time.Now()
 	t := getTimer(timeout)
 	defer putTimer(t)
 	select {
 	case reply := <-ch:
+		n.rttHist.Load().Observe(time.Since(start).Seconds())
 		return reply, nil
 	case <-t.C:
 		n.mu.Lock()

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"elga/internal/trace"
 	"elga/internal/wire"
 )
 
@@ -64,6 +65,7 @@ func (r Retry) Do(deadline time.Time, op func() error) error {
 		if err = op(); err == nil {
 			return nil
 		}
+		trace.Printf("retry attempt=%d/%d err=%v", i+1, attempts, err)
 		if !Retryable(err) || i == attempts-1 {
 			return err
 		}
@@ -98,7 +100,12 @@ func (n *Node) RequestRetry(addr string, policy Retry, overall time.Duration, bu
 		}
 	}
 	var reply *wire.Packet
+	attempt := 0
 	err := policy.Do(deadline, func() error {
+		attempt++
+		if attempt > 1 {
+			n.stats.reqRetries.Add(1)
+		}
 		t := perTry
 		if rem := time.Until(deadline); rem < t {
 			t = rem
