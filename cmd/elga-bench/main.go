@@ -32,25 +32,42 @@ type jsonExperiment struct {
 	Seconds float64    `json:"seconds"`
 }
 
-// jsonOutput is the whole -json record.
+// jsonOutput is the whole -json record. Superstep is the regression-
+// tracked metered run (tracing off); SuperstepTraced repeats it with
+// distributed tracing at 100% sampling so the record captures the
+// instrumentation's overhead alongside the baseline.
 type jsonOutput struct {
-	Scale       string                     `json:"scale"`
-	Experiments []jsonExperiment           `json:"experiments,omitempty"`
-	Superstep   *experiments.SuperstepPerf `json:"superstep,omitempty"`
+	Scale           string                     `json:"scale"`
+	Experiments     []jsonExperiment           `json:"experiments,omitempty"`
+	Superstep       *experiments.SuperstepPerf `json:"superstep,omitempty"`
+	SuperstepTraced *experiments.SuperstepPerf `json:"superstep_traced,omitempty"`
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced trials and inputs")
 	md := flag.Bool("md", false, "emit Markdown tables")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
+	compare := flag.Bool("compare", false, "compare two -json records: elga-bench -compare old.json new.json")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: elga-bench [-quick] [-md] [-json FILE] {all|perf")
 		for _, id := range experiments.Order {
 			fmt.Fprintf(os.Stderr, "|%s", id)
 		}
 		fmt.Fprintln(os.Stderr, "}")
+		fmt.Fprintln(os.Stderr, "       elga-bench -compare old.json new.json")
 	}
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "elga-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -120,6 +137,19 @@ func main() {
 				out.Superstep = perf
 			}
 		}
+		// The tracing-on repeat quantifies the tracing subsystem's overhead
+		// against the baseline directly in the same record.
+		if out.Superstep != nil {
+			traced, err := experiments.MeasureSuperstepPerfTraced(scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "elga-bench: traced perf failed: %v\n", err)
+				failed++
+			} else {
+				out.SuperstepTraced = traced
+				fmt.Fprintf(os.Stderr, "[perf traced: %.0f ns/step, %.0f allocs/step over %d steps]\n\n",
+					traced.NsPerStep, traced.AllocsPerStep, traced.Steps)
+			}
+		}
 		buf, err := json.MarshalIndent(&out, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
@@ -134,4 +164,76 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runCompare loads two -json records and prints per-metric deltas: the
+// superstep blocks metric by metric, then per-experiment wall time.
+func runCompare(oldPath, newPath string) error {
+	load := func(path string) (*jsonOutput, error) {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var out jsonOutput
+		if err := json.Unmarshal(buf, &out); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &out, nil
+	}
+	o, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	n, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("comparing %s (%s) -> %s (%s)\n", oldPath, o.Scale, newPath, n.Scale)
+	comparePerf("superstep", o.Superstep, n.Superstep)
+	comparePerf("superstep_traced", o.SuperstepTraced, n.SuperstepTraced)
+	oldSecs := make(map[string]float64, len(o.Experiments))
+	for _, e := range o.Experiments {
+		oldSecs[e.ID] = e.Seconds
+	}
+	for _, e := range n.Experiments {
+		if ov, ok := oldSecs[e.ID]; ok {
+			deltaLine(e.ID+" seconds", ov, e.Seconds)
+		}
+	}
+	return nil
+}
+
+// comparePerf prints the deltas between two superstep blocks; a side
+// missing from either record is reported, not skipped silently.
+func comparePerf(name string, o, n *experiments.SuperstepPerf) {
+	switch {
+	case o == nil && n == nil:
+		return
+	case o == nil || n == nil:
+		fmt.Printf("\n%s: present only in %s record\n", name, map[bool]string{o != nil: "old", n != nil: "new"}[true])
+		return
+	}
+	fmt.Printf("\n%s (%s, %d agents):\n", name, n.Graph, n.Agents)
+	deltaLine("ns_per_step", o.NsPerStep, n.NsPerStep)
+	deltaLine("allocs_per_step", o.AllocsPerStep, n.AllocsPerStep)
+	for _, phase := range []string{"compute", "combine", "barrier"} {
+		op, ook := o.Phases[phase]
+		np, nok := n.Phases[phase]
+		if ook && nok {
+			deltaLine(phase+"_mean_seconds", op.MeanSeconds, np.MeanSeconds)
+			deltaLine(phase+"_p99_seconds", op.P99Seconds, np.P99Seconds)
+		}
+	}
+}
+
+// deltaLine prints one metric's old value, new value, and relative change.
+func deltaLine(name string, oldV, newV float64) {
+	if oldV == 0 && newV == 0 {
+		return
+	}
+	pct := "n/a"
+	if oldV != 0 {
+		pct = fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+	}
+	fmt.Printf("  %-24s %14.4g -> %14.4g  (%s)\n", name, oldV, newV, pct)
 }

@@ -33,6 +33,8 @@ import (
 	"elga/internal/graph"
 	"elga/internal/metrics"
 	"elga/internal/streamer"
+	"elga/internal/trace"
+	"elga/internal/trace/collect"
 	"elga/internal/transport"
 )
 
@@ -85,8 +87,10 @@ commands:
 `)
 }
 
-// commonFlags registers the flags shared by every role.
-func commonFlags(fs *flag.FlagSet) (master *string, cfg *config.Config) {
+// commonFlags registers the flags shared by every role. The trace flags
+// start from the environment (ELGA_TRACE*) so flags and env vars funnel
+// into the same trace.Config.
+func commonFlags(fs *flag.FlagSet) (master *string, cfg *config.Config, tcfg *trace.Config) {
 	c := config.Default()
 	master = fs.String("master", "127.0.0.1:7700", "DirectoryMaster address")
 	fs.IntVar(&c.Virtual, "virtual", c.Virtual, "virtual agents per agent")
@@ -95,7 +99,11 @@ func commonFlags(fs *flag.FlagSet) (master *string, cfg *config.Config) {
 	fs.Uint64Var(&c.ReplicationThreshold, "split-threshold", c.ReplicationThreshold,
 		"degree estimate above which a vertex splits (0 disables)")
 	fs.IntVar(&c.MaxReplicas, "max-replicas", c.MaxReplicas, "replica cap per split vertex")
-	return master, &c
+	tc := trace.FromEnv()
+	fs.BoolVar(&tc.Enabled, "trace", tc.Enabled, "enable distributed tracing (also ELGA_TRACE=1)")
+	fs.Float64Var(&tc.Sample, "trace-sample", tc.Sample, "fraction of trace roots exported to the collector [0,1]")
+	fs.IntVar(&tc.FlightRecorder, "trace-flight", tc.FlightRecorder, "per-participant flight-recorder capacity")
+	return master, &c, &tc
 }
 
 func runMaster(args []string) error {
@@ -116,11 +124,15 @@ func runMaster(args []string) error {
 
 func runDirectory(args []string) error {
 	fs := flag.NewFlagSet("directory", flag.ExitOnError)
-	master, cfg := commonFlags(fs)
+	master, cfg, tcfg := commonFlags(fs)
 	addr := fs.String("addr", "", "listen address (empty = ephemeral)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
+	traceOut := fs.String("trace-out", "", "write collected spans as Chrome trace-event JSON here on shutdown (implies -trace; coordinator only)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceOut != "" {
+		tcfg.Enabled = true
 	}
 	reg, srv, err := startMetrics(*metricsAddr)
 	if err != nil {
@@ -129,9 +141,25 @@ func runDirectory(args []string) error {
 	if srv != nil {
 		defer srv.Close()
 	}
+	// The coordinator hosts the collector; relays never receive span
+	// batches, so the sink simply stays idle there.
+	var col *collect.Collector
+	var sink func(string, []trace.SpanRecord)
+	if tcfg.Enabled {
+		col = collect.New()
+		sink = func(proc string, spans []trace.SpanRecord) {
+			col.Add(proc, spans)
+			// The coordinator's parentless run span closes the timeline.
+			for _, s := range spans {
+				if s.Name == "run" && s.Parent == 0 {
+					col.MarkComplete(s.TraceHi, s.TraceLo)
+				}
+			}
+		}
+	}
 	d, err := directory.Start(directory.Options{
 		Config: *cfg, Network: transport.NewTCP(), MasterAddr: *master, Addr: *addr,
-		Metrics: reg,
+		Metrics: reg, Trace: tcfg, SpanSink: sink,
 	})
 	if err != nil {
 		return err
@@ -143,12 +171,27 @@ func runDirectory(args []string) error {
 	fmt.Printf("elga directory (%s) listening on %s\n", role, d.Addr())
 	waitForSignal()
 	d.Close()
+	if *traceOut != "" && col != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := col.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("elga: wrote trace to %s (%d traces, %d spans)\n", *traceOut, col.TraceCount(), col.SpanCount())
+		fmt.Print(col.Summary())
+	}
 	return nil
 }
 
 func runAgent(args []string) error {
 	fs := flag.NewFlagSet("agent", flag.ExitOnError)
-	master, cfg := commonFlags(fs)
+	master, cfg, tcfg := commonFlags(fs)
 	n := fs.Int("n", 1, "number of agents to run in this process")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
@@ -165,7 +208,7 @@ func runAgent(args []string) error {
 	for i := 0; i < *n; i++ {
 		a, err := agent.Start(agent.Options{
 			Config: *cfg, Network: transport.NewTCP(), MasterAddr: *master, DirIndex: i,
-			Metrics: reg,
+			Metrics: reg, Trace: tcfg,
 		})
 		if err != nil {
 			return err
@@ -192,7 +235,7 @@ func runAgent(args []string) error {
 
 func runStream(args []string) error {
 	fs := flag.NewFlagSet("stream", flag.ExitOnError)
-	master, cfg := commonFlags(fs)
+	master, cfg, _ := commonFlags(fs)
 	file := fs.String("file", "", "edge list file ('-' for stdin)")
 	deleteMode := fs.Bool("delete", false, "stream deletions instead of insertions")
 	if err := fs.Parse(args); err != nil {
@@ -239,8 +282,8 @@ func runStream(args []string) error {
 	return nil
 }
 
-func newClient(master string, cfg config.Config) (*client.Client, error) {
-	c, err := client.Start(client.Options{Config: cfg, Network: transport.NewTCP(), MasterAddr: master})
+func newClient(master string, cfg config.Config, tcfg *trace.Config) (*client.Client, error) {
+	c, err := client.Start(client.Options{Config: cfg, Network: transport.NewTCP(), MasterAddr: master, Trace: tcfg})
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +296,7 @@ func newClient(master string, cfg config.Config) (*client.Client, error) {
 
 func runAlgo(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	master, cfg := commonFlags(fs)
+	master, cfg, tcfg := commonFlags(fs)
 	algo := fs.String("algo", "pagerank", "algorithm: pagerank, ppr, wcc, bfs, sssp, degree")
 	async := fs.Bool("async", false, "asynchronous execution (wcc/bfs/sssp only)")
 	steps := fs.Uint("steps", 0, "max supersteps (0 = program default)")
@@ -263,7 +306,7 @@ func runAlgo(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := newClient(*master, *cfg)
+	c, err := newClient(*master, *cfg, tcfg)
 	if err != nil {
 		return err
 	}
@@ -286,11 +329,11 @@ func runAlgo(args []string) error {
 
 func runSeal(args []string) error {
 	fs := flag.NewFlagSet("seal", flag.ExitOnError)
-	master, cfg := commonFlags(fs)
+	master, cfg, tcfg := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := newClient(*master, *cfg)
+	c, err := newClient(*master, *cfg, tcfg)
 	if err != nil {
 		return err
 	}
@@ -305,13 +348,13 @@ func runSeal(args []string) error {
 
 func runQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	master, cfg := commonFlags(fs)
+	master, cfg, tcfg := commonFlags(fs)
 	vertex := fs.Uint64("vertex", 0, "vertex to query")
 	asFloat := fs.Bool("float", false, "interpret the result as float64 (pagerank)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := newClient(*master, *cfg)
+	c, err := newClient(*master, *cfg, tcfg)
 	if err != nil {
 		return err
 	}

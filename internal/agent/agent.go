@@ -23,6 +23,7 @@ import (
 	"elga/internal/route"
 	"elga/internal/sketch"
 	"elga/internal/stats"
+	"elga/internal/trace"
 	"elga/internal/transport"
 	"elga/internal/wire"
 )
@@ -44,6 +45,9 @@ type Options struct {
 	// phase histograms for the /metrics endpoint. Nil leaves every handle
 	// nil (observation points become single branches).
 	Metrics *metrics.Registry
+	// Trace configures distributed tracing; nil resolves from the
+	// environment (trace.FromEnv), so every layer honours one Config.
+	Trace *trace.Config
 }
 
 // Validate reports option errors before any resource is allocated.
@@ -208,6 +212,16 @@ type Agent struct {
 	m               agentMetrics
 	tickCount       uint64
 	lastRetransmits uint64
+
+	// Distributed tracing (nil tracer = off, one branch per touch point).
+	// phaseSpan covers Advance-to-vote processing; barrierSpan covers the
+	// vote-to-next-Advance idle that attributes barrier wait per agent per
+	// superstep. pendingAdvCtx parks the trace context alongside
+	// pendingAdv so a replayed Advance keeps its causal link.
+	tracer        *trace.Tracer
+	phaseSpan     trace.ActiveSpan
+	barrierSpan   trace.ActiveSpan
+	pendingAdvCtx trace.SpanContext
 }
 
 // Start boots an agent: it discovers the directories via the master,
@@ -238,6 +252,12 @@ func Start(opts Options) (*Agent, error) {
 		reqToGroups: make(map[uint32][]*ackGroup),
 		done:        make(chan struct{}),
 	}
+	// The tracer exists before metrics registration (its drop counter is
+	// scraped through a closure) and before any packet flows; its proc
+	// name is finalized once the join allocates the agent ID.
+	tcfg := trace.Resolve(opts.Trace)
+	tcfg.Apply()
+	a.tracer = trace.NewTracer("agent", tcfg)
 	a.initMetrics(opts.Metrics)
 	// Directories register with the master concurrently with agent
 	// startup, so an empty list is retried until the deadline rather
@@ -295,8 +315,23 @@ func Start(opts Options) (*Agent, error) {
 		return nil, fmt.Errorf("agent: join reply: %w", err)
 	}
 	a.id = join.AgentID
+	a.tracer.SetProc(fmt.Sprintf("agent-%d", a.id))
 	go a.runLoop(join.View)
 	return a, nil
+}
+
+// Tracer exposes the agent's span tracer (nil when tracing is off) for
+// tests and fault handlers that force flight-recorder dumps.
+func (a *Agent) Tracer() *trace.Tracer { return a.tracer }
+
+// RequestFlightDump asks the event loop to dump the flight recorder.
+// Fault paths (lease-sweep eviction noticed elsewhere, chaos Kill) call
+// this instead of dumping directly: the request rides Node.Inject onto
+// the single-threaded loop — the same route timer ticks take to avoid
+// the faulty network — so it cannot race an in-flight Close (Inject
+// fails cleanly once the node is closed).
+func (a *Agent) RequestFlightDump(reason string) {
+	_ = a.node.Inject(wire.TTick, []byte(reason))
 }
 
 // Addr returns the agent's dialable address.
@@ -346,6 +381,12 @@ func (a *Agent) runLoop(initial *wire.View) {
 			break
 		}
 	}
+	// Ship whatever sampled spans are still pending while the node may
+	// still deliver them. The flight recorder is NOT dumped here: a
+	// graceful exit is not a post-mortem, and routine dumps would spam
+	// stderr on every traced shutdown. Fault paths (eviction, kill)
+	// dump explicitly before this point.
+	a.shipSpans()
 	_ = a.node.SendFrame(a.dirAddr, a.node.NewFrame(wire.TUnsubscribe))
 	if a.stopped.CompareAndSwap(false, true) {
 		a.node.Close()
@@ -379,24 +420,35 @@ func (a *Agent) handlePacket(pkt *wire.Packet) bool {
 		a.node.Ack(pkt)
 	case wire.TAdvance:
 		if adv, err := wire.DecodeAdvance(pkt.Payload); err == nil {
-			a.handleAdvance(adv)
+			a.handleAdvance(adv, pkt.Ctx)
 		}
 		a.node.Ack(pkt)
 	case wire.TAlgoDone:
 		a.handleAlgoDone(pkt)
 		a.node.Ack(pkt)
+		// Flush completed spans promptly at run end rather than waiting
+		// out the tick cadence — the collector wants the final steps.
+		a.shipSpans()
 	case wire.TBatchOpen:
 		a.handleBatchOpen()
 		a.node.Ack(pkt)
 	case wire.TTick:
+		// A payload-bearing tick is an injected flight-dump request (see
+		// RequestFlightDump), serialized here so it cannot race Close.
+		if len(pkt.Payload) > 0 {
+			a.tracer.DumpFlight(string(pkt.Payload))
+			return false
+		}
 		// Self-addressed heartbeat tick: renew the lease from the event
 		// loop, where id/epoch/leaving are safe to read. Every fourth
 		// tick piggybacks a load report so the directory's autoscaler
-		// sees queue pressure and fault signals between supersteps.
+		// sees queue pressure and fault signals between supersteps;
+		// completed trace spans ship on the same cadence.
 		a.sendHeartbeat()
 		a.tickCount++
 		if a.tickCount%4 == 0 {
 			a.sendLoadMetrics()
+			a.shipSpans()
 		}
 	case wire.TQuery:
 		a.handleQuery(pkt)
@@ -531,6 +583,14 @@ func (a *Agent) maybeReady() {
 	r.readySent = true
 	r.votedAt = time.Now()
 	a.sendReady(r.step, r.phase, 0)
+	// The phase span closes at the vote; the barrier-wait span opens under
+	// it and runs until the next Advance lands (handleAdvance ends it) —
+	// per-agent, per-superstep barrier attribution.
+	if a.phaseSpan.Recording() {
+		a.phaseSpan.End()
+		a.barrierSpan = a.tracer.StartChild("barrier-wait", a.phaseSpan)
+		a.phaseSpan = trace.ActiveSpan{}
+	}
 	// Reset per-phase accumulators after voting; combine-phase votes
 	// report only combine-phase contributions.
 	r.activeNext = 0
@@ -590,6 +650,20 @@ func (a *Agent) sendLoadMetrics() {
 	rexmits := a.node.Stats().Retransmits
 	a.sendMetric(autoscale.MetricRetransmits, float64(rexmits-a.lastRetransmits))
 	a.lastRetransmits = rexmits
+}
+
+// shipSpans drains the tracer's sampled-span backlog to the coordinator
+// as one lossy TSpanBatch — same delivery class as TMetric: a lost batch
+// costs visibility, never correctness, and the tracer's bounded pending
+// queue plus drop counter absorb any backpressure.
+func (a *Agent) shipSpans() {
+	batch := a.tracer.TakeBatch()
+	if batch == nil {
+		return
+	}
+	sb := wire.SpanBatch{Proc: a.tracer.Proc(), Spans: batch}
+	_ = a.node.SendFrame(a.coordAddr, wire.AppendSpanBatch(
+		a.node.NewFrameHint(wire.TSpanBatch, 16+64*len(batch)), &sb))
 }
 
 // sendMetric pushes one autoscaler sample to the coordinator.

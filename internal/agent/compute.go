@@ -84,8 +84,10 @@ func (a *Agent) replayParkedAdvance() {
 		return
 	}
 	a.pendingAdv = nil
+	tctx := a.pendingAdvCtx
+	a.pendingAdvCtx = trace.SpanContext{}
 	a.trace("replay-advance run=%d step=%d phase=%d", adv.RunID, adv.Step, adv.Phase)
-	a.handleAdvance(adv)
+	a.handleAdvance(adv, tctx)
 }
 
 // handleAlgoDone tears down the run and applies changes buffered while the
@@ -100,6 +102,12 @@ func (a *Agent) handleAlgoDone(pkt *wire.Packet) {
 		return
 	}
 	a.trace("algo-done run=%d", done.RunID)
+	// Retransmission can reorder TAlgoDone ahead of the halting Advance;
+	// close any phase/barrier span still open so neither outlives the run.
+	a.phaseSpan.End()
+	a.phaseSpan = trace.ActiveSpan{}
+	a.barrierSpan.End()
+	a.barrierSpan = trace.ActiveSpan{}
 	a.run = nil
 	a.pendingAdv = nil
 	// Free per-run message state.
@@ -108,7 +116,11 @@ func (a *Agent) handleAlgoDone(pkt *wire.Packet) {
 	a.flushBuffered()
 }
 
-func (a *Agent) handleAdvance(adv *wire.Advance) {
+// handleAdvance drives a phase transition. tctx is the distributed trace
+// context the Advance frame carried (zero when tracing is off): the
+// coordinator's step span, under which this agent's phase and
+// barrier-wait spans link.
+func (a *Agent) handleAdvance(adv *wire.Advance, tctx trace.SpanContext) {
 	if adv.Phase == wire.PhaseMigrate {
 		// Migration-complete broadcast: leavers may exit once drained.
 		// When the whole membership left at once there is no destination
@@ -130,12 +142,17 @@ func (a *Agent) handleAdvance(adv *wire.Advance) {
 		if !adv.Halt && adv.RunID != 0 && (r == nil || adv.RunID > r.id) {
 			a.trace("park-advance run=%d step=%d phase=%d", adv.RunID, adv.Step, adv.Phase)
 			a.pendingAdv = adv
+			a.pendingAdvCtx = tctx
 		}
 		return
 	}
 	if adv.Halt {
 		// The directory closes runs with a halting Advance followed by
-		// TAlgoDone; state is retained there.
+		// TAlgoDone; state is retained there. The barrier-wait span from
+		// the final vote ends on this boundary — otherwise it would
+		// dangle into the next run and record the inter-run gap.
+		a.barrierSpan.End()
+		a.barrierSpan = trace.ActiveSpan{}
 		return
 	}
 	if adv.Phase == wire.PhaseAsyncProbe {
@@ -150,11 +167,14 @@ func (a *Agent) handleAdvance(adv *wire.Advance) {
 	r.readySent = false
 	r.phaseStart = time.Now()
 	// The gap between our vote and this Advance is barrier idle time —
-	// the straggler signal the phase histograms can't show.
+	// the straggler signal the phase histograms can't show. The
+	// barrier-wait span opened at the vote closes on the same boundary.
 	if !r.votedAt.IsZero() {
 		a.m.barrierWait.Observe(r.phaseStart.Sub(r.votedAt).Seconds())
 		r.votedAt = time.Time{}
 	}
+	a.barrierSpan.End()
+	a.barrierSpan = trace.ActiveSpan{}
 	if adv.Phase == wire.PhaseCompute {
 		r.splitWork = false
 	}
@@ -162,13 +182,18 @@ func (a *Agent) handleAdvance(adv *wire.Advance) {
 	// when empty) so nothing is lost.
 	a.phaseGate = &ackGroup{}
 	var sp trace.Span
-	if trace.Enabled() {
-		name := "compute"
-		if adv.Phase == wire.PhaseCombine {
-			name = "combine"
-		}
-		sp = trace.StartSpan(fmt.Sprintf("a%d %s step=%d", a.id, name, adv.Step))
+	phaseName := "compute"
+	if adv.Phase == wire.PhaseCombine {
+		phaseName = "combine"
 	}
+	if trace.Enabled() {
+		sp = trace.StartSpan(fmt.Sprintf("a%d %s step=%d", a.id, phaseName, adv.Step))
+	}
+	// The distributed phase span links under the coordinator's step span
+	// (tctx rode the Advance frame) and runs until the barrier vote in
+	// maybeReady — which may fire here or later, once the gate drains.
+	a.phaseSpan.End() // close any dangling span from an interrupted phase
+	a.phaseSpan = a.tracer.StartRemote(phaseName, tctx)
 	switch adv.Phase {
 	case wire.PhaseCompute:
 		a.processCompute()

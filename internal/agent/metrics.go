@@ -53,4 +53,9 @@ func (a *Agent) initMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(a.vertexCount.Load()) })
 	reg.GaugeFunc("elga_agent_edge_copies", "Locally stored edge copies.", lbl,
 		func() float64 { return float64(a.copyCount.Load()) })
+	// Backpressure counter for span shipping: sampled spans discarded
+	// because the tracer's pending batch was full. Nil-tracer safe.
+	reg.CounterFunc("elga_trace_dropped_spans_total",
+		"Sampled trace spans dropped before shipping (backpressure).", lbl,
+		func() uint64 { return a.tracer.Dropped() })
 }

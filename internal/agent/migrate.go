@@ -39,6 +39,13 @@ func (a *Agent) handleView(v *wire.View) {
 		// We are being removed: everything must leave (§3.4.3, "it
 		// evaluates its edges normally and determines they all need to
 		// leave").
+		if !a.leaving {
+			// First sight of our own eviction (lease sweep or forced
+			// removal): dump the flight recorder while the recent spans
+			// still tell the story. We are already on the event loop, so
+			// the dump cannot race Close.
+			a.tracer.DumpFlight("evicted")
+		}
 		a.leaving = true
 	}
 	// Mastership moves with the membership: forget which masters were

@@ -15,6 +15,7 @@ import (
 	"elga/internal/metrics"
 	"elga/internal/route"
 	"elga/internal/stats"
+	"elga/internal/trace"
 	"elga/internal/transport"
 	"elga/internal/wire"
 )
@@ -30,6 +31,9 @@ type Options struct {
 	// Metrics, when non-nil, registers the client's query counters and
 	// transport stats for the /metrics endpoint.
 	Metrics *metrics.Registry
+	// Trace configures distributed tracing; nil resolves from the
+	// environment (trace.FromEnv).
+	Trace *trace.Config
 }
 
 // Validate reports option errors before any resource is allocated.
@@ -78,6 +82,7 @@ type Client struct {
 	salt      uint64
 	queries   atomic.Uint64
 	retried   atomic.Uint64
+	tracer    *trace.Tracer
 }
 
 // Start boots a client proxy and waits for a directory view.
@@ -90,6 +95,9 @@ func Start(opts Options) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{opts: opts, node: node, router: route.New(opts.Config)}
+	tcfg := trace.Resolve(opts.Trace)
+	tcfg.Apply()
+	c.tracer = trace.NewTracer("client", tcfg)
 	if opts.Metrics != nil {
 		node.RegisterMetrics(opts.Metrics, "client")
 		lbl := metrics.Labels{"addr": node.Addr()}
@@ -217,13 +225,32 @@ func (c *Client) Run(spec RunSpec) (*wire.RunStats, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Minute
 	}
+	start := time.Now()
 	reply, err := c.node.RequestFrame(c.coordAddr, c.runFrame(spec), timeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: run %s: %w", spec.Algo, err)
 	}
+	c.linkRunSpan(reply.Ctx, start)
 	stats, err := wire.DecodeRunStats(reply.Payload)
 	wire.ReleasePacket(reply)
 	return stats, err
+}
+
+// linkRunSpan records the client's side of a run retroactively: the run's
+// trace context arrives only on the TRunReply frame, so the span is
+// started at the remembered request time and closed now, then shipped to
+// the coordinator so the collector sees client→directory→agent under one
+// trace ID.
+func (c *Client) linkRunSpan(ctx trace.SpanContext, start time.Time) {
+	if c.tracer == nil {
+		return
+	}
+	c.tracer.StartRemoteAt("client-run", ctx, start).End()
+	if batch := c.tracer.TakeBatch(); len(batch) > 0 {
+		sb := wire.SpanBatch{Proc: c.tracer.Proc(), Spans: batch}
+		_ = c.node.SendFrame(c.coordAddr, wire.AppendSpanBatch(
+			c.node.NewFrameHint(wire.TSpanBatch, 16+64*len(batch)), &sb))
+	}
 }
 
 // RunWith is Run under an explicit retry policy. A retried submission
@@ -237,11 +264,13 @@ func (c *Client) RunWith(spec RunSpec, co CallOpts) (*wire.RunStats, error) {
 	if timeout <= 0 {
 		timeout = co.timeout(&c.opts.Config)
 	}
+	start := time.Now()
 	reply, err := c.node.RequestRetry(c.coordAddr, co.Retry, timeout,
 		func() []byte { return c.runFrame(spec) })
 	if err != nil {
 		return nil, fmt.Errorf("client: run %s: %w", spec.Algo, err)
 	}
+	c.linkRunSpan(reply.Ctx, start)
 	stats, err := wire.DecodeRunStats(reply.Payload)
 	wire.ReleasePacket(reply)
 	return stats, err

@@ -8,6 +8,7 @@ package cluster
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"elga/internal/agent"
@@ -19,6 +20,8 @@ import (
 	"elga/internal/metrics"
 	"elga/internal/stats"
 	"elga/internal/streamer"
+	"elga/internal/trace"
+	"elga/internal/trace/collect"
 	"elga/internal/transport"
 	"elga/internal/wire"
 )
@@ -52,6 +55,11 @@ type Options struct {
 	// the whole cluster on that address (":0" picks a free port; read it
 	// back with MetricsAddr()).
 	MetricsAddr string
+	// Trace configures distributed tracing for every participant; nil
+	// resolves from the environment (trace.FromEnv). When enabled, the
+	// cluster hosts a span collector — read it back with Collector(),
+	// WriteTrace, or TraceSummary.
+	Trace *trace.Config
 }
 
 // Cluster is a running ElGA deployment.
@@ -66,6 +74,11 @@ type Cluster struct {
 	reg     *metrics.Registry
 	srv     *metrics.Server
 	signals *autoscale.SignalSet
+	// tcfg is the resolved trace configuration shared by every
+	// participant; collector assembles their shipped spans (nil when
+	// tracing is off).
+	tcfg      trace.Config
+	collector *collect.Collector
 }
 
 // New boots a cluster and waits until every initial agent has joined.
@@ -95,6 +108,23 @@ func New(opts Options) (*Cluster, error) {
 	// backpressure, and fault signals without wiring anything. 30s is the
 	// paper's §4.9 averaging window.
 	c.signals = autoscale.NewSignalSet(30 * time.Second)
+	// One resolved trace config feeds every participant, so a single
+	// Options.Trace (or ELGA_TRACE in the environment) is the only switch.
+	c.tcfg = trace.Resolve(opts.Trace)
+	var spanSink func(proc string, spans []trace.SpanRecord)
+	if c.tcfg.Enabled {
+		c.collector = collect.New()
+		spanSink = func(proc string, spans []trace.SpanRecord) {
+			c.collector.Add(proc, spans)
+			for _, s := range spans {
+				// The coordinator's root span closing marks the run's
+				// timeline complete; late batches after it are counted.
+				if s.Name == "run" && s.Parent == 0 {
+					c.collector.MarkComplete(s.TraceHi, s.TraceLo)
+				}
+			}
+		}
+	}
 	userMH := opts.MetricHandler
 	mh := func(m *wire.Metric) {
 		c.signals.Observe(time.Now(), m.Name, m.Value)
@@ -117,15 +147,19 @@ func New(opts Options) (*Cluster, error) {
 	c.master = m
 	for i := 0; i < opts.Directories; i++ {
 		var dirMH func(*wire.Metric)
+		var dirSS func(string, []trace.SpanRecord)
 		if i == 0 {
 			dirMH = mh
+			dirSS = spanSink
 		}
 		d, err := directory.Start(directory.Options{
 			Config:        opts.Config,
 			Network:       net,
 			MasterAddr:    m.Addr(),
 			MetricHandler: dirMH,
+			SpanSink:      dirSS,
 			Metrics:       c.reg,
+			Trace:         &c.tcfg,
 		})
 		if err != nil {
 			c.Shutdown()
@@ -139,7 +173,7 @@ func New(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 	}
-	ctl, err := client.Start(client.Options{Config: opts.Config, Network: net, MasterAddr: m.Addr(), Metrics: c.reg})
+	ctl, err := client.Start(client.Options{Config: opts.Config, Network: net, MasterAddr: m.Addr(), Metrics: c.reg, Trace: &c.tcfg})
 	if err != nil {
 		c.Shutdown()
 		return nil, err
@@ -179,6 +213,7 @@ func (c *Cluster) AddAgent() (*agent.Agent, error) {
 		MasterAddr: c.master.Addr(),
 		DirIndex:   len(c.agents),
 		Metrics:    c.reg,
+		Trace:      &c.tcfg,
 	})
 	if err != nil {
 		return nil, err
@@ -219,7 +254,17 @@ func (c *Cluster) KillAgent(i int) error {
 	}
 	a := c.agents[i]
 	c.agents = append(c.agents[:i], c.agents[i+1:]...)
-	return a.Close()
+	// Force the flight recorder out before the node dies. The request is
+	// injected through the event loop (never the faulty network), so it
+	// cannot race the agent's in-flight Close.
+	a.RequestFlightDump("kill")
+	err := a.Close()
+	// Close joins the event loop, so the tracer is no longer shared: if
+	// the injected request lost the race with the node closing, this
+	// direct call dumps now (the once-guard de-dups the common case
+	// where the loop already served it).
+	a.Tracer().DumpFlight("kill")
+	return err
 }
 
 // Epoch returns the view epoch as seen by the control client.
@@ -277,6 +322,27 @@ func (c *Cluster) MetricsAddr() string {
 // and query rates, queue depths, migration bytes, retransmits).
 func (c *Cluster) Signals() *autoscale.SignalSet { return c.signals }
 
+// Collector returns the span collector, or nil when tracing is off.
+func (c *Cluster) Collector() *collect.Collector { return c.collector }
+
+// WriteTrace exports every assembled timeline as Chrome trace-event JSON
+// (load it in Perfetto or chrome://tracing).
+func (c *Cluster) WriteTrace(w io.Writer) error {
+	if c.collector == nil {
+		return fmt.Errorf("cluster: tracing is not enabled")
+	}
+	return c.collector.WriteChromeTrace(w)
+}
+
+// TraceSummary returns the collector's text critical-path summary, or ""
+// when tracing is off.
+func (c *Cluster) TraceSummary() string {
+	if c.collector == nil {
+		return ""
+	}
+	return c.collector.Summary()
+}
+
 // NewStreamer creates a streamer attached to this cluster.
 func (c *Cluster) NewStreamer() (*streamer.Streamer, error) {
 	s, err := streamer.Start(streamer.Options{
@@ -295,7 +361,7 @@ func (c *Cluster) NewStreamer() (*streamer.Streamer, error) {
 // NewClient creates a client proxy attached to this cluster.
 func (c *Cluster) NewClient() (*client.Client, error) {
 	cl, err := client.Start(client.Options{
-		Config: c.opts.Config, Network: c.net, MasterAddr: c.master.Addr(), Metrics: c.reg,
+		Config: c.opts.Config, Network: c.net, MasterAddr: c.master.Addr(), Metrics: c.reg, Trace: &c.tcfg,
 	})
 	if err != nil {
 		return nil, err

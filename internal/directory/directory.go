@@ -30,9 +30,15 @@ type Options struct {
 	// MetricHandler, if set, receives autoscaler metric samples on the
 	// directory's event loop (coordinator only).
 	MetricHandler func(*wire.Metric)
+	// SpanSink, if set, receives shipped trace-span batches on the
+	// directory's event loop (coordinator only) — the collector hookup.
+	SpanSink func(proc string, spans []trace.SpanRecord)
 	// Metrics, when non-nil, registers this directory's counters, view
 	// gauges, and superstep histogram for the /metrics endpoint.
 	Metrics *metrics.Registry
+	// Trace configures distributed tracing; nil resolves from the
+	// environment (trace.FromEnv).
+	Trace *trace.Config
 }
 
 // Validate reports option errors before any resource is allocated.
@@ -100,6 +106,11 @@ type Directory struct {
 	// stepHist is the optional cluster-level superstep duration histogram
 	// (nil without a registry).
 	stepHist *metrics.Histogram
+	// statSpanBatches counts TSpanBatch packets folded into the span sink.
+	statSpanBatches atomic.Uint64
+	// tracer mints the coordinator's run and step spans — the roots every
+	// agent span links under. Nil when tracing is off.
+	tracer *trace.Tracer
 }
 
 type migrationState struct {
@@ -128,6 +139,11 @@ type runState struct {
 	start      time.Time
 	stepStart  time.Time
 	stepTimes  []time.Duration
+	// runSpan roots the run's trace; stepSpan covers one superstep
+	// (compute + combine) and parents the Advance broadcasts, so agent
+	// phase spans link under the step they belong to.
+	runSpan  trace.ActiveSpan
+	stepSpan trace.ActiveSpan
 
 	// Asynchronous-mode quiescence probing.
 	probeSeq     uint32
@@ -166,6 +182,9 @@ func Start(opts Options) (*Directory, error) {
 		leases: make(map[uint64]time.Time),
 		sk:     opts.Config.NewSketch(),
 	}
+	tcfg := trace.Resolve(opts.Trace)
+	tcfg.Apply()
+	d.tracer = trace.NewTracer("dir", tcfg)
 	d.initMetrics(opts.Metrics)
 	// Registration is idempotent (the master dedups by address), so it is
 	// safe to retry through transient faults.
@@ -186,6 +205,7 @@ func Start(opts Options) (*Directory, error) {
 	d.coordAddr = dirs[0]
 	d.coordinator = d.coordAddr == node.Addr()
 	if d.coordinator {
+		d.tracer.SetProc("coordinator")
 		d.lastView = wire.EncodeView(d.view())
 		d.scheduleLeaseSweep()
 	} else {
@@ -217,6 +237,10 @@ func (d *Directory) initMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(d.statAgents.Load()) })
 	reg.GaugeFunc("elga_dir_epoch", "Current view epoch.", lbl,
 		func() float64 { return float64(d.statEpoch.Load()) })
+	reg.CounterFunc("elga_dir_span_batches_total", "TSpanBatch packets folded into the span sink.", lbl,
+		d.statSpanBatches.Load)
+	reg.CounterFunc("elga_trace_dropped_spans_total", "Sampled trace spans dropped before shipping (backpressure).", lbl,
+		func() uint64 { return d.tracer.Dropped() })
 	d.stepHist = reg.Histogram("elga_dir_superstep_seconds",
 		"Whole-superstep wall time observed at the coordinator barrier.",
 		nil, metrics.DurationBuckets)
@@ -281,8 +305,26 @@ func (d *Directory) broadcastView() {
 // publishAdvance broadcasts an Advance through the reusable scratch
 // payload; Publish copies it per subscriber before returning.
 func (d *Directory) publishAdvance(a *wire.Advance) {
+	d.publishAdvanceCtx(a, trace.SpanContext{})
+}
+
+// publishAdvanceCtx is publishAdvance carrying a trace context on the
+// frame header, so agent phase spans link under the coordinator's step
+// span. A zero ctx degrades to the plain header.
+func (d *Directory) publishAdvanceCtx(a *wire.Advance, ctx trace.SpanContext) {
 	d.scratch = wire.AppendAdvance(d.scratch[:0], a)
-	d.pub.Publish(wire.TAdvance, d.scratch)
+	d.pub.PublishCtx(wire.TAdvance, d.scratch, ctx)
+}
+
+// shipSpans hands the directory's own completed spans straight to the
+// span sink (coordinator-local: no wire hop needed).
+func (d *Directory) shipSpans() {
+	if d.opts.SpanSink == nil {
+		return
+	}
+	if batch := d.tracer.TakeBatch(); len(batch) > 0 {
+		d.opts.SpanSink(d.tracer.Proc(), batch)
+	}
 }
 
 // publishAlgoStart broadcasts a run announcement through scratch.
@@ -407,6 +449,13 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 				d.opts.MetricHandler(m)
 			}
 		}
+	case wire.TSpanBatch:
+		if d.opts.SpanSink != nil {
+			if sb, err := wire.DecodeSpanBatch(pkt.Payload); err == nil {
+				d.statSpanBatches.Add(1)
+				d.opts.SpanSink(sb.Proc, sb.Spans)
+			}
+		}
 	case wire.TDirectoryList:
 		// Peer directories fan out on their own; nothing to track here.
 	case wire.TTick:
@@ -416,6 +465,7 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 			sp := trace.StartSpan("dir lease-sweep")
 			d.sweepLeases(time.Now())
 			sp.End()
+			d.shipSpans() // periodic flush of the coordinator's own spans
 			d.scheduleLeaseSweep()
 		} else {
 			d.sendAsyncProbe()
@@ -594,9 +644,11 @@ func (d *Directory) maybeFinishSeal() {
 	d.maybeStartRun()
 }
 
-// replyRunStats answers a TRunAlgo request and releases it.
-func (d *Directory) replyRunStats(pkt *wire.Packet, s *wire.RunStats) {
-	_ = d.node.ReplyFrame(pkt, wire.AppendRunStats(d.node.NewFrame(wire.TRunReply), s))
+// replyRunStats answers a TRunAlgo request and releases it. A valid ctx
+// rides the reply frame so the client can link its own span into the
+// run's coordinator-rooted trace.
+func (d *Directory) replyRunStats(pkt *wire.Packet, s *wire.RunStats, ctx trace.SpanContext) {
+	_ = d.node.ReplyFrame(pkt, wire.AppendRunStats(d.node.NewFrameCtx(wire.TRunReply, ctx), s))
 	wire.ReleasePacket(pkt)
 }
 
@@ -608,12 +660,12 @@ func (d *Directory) maybeStartRun() {
 	d.pendingRuns = d.pendingRuns[1:]
 	spec, err := wire.DecodeAlgoStart(pkt.Payload)
 	if err != nil {
-		d.replyRunStats(pkt, &wire.RunStats{})
+		d.replyRunStats(pkt, &wire.RunStats{}, trace.SpanContext{})
 		return
 	}
 	prog, err := algorithm.New(spec.Algo)
 	if err != nil {
-		d.replyRunStats(pkt, &wire.RunStats{})
+		d.replyRunStats(pkt, &wire.RunStats{}, trace.SpanContext{})
 		return
 	}
 	d.nextRunID++
@@ -628,7 +680,7 @@ func (d *Directory) maybeStartRun() {
 	if spec.Async && !prog.HaltOnQuiescence() {
 		// Asynchronous execution requires a monotone quiescence-halting
 		// program (WCC/BFS/SSSP); reject others.
-		d.replyRunStats(pkt, &wire.RunStats{})
+		d.replyRunStats(pkt, &wire.RunStats{}, trace.SpanContext{})
 		return
 	}
 	now := time.Now()
@@ -636,6 +688,9 @@ func (d *Directory) maybeStartRun() {
 		req: pkt, spec: spec, quiesce: prog.HaltOnQuiescence(),
 		votes: make(map[uint64]bool), start: now, stepStart: now,
 	}
+	// Root the run's trace here: the coordinator owns the trace ID, and
+	// every Advance carries a step-span context for agents to link under.
+	d.run.runSpan = d.tracer.StartRoot("run", spec.RunID)
 	d.publishAlgoStart(spec)
 	if spec.Async {
 		// No superstep driving: agents compute as messages arrive; the
@@ -647,9 +702,10 @@ func (d *Directory) maybeStartRun() {
 		return
 	}
 	d.run.phase = wire.PhaseCompute
-	d.publishAdvance(&wire.Advance{
+	d.run.stepSpan = d.tracer.StartChild("step", d.run.runSpan.WithStep(0))
+	d.publishAdvanceCtx(&wire.Advance{
 		Step: 0, Phase: wire.PhaseCompute, N: d.n, RunID: spec.RunID,
-	})
+	}, d.run.stepSpan.Context())
 	if len(d.agents) == 0 {
 		d.finishRun(false)
 	}
@@ -890,13 +946,15 @@ func (d *Directory) finishPhase() {
 		r.votes = make(map[uint64]bool)
 		r.splitAny = false
 		r.mastersSum = 0 // recounted next compute phase
-		d.publishAdvance(&wire.Advance{
+		d.publishAdvanceCtx(&wire.Advance{
 			Step: r.step, Phase: wire.PhaseCombine, N: d.n, RunID: r.spec.RunID,
-		})
+		}, r.stepSpan.Context())
 		return
 	}
 	// Superstep complete.
 	trace.Printf("dir step-done run=%d step=%d active=%d residual=%g", r.spec.RunID, r.step, r.activeSum, r.residual)
+	r.stepSpan.End()
+	r.stepSpan = trace.ActiveSpan{}
 	stepDur := time.Since(r.stepStart)
 	r.stepTimes = append(r.stepTimes, stepDur)
 	d.stepHist.Observe(stepDur.Seconds())
@@ -937,9 +995,10 @@ func (d *Directory) finishPhase() {
 		return
 	}
 	r.stepStart = time.Now()
-	d.publishAdvance(&wire.Advance{
+	r.stepSpan = d.tracer.StartChild("step", r.runSpan.WithStep(r.step))
+	d.publishAdvanceCtx(&wire.Advance{
 		Step: r.step, Phase: wire.PhaseCompute, N: d.n, RunID: r.spec.RunID,
-	})
+	}, r.stepSpan.Context())
 }
 
 func (d *Directory) resumeRun() {
@@ -951,9 +1010,10 @@ func (d *Directory) resumeRun() {
 	resume.Resume = true
 	d.publishAlgoStart(&resume)
 	r.stepStart = time.Now()
-	d.publishAdvance(&wire.Advance{
+	r.stepSpan = d.tracer.StartChild("step", r.runSpan.WithStep(r.step))
+	d.publishAdvanceCtx(&wire.Advance{
 		Step: r.step, Phase: wire.PhaseCompute, N: d.n, RunID: r.spec.RunID,
-	})
+	}, r.stepSpan.Context())
 }
 
 func (d *Directory) finishRun(converged bool) {
@@ -963,16 +1023,23 @@ func (d *Directory) finishRun(converged bool) {
 	if len(r.stepTimes) > 0 {
 		steps = uint32(len(r.stepTimes))
 	}
-	d.publishAdvance(&wire.Advance{
+	// Close the run's trace. The run context rides the halting Advance,
+	// the TAlgoDone broadcast, and the TRunReply so the client can link
+	// its own span into the same trace.
+	r.stepSpan.End()
+	runCtx := r.runSpan.Context()
+	d.publishAdvanceCtx(&wire.Advance{
 		Step: r.step, Phase: wire.PhaseCompute, Halt: true, N: d.n, RunID: r.spec.RunID,
-	})
+	}, runCtx)
 	d.scratch = wire.AppendAlgoDone(d.scratch[:0], &wire.AlgoDone{
 		RunID: r.spec.RunID, Steps: steps, Converged: converged,
 	})
-	d.pub.Publish(wire.TAlgoDone, d.scratch)
+	d.pub.PublishCtx(wire.TAlgoDone, d.scratch, runCtx)
+	r.runSpan.End()
 	d.replyRunStats(r.req, &wire.RunStats{
 		RunID: r.spec.RunID, Steps: steps, Converged: converged,
 		Wall: time.Since(r.start), StepTimes: r.stepTimes,
-	})
+	}, runCtx)
+	d.shipSpans()
 	d.advanceWork()
 }

@@ -8,6 +8,7 @@ import (
 	"elga/internal/cluster"
 	"elga/internal/gen"
 	"elga/internal/metrics"
+	"elga/internal/trace"
 )
 
 // PhaseSummary condenses one phase-duration histogram for the bench
@@ -54,13 +55,24 @@ func phaseSummary(s metrics.HistogramSnapshot) PhaseSummary {
 // multi-agent cluster with metrics enabled, so it bounds the
 // instrumentation's own allocation cost too.
 func MeasureSuperstepPerf(s Scale) (*SuperstepPerf, error) {
+	return measureSuperstep(s, &trace.Config{})
+}
+
+// MeasureSuperstepPerfTraced is MeasureSuperstepPerf with distributed
+// tracing enabled at 100% sampling — the tracing-on column of the
+// BENCH_<n>.json overhead comparison.
+func MeasureSuperstepPerfTraced(s Scale) (*SuperstepPerf, error) {
+	return measureSuperstep(s, &trace.Config{Enabled: true, Sample: 1})
+}
+
+func measureSuperstep(s Scale, tcfg *trace.Config) (*SuperstepPerf, error) {
 	nodes, steps := 4_000, uint32(10)
 	if s == Quick {
 		nodes, steps = 1_000, 5
 	}
 	el := gen.PreferentialAttachment(nodes, 6, 1001)
 	reg := metrics.NewRegistry()
-	c, err := cluster.New(cluster.Options{Config: baseConfig(), Agents: 4, Metrics: reg})
+	c, err := cluster.New(cluster.Options{Config: baseConfig(), Agents: 4, Metrics: reg, Trace: tcfg})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,138 @@
+package collect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"elga/internal/trace"
+)
+
+// chromeEvent is one record of the Chrome trace-event format ("JSON
+// Array Format"): ph "X" complete events plus "M" metadata naming the
+// per-participant lanes. ts and dur are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports every assembled trace as Chrome trace-event
+// JSON — load the file in chrome://tracing or ui.perfetto.dev. Each
+// participant gets its own pid lane (named by a process_name metadata
+// event); span args carry the trace/span/parent IDs and run/step epochs
+// so a slow span can be chased back through its causal chain.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	tls := c.Timelines()
+
+	// Stable pid assignment across the whole file: sorted proc names.
+	procs := map[string]int{}
+	var names []string
+	for _, tl := range tls {
+		for proc := range tl.Spans {
+			if _, ok := procs[proc]; !ok {
+				procs[proc] = 0
+				names = append(names, proc)
+			}
+		}
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		procs[name] = i + 1
+	}
+
+	events := make([]chromeEvent, 0, 16)
+	for _, name := range names {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: procs[name], Tid: 1,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, tl := range tls {
+		id := tl.TraceID()
+		for proc, spans := range tl.Spans {
+			for _, s := range spans {
+				events = append(events, chromeEvent{
+					Name: s.Name, Ph: "X", Pid: procs[proc], Tid: 1,
+					Ts:  float64(s.Start) / 1e3,
+					Dur: float64(s.Dur.Nanoseconds()) / 1e3,
+					Args: map[string]any{
+						"trace":  id,
+						"span":   fmt.Sprintf("%016x", s.SpanID),
+						"parent": fmt.Sprintf("%016x", s.Parent),
+						"run":    s.RunID,
+						"step":   s.Step,
+					},
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}
+
+// Summary renders the text critical path: per run and superstep, the
+// slowest participant for each span name, with barrier waits called out
+// as the attribution the histograms cannot give (which agent, which
+// step). Retry chains surface as repeated same-step spans.
+func (c *Collector) Summary() string {
+	var b strings.Builder
+	evicted, dropped := c.Dropped()
+	for _, tl := range c.Timelines() {
+		state := "incomplete"
+		if tl.Complete {
+			state = "complete"
+		}
+		total := 0
+		for _, spans := range tl.Spans {
+			total += len(spans)
+		}
+		fmt.Fprintf(&b, "run %d trace %s: %d spans from %d participants (%s)\n",
+			tl.RunID, tl.TraceID(), total, len(tl.Spans), state)
+
+		// slowest[step][name] -> (proc, span)
+		type worst struct {
+			proc string
+			span trace.SpanRecord
+		}
+		slowest := map[uint32]map[string]worst{}
+		var steps []uint32
+		for proc, spans := range tl.Spans {
+			for _, s := range spans {
+				m := slowest[s.Step]
+				if m == nil {
+					m = map[string]worst{}
+					slowest[s.Step] = m
+					steps = append(steps, s.Step)
+				}
+				if w, ok := m[s.Name]; !ok || s.Dur > w.span.Dur {
+					m[s.Name] = worst{proc: proc, span: s}
+				}
+			}
+		}
+		sort.Slice(steps, func(i, j int) bool { return steps[i] < steps[j] })
+		for _, step := range steps {
+			names := make([]string, 0, len(slowest[step]))
+			for name := range slowest[step] {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(&b, "  step %d:", step)
+			for _, name := range names {
+				w := slowest[step][name]
+				fmt.Fprintf(&b, " %s<=%s@%s", name, w.span.Dur.Round(10e3), w.proc)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "collector: %d traces evicted, %d spans dropped\n", evicted, dropped)
+	return b.String()
+}

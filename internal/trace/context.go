@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"sync/atomic"
+)
+
+// SpanContext is the compact trace context carried across processes on
+// wire frames: a 128-bit trace ID naming one causal timeline (one
+// algorithm run, normally rooted at the coordinator), the span ID of the
+// sender's open span (the remote parent), the run/superstep epoch the
+// frame belongs to, and a sampling bit. It is fixed-size and flat so the
+// wire layer can append it without length prefixes or allocation.
+type SpanContext struct {
+	TraceHi uint64
+	TraceLo uint64
+	SpanID  uint64
+	RunID   uint32
+	Step    uint32
+	Flags   uint8
+}
+
+// ContextWireLen is the encoded size of a SpanContext:
+// traceHi(8) traceLo(8) spanID(8) runID(4) step(4) flags(1).
+const ContextWireLen = 33
+
+// FlagSampled marks a context whose spans are shipped to the collector.
+// Unsampled contexts still propagate (the flight recorder records
+// locally) but are never batched to the coordinator.
+const FlagSampled uint8 = 1 << 0
+
+// Valid reports whether c carries a trace (a zero trace ID means "no
+// context on this frame").
+func (c SpanContext) Valid() bool { return c.TraceHi != 0 || c.TraceLo != 0 }
+
+// Sampled reports whether spans under this context should be exported.
+func (c SpanContext) Sampled() bool { return c.Flags&FlagSampled != 0 }
+
+// ErrShortContext reports a truncated wire context.
+var ErrShortContext = errors.New("trace: short span context")
+
+// Inject appends c's fixed-size wire encoding to dst and returns the
+// extended slice. The layout is little-endian and exactly ContextWireLen
+// bytes long.
+func Inject(dst []byte, c SpanContext) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, c.TraceHi)
+	dst = binary.LittleEndian.AppendUint64(dst, c.TraceLo)
+	dst = binary.LittleEndian.AppendUint64(dst, c.SpanID)
+	dst = binary.LittleEndian.AppendUint32(dst, c.RunID)
+	dst = binary.LittleEndian.AppendUint32(dst, c.Step)
+	return append(dst, c.Flags)
+}
+
+// Extract decodes a SpanContext injected at the start of b.
+func Extract(b []byte) (SpanContext, error) {
+	if len(b) < ContextWireLen {
+		return SpanContext{}, ErrShortContext
+	}
+	return SpanContext{
+		TraceHi: binary.LittleEndian.Uint64(b),
+		TraceLo: binary.LittleEndian.Uint64(b[8:]),
+		SpanID:  binary.LittleEndian.Uint64(b[16:]),
+		RunID:   binary.LittleEndian.Uint32(b[24:]),
+		Step:    binary.LittleEndian.Uint32(b[28:]),
+		Flags:   b[32],
+	}, nil
+}
+
+// idState drives a splitmix64 sequence for trace and span IDs: collision
+// resistance without locks, seeded once from the OS entropy pool so
+// concurrent processes on one host do not mint overlapping IDs.
+var idState atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(seed[:]))
+	}
+}
+
+// NewID mints a non-zero 64-bit identifier.
+func NewID() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanContextInjectExtract(t *testing.T) {
+	in := SpanContext{
+		TraceHi: 0x0102030405060708, TraceLo: 0x090a0b0c0d0e0f10,
+		SpanID: 0x1112131415161718, RunID: 99, Step: 12, Flags: FlagSampled,
+	}
+	buf := Inject(nil, in)
+	if len(buf) != ContextWireLen {
+		t.Fatalf("injected %d bytes, want %d", len(buf), ContextWireLen)
+	}
+	out, err := Extract(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+	if _, err := Extract(buf[:ContextWireLen-1]); err == nil {
+		t.Fatal("short extract accepted")
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := make(map[uint64]bool, 1000)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if id == 0 || seen[id] {
+			t.Fatalf("id %x zero or repeated at iteration %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	s := tr.StartRoot("x", 1)
+	if s.Recording() || s.Context().Valid() {
+		t.Fatal("nil tracer minted a live span")
+	}
+	s.End()
+	if b := tr.TakeBatch(); b != nil {
+		t.Fatalf("nil tracer produced a batch: %v", b)
+	}
+	if d := tr.DumpFlight("test"); d != nil {
+		t.Fatalf("nil tracer dumped: %v", d)
+	}
+	tr.SetProc("x")
+	if tr.Proc() != "" || tr.Dropped() != 0 {
+		t.Fatal("nil tracer has state")
+	}
+	if NewTracer("p", Config{}) != nil {
+		t.Fatal("disabled config built a tracer")
+	}
+}
+
+func TestTracerSpanLinkage(t *testing.T) {
+	tr := NewTracer("coordinator", Config{Enabled: true, Sample: 1})
+	root := tr.StartRoot("run", 7)
+	if !root.Context().Valid() || !root.Context().Sampled() {
+		t.Fatalf("root context %+v", root.Context())
+	}
+	step := tr.StartChild("step", root.WithStep(3))
+	if step.Context().TraceHi != root.Context().TraceHi || step.Context().TraceLo != root.Context().TraceLo {
+		t.Fatal("child switched traces")
+	}
+	if step.Context().Step != 3 {
+		t.Fatalf("step epoch %d, want 3", step.Context().Step)
+	}
+	remote := tr.StartRemote("compute", step.Context())
+	if remote.Context().SpanID == step.Context().SpanID {
+		t.Fatal("remote span reused parent's span ID")
+	}
+	remote.End()
+	step.End()
+	root.End()
+	batch := tr.TakeBatch()
+	if len(batch) != 3 {
+		t.Fatalf("batch has %d spans, want 3", len(batch))
+	}
+	byName := make(map[string]SpanRecord, 3)
+	for _, r := range batch {
+		byName[r.Name] = r
+	}
+	if byName["compute"].Parent != byName["step"].SpanID {
+		t.Fatal("compute span not linked under step span")
+	}
+	if byName["step"].Parent != byName["run"].SpanID {
+		t.Fatal("step span not linked under run span")
+	}
+	if byName["run"].Parent != 0 {
+		t.Fatal("run span has a parent")
+	}
+	if tr.TakeBatch() != nil {
+		t.Fatal("second TakeBatch not empty")
+	}
+}
+
+func TestTracerUnsampledSpansStayOutOfBatch(t *testing.T) {
+	tr := NewTracer("p", Config{Enabled: true, Sample: 0})
+	s := tr.StartRoot("run", 1)
+	if s.Context().Sampled() {
+		t.Fatal("Sample 0 produced a sampled root")
+	}
+	s.End()
+	if b := tr.TakeBatch(); b != nil {
+		t.Fatalf("unsampled span shipped: %v", b)
+	}
+	// The flight recorder records regardless of sampling.
+	if snap := tr.FlightSnapshot(); len(snap) != 1 || snap[0].Name != "run" {
+		t.Fatalf("flight snapshot %v", snap)
+	}
+}
+
+func TestTracerBackpressureDropsAndCounts(t *testing.T) {
+	tr := NewTracer("p", Config{Enabled: true, Sample: 1, FlightRecorder: 8})
+	for i := 0; i < maxPending+50; i++ {
+		tr.StartRoot("s", uint32(i)).End()
+	}
+	if got := tr.Dropped(); got != 50 {
+		t.Fatalf("dropped %d, want 50", got)
+	}
+	if got := len(tr.TakeBatch()); got != maxPending {
+		t.Fatalf("batch %d, want %d", got, maxPending)
+	}
+}
+
+func TestTracerStartRemoteAt(t *testing.T) {
+	tr := NewTracer("client", Config{Enabled: true, Sample: 1})
+	parent := tr.StartRoot("run", 1)
+	start := time.Now().Add(-250 * time.Millisecond)
+	tr.StartRemoteAt("client-run", parent.Context(), start).End()
+	batch := tr.TakeBatch()
+	if len(batch) != 1 {
+		t.Fatalf("batch %v", batch)
+	}
+	if batch[0].Start != start.UnixNano() {
+		t.Fatalf("span started %d, want %d", batch[0].Start, start.UnixNano())
+	}
+	if batch[0].Dur < 250*time.Millisecond {
+		t.Fatalf("span duration %v shorter than the retroactive interval", batch[0].Dur)
+	}
+}
+
+func TestTracerDumpFlightOnce(t *testing.T) {
+	old := SetSink(NewRingSink(64))
+	defer SetSink(old)
+	tr := NewTracer("agent-1", Config{Enabled: true, Sample: 1, FlightRecorder: 4})
+	for i := 0; i < 6; i++ {
+		tr.StartRoot("s", uint32(i)).End()
+	}
+	first := tr.DumpFlight("evicted")
+	if len(first) != 4 {
+		t.Fatalf("dump returned %d spans, want the ring's 4", len(first))
+	}
+	ring := NewRingSink(64)
+	SetSink(ring)
+	if again := tr.DumpFlight("kill"); len(again) != 4 {
+		t.Fatalf("second dump snapshot %d", len(again))
+	}
+	if ring.Total() != 0 {
+		t.Fatal("second dump emitted events; the once-guard failed")
+	}
+}
+
+// TestTracerConcurrent hammers one Tracer from many goroutines — spans
+// opening and closing, batches draining, flight dumps — and relies on the
+// race detector to catch unsynchronized state.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer("p", Config{Enabled: true, Sample: 1, FlightRecorder: 32})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				root := tr.StartRoot("root", uint32(g))
+				tr.StartRemote("child", root.Context()).End()
+				root.End()
+			}
+		}(g)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			tr.TakeBatch()
+			tr.FlightSnapshot()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		tr.DumpFlight("concurrent")
+		tr.SetProc("renamed")
+		_ = tr.Proc()
+	}()
+	wg.Wait()
+}
+
+// TestRingSinkConcurrentSpansAndDump drives the legacy RingSink with
+// concurrent Begin/End spans while another goroutine snapshots (the
+// post-mortem dump path); the race detector must stay quiet and every
+// snapshot must be internally consistent.
+func TestRingSinkConcurrentSpansAndDump(t *testing.T) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	ring := NewRingSink(128)
+	old := SetSink(ring)
+	defer SetSink(old)
+
+	var workers, dumper sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			for i := 0; i < 500; i++ {
+				sp := StartSpan(fmt.Sprintf("worker-%d", g))
+				Printf("worker %d iteration %d", g, i)
+				sp.End()
+			}
+		}(g)
+	}
+	dumper.Add(1)
+	go func() {
+		defer dumper.Done()
+		for {
+			snap := ring.Snapshot()
+			if len(snap) > 128 {
+				t.Errorf("snapshot larger than ring: %d", len(snap))
+				return
+			}
+			for i := 1; i < len(snap); i++ {
+				if snap[i].Seq == snap[i-1].Seq {
+					t.Errorf("duplicate seq %d in snapshot", snap[i].Seq)
+					return
+				}
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	workers.Wait()
+	close(stop)
+	dumper.Wait()
+
+	// Each iteration emits Begin + Instant + End.
+	if want := uint64(4 * 500 * 3); ring.Total() < want {
+		t.Fatalf("ring saw %d events, want at least %d", ring.Total(), want)
+	}
+}
+
+func TestConfigFromEnv(t *testing.T) {
+	t.Setenv("ELGA_TRACE", "1")
+	t.Setenv("ELGA_TRACE_SAMPLE", "0.25")
+	t.Setenv("ELGA_TRACE_FLIGHT", "99")
+	c := FromEnv()
+	if !c.Enabled || !c.Verbose || c.Sample != 0.25 || c.FlightRecorder != 99 {
+		t.Fatalf("FromEnv = %+v", c)
+	}
+	if r := Resolve(nil); r != c {
+		t.Fatalf("Resolve(nil) = %+v, want %+v", r, c)
+	}
+	override := Config{Enabled: true, Sample: 1}
+	if r := Resolve(&override); r != override {
+		t.Fatalf("Resolve(&c) = %+v", r)
+	}
+}

@@ -105,6 +105,15 @@ func (f *FaultNetwork) Unblock(addr string) {
 	f.mu.Unlock()
 }
 
+// SetConfig replaces the fault parameters at runtime, preserving the RNG
+// sequence and the block/kill state. Chaos harnesses use it to heal the
+// network between a fault phase and a verification phase.
+func (f *FaultNetwork) SetConfig(cfg FaultConfig) {
+	f.mu.Lock()
+	f.cfg = cfg
+	f.mu.Unlock()
+}
+
 // Kill marks addr permanently dead: its listener is closed, frames toward
 // it error with ErrPeerClosed, and future dials are refused. There is no
 // resurrection — a restarted process must listen on a fresh address.

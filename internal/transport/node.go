@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"elga/internal/metrics"
+	"elga/internal/trace"
 	"elga/internal/wire"
 )
 
@@ -669,6 +670,19 @@ func (n *Node) NewFrameHint(typ wire.Type, payloadHint int) []byte {
 	return wire.AppendFrameHeader(wire.GetFrame(hint), typ, 0, n.addr)
 }
 
+// NewFrameCtx is NewFrame carrying a distributed-trace context in the
+// optional header extension; an invalid ctx yields a plain frame, so
+// call sites stay branch-free.
+func (n *Node) NewFrameCtx(typ wire.Type, ctx trace.SpanContext) []byte {
+	return wire.AppendFrameHeaderCtx(wire.GetFrame(frameSizeHint), typ, 0, n.addr, ctx)
+}
+
+// NewFrameHintCtx is NewFrameHint with a trace context.
+func (n *Node) NewFrameHintCtx(typ wire.Type, payloadHint int, ctx trace.SpanContext) []byte {
+	hint := frameHeaderBytes + trace.ContextWireLen + len(n.addr) + payloadHint
+	return wire.AppendFrameHeaderCtx(wire.GetFrame(hint), typ, 0, n.addr, ctx)
+}
+
 // frameHeaderBytes mirrors wire's fixed header size for hint math.
 const frameHeaderBytes = 11
 
@@ -917,10 +931,7 @@ func (n *Node) RequestFrame(addr string, frame []byte, timeout time.Duration) (*
 	if timeout <= 0 {
 		timeout = DefaultRequestTimeout
 	}
-	typ := wire.TInvalid
-	if len(frame) > 0 {
-		typ = wire.Type(frame[0])
-	}
+	typ := wire.FrameType(frame)
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -1089,6 +1100,13 @@ func (p *Publisher) Subscribers() []string {
 // retransmission budget (by which point the membership machinery should
 // have evicted the dead subscriber).
 func (p *Publisher) Publish(typ wire.Type, payload []byte) {
+	p.PublishCtx(typ, payload, trace.SpanContext{})
+}
+
+// PublishCtx is Publish with a distributed-trace context stamped on each
+// subscriber's frame, so broadcast consumers can link their handling
+// spans under the publisher's span. The zero ctx publishes plain frames.
+func (p *Publisher) PublishCtx(typ wire.Type, payload []byte, ctx trace.SpanContext) {
 	p.mu.Lock()
 	targets := make([]string, 0, len(p.subs))
 	for addr, set := range p.subs {
@@ -1098,10 +1116,11 @@ func (p *Publisher) Publish(typ wire.Type, payload []byte) {
 	}
 	p.mu.Unlock()
 	for _, addr := range targets {
+		frame := append(p.node.NewFrameHintCtx(typ, len(payload), ctx), payload...)
 		if wire.AckedPush(typ) {
-			_ = p.node.SendAcked(addr, typ, payload)
+			_ = p.node.SendFrameAcked(addr, frame)
 		} else {
-			_ = p.node.Send(addr, typ, payload)
+			_ = p.node.SendFrame(addr, frame)
 		}
 	}
 }

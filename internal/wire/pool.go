@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"unsafe"
+
+	"elga/internal/trace"
 )
 
 // Frame and packet pooling (§3.5): ElGA's hot paths — edge-batch ingest,
@@ -137,6 +139,34 @@ func AppendFrameHeader(dst []byte, typ Type, req uint32, from string) []byte {
 	return dst
 }
 
+// AppendFrameHeaderCtx is AppendFrameHeader with a trace context in the
+// optional header extension: the type byte carries ctxFlag and the
+// fixed-size context sits between from and the payload-length
+// placeholder. An invalid ctx degrades to the plain header, so call
+// sites need no branches.
+func AppendFrameHeaderCtx(dst []byte, typ Type, req uint32, from string, ctx trace.SpanContext) []byte {
+	if !ctx.Valid() {
+		return AppendFrameHeader(dst, typ, req, from)
+	}
+	dst = append(dst, byte(typ)|ctxFlag)
+	dst = binary.LittleEndian.AppendUint32(dst, req)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(from)))
+	dst = append(dst, from...)
+	dst = trace.Inject(dst, ctx)
+	dst = binary.LittleEndian.AppendUint32(dst, 0)
+	return dst
+}
+
+// FrameType returns the packet type of a started frame, masking off the
+// trace-context flag bit. Callers inspecting raw frames must use this
+// rather than reading frame[0] directly.
+func FrameType(frame []byte) Type {
+	if len(frame) == 0 {
+		return TInvalid
+	}
+	return Type(frame[0] &^ ctxFlag)
+}
+
 // PatchFrameReq overwrites the request ID of a frame started by
 // AppendFrameHeader. The ID sits at a fixed offset, so acked and reply
 // sends can allocate it after the payload is already in place.
@@ -154,17 +184,21 @@ func FinishFrame(frame []byte) error {
 	if len(frame) < frameHeaderLen {
 		return ErrShort
 	}
-	if !Type(frame[0]).Valid() {
+	if !Type(frame[0] &^ ctxFlag).Valid() {
 		return fmt.Errorf("%w: invalid type %d", ErrBadPacket, frame[0])
 	}
+	ext := 0
+	if frame[0]&ctxFlag != 0 {
+		ext = trace.ContextWireLen
+	}
 	fl := int(binary.LittleEndian.Uint16(frame[5:]))
-	if len(frame) < frameHeaderLen+fl {
+	if len(frame) < frameHeaderLen+fl+ext {
 		return ErrShort
 	}
-	pl := len(frame) - frameHeaderLen - fl
+	pl := len(frame) - frameHeaderLen - fl - ext
 	if pl > maxFrame {
 		return fmt.Errorf("%w: payload length %d", ErrBadPacket, pl)
 	}
-	binary.LittleEndian.PutUint32(frame[7+fl:], uint32(pl))
+	binary.LittleEndian.PutUint32(frame[7+fl+ext:], uint32(pl))
 	return nil
 }

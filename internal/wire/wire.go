@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"elga/internal/trace"
 )
 
 // Type is the 1-byte packet type.
@@ -114,6 +116,10 @@ const (
 	// THeartbeat is an agent's periodic lease renewal to its coordinator;
 	// a lease left unrenewed past the timeout evicts the agent.
 	THeartbeat
+	// TSpanBatch carries completed trace spans to the coordinator's
+	// collector. Lossy like TMetric: dropped batches cost visibility,
+	// never correctness, so they ride outside the acked discipline.
+	TSpanBatch
 
 	typeCount
 )
@@ -148,6 +154,7 @@ var typeNames = [...]string{
 	TSketchDelta: "sketch-delta", TQuery: "query", TQueryReply: "query-reply",
 	TRunAlgo: "run-algo", TRunReply: "run-reply", TIngest: "ingest",
 	TPing: "ping", TPong: "pong", TTick: "tick", THeartbeat: "heartbeat",
+	TSpanBatch: "span-batch",
 }
 
 // String names the type for logs.
@@ -160,6 +167,16 @@ func (t Type) String() string {
 
 // Valid reports whether t is a defined packet type.
 func (t Type) Valid() bool { return t > TInvalid && t < typeCount }
+
+// ctxFlag is the type-byte high bit marking a frame that carries a trace
+// context between the sender address and the payload length. Packet
+// types stay below 0x80, so the bit is free; receivers that predate the
+// extension would reject flagged frames as invalid types rather than
+// misparse them.
+const ctxFlag = 0x80
+
+// compile-time guard: the flag bit must never collide with a type value.
+var _ = [1]struct{}{}[typeCount>>7]
 
 // Packet is the unit of communication. From is the sender's listen
 // address, so any packet can be replied to or acked; Req correlates
@@ -175,6 +192,12 @@ type Packet struct {
 	Req     uint32
 	From    string
 	Payload []byte
+
+	// Ctx is the distributed trace context the frame carried, if any
+	// (Ctx.Valid() reports presence). It rides in an optional header
+	// extension flagged by the type byte's high bit, so untraced frames
+	// pay nothing.
+	Ctx trace.SpanContext
 
 	// frame is the pooled receive buffer backing Payload, recycled by
 	// ReleasePacket. nil for packets not born from UnmarshalPacketInto.
@@ -192,7 +215,8 @@ var ErrBadPacket = errors.New("wire: bad packet")
 const maxFrame = 64 << 20
 
 // MarshalPacket encodes p as: type(1) req(4) fromLen(2) from payloadLen(4)
-// payload.
+// payload. A valid p.Ctx sets the type byte's ctxFlag bit and inserts the
+// fixed-size trace context between from and payloadLen.
 func MarshalPacket(p *Packet) ([]byte, error) {
 	if !p.Type.Valid() {
 		return nil, fmt.Errorf("%w: invalid type %d", ErrBadPacket, p.Type)
@@ -200,11 +224,18 @@ func MarshalPacket(p *Packet) ([]byte, error) {
 	if len(p.From) > math.MaxUint16 {
 		return nil, fmt.Errorf("%w: from too long", ErrBadPacket)
 	}
-	buf := make([]byte, 0, 11+len(p.From)+len(p.Payload))
-	buf = append(buf, byte(p.Type))
+	typ := byte(p.Type)
+	if p.Ctx.Valid() {
+		typ |= ctxFlag
+	}
+	buf := make([]byte, 0, 11+trace.ContextWireLen+len(p.From)+len(p.Payload))
+	buf = append(buf, typ)
 	buf = binary.LittleEndian.AppendUint32(buf, p.Req)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.From)))
 	buf = append(buf, p.From...)
+	if p.Ctx.Valid() {
+		buf = trace.Inject(buf, p.Ctx)
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Payload)))
 	buf = append(buf, p.Payload...)
 	return buf, nil
@@ -232,13 +263,18 @@ func UnmarshalPacketInto(p *Packet, data []byte, intern *FromInterner) error {
 	if len(data) < 11 {
 		return ErrShort
 	}
-	p.Type = Type(data[0])
+	hasCtx := data[0]&ctxFlag != 0
+	p.Type = Type(data[0] &^ ctxFlag)
 	if !p.Type.Valid() {
 		return fmt.Errorf("%w: type %d", ErrBadPacket, data[0])
 	}
 	p.Req = binary.LittleEndian.Uint32(data[1:])
 	fl := int(binary.LittleEndian.Uint16(data[5:]))
-	if len(data) < 11+fl {
+	ext := 0
+	if hasCtx {
+		ext = trace.ContextWireLen
+	}
+	if len(data) < 11+fl+ext {
 		return ErrShort
 	}
 	if intern != nil {
@@ -246,12 +282,21 @@ func UnmarshalPacketInto(p *Packet, data []byte, intern *FromInterner) error {
 	} else {
 		p.From = string(data[7 : 7+fl])
 	}
-	pl := int(binary.LittleEndian.Uint32(data[7+fl:]))
-	if pl > maxFrame || len(data) != 11+fl+pl {
+	if hasCtx {
+		ctx, err := trace.Extract(data[7+fl:])
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadPacket, err)
+		}
+		p.Ctx = ctx
+	} else {
+		p.Ctx = trace.SpanContext{}
+	}
+	pl := int(binary.LittleEndian.Uint32(data[7+fl+ext:]))
+	if pl > maxFrame || len(data) != 11+fl+ext+pl {
 		return fmt.Errorf("%w: payload length %d", ErrBadPacket, pl)
 	}
 	if pl > 0 {
-		p.Payload = data[11+fl:]
+		p.Payload = data[11+fl+ext:]
 	} else {
 		p.Payload = nil
 	}
