@@ -41,6 +41,11 @@ type jsonOutput struct {
 	Experiments     []jsonExperiment           `json:"experiments,omitempty"`
 	Superstep       *experiments.SuperstepPerf `json:"superstep,omitempty"`
 	SuperstepTraced *experiments.SuperstepPerf `json:"superstep_traced,omitempty"`
+	// Storage and Delta are the CSR+delta-log regression trackers: store
+	// bytes/edge vs the map reference, and full- vs frontier-seeded
+	// delta-recompute ns/batch per algorithm and batch size.
+	Storage *experiments.StoragePerf `json:"storage,omitempty"`
+	Delta   []experiments.DeltaPerf  `json:"delta,omitempty"`
 }
 
 func main() {
@@ -137,6 +142,26 @@ func main() {
 				out.Superstep = perf
 			}
 		}
+		// Storage regression trackers ride every JSON record, like perf.
+		if sp, err := experiments.MeasureStorage(scale); err != nil {
+			fmt.Fprintf(os.Stderr, "elga-bench: storage failed: %v\n", err)
+			failed++
+		} else {
+			out.Storage = sp
+			fmt.Fprintf(os.Stderr, "[storage: %.1f bytes/edge csr vs %.1f map (%.2fx) on %s]\n\n",
+				sp.CSRBytesPerEdge, sp.MapBytesPerEdge, sp.Reduction, sp.Graph)
+		}
+		if rows, err := experiments.MeasureDeltaRecompute(scale); err != nil {
+			fmt.Fprintf(os.Stderr, "elga-bench: delta recompute failed: %v\n", err)
+			failed++
+		} else {
+			out.Delta = rows
+			for _, row := range rows {
+				fmt.Fprintf(os.Stderr, "[delta %s batch=%d: full %.0f ns/batch vs delta %.0f ns/batch (%.1fx), frontier %.1f]\n",
+					row.Algo, row.BatchSize, row.FullNsPerBatch, row.DeltaNsPerBatch, row.Speedup, row.AvgFrontier)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 		// The tracing-on repeat quantifies the tracing subsystem's overhead
 		// against the baseline directly in the same record.
 		if out.Superstep != nil {
@@ -191,6 +216,8 @@ func runCompare(oldPath, newPath string) error {
 	fmt.Printf("comparing %s (%s) -> %s (%s)\n", oldPath, o.Scale, newPath, n.Scale)
 	comparePerf("superstep", o.Superstep, n.Superstep)
 	comparePerf("superstep_traced", o.SuperstepTraced, n.SuperstepTraced)
+	compareStorage(o.Storage, n.Storage)
+	compareDelta(o.Delta, n.Delta)
 	oldSecs := make(map[string]float64, len(o.Experiments))
 	for _, e := range o.Experiments {
 		oldSecs[e.ID] = e.Seconds
@@ -223,6 +250,45 @@ func comparePerf(name string, o, n *experiments.SuperstepPerf) {
 			deltaLine(phase+"_mean_seconds", op.MeanSeconds, np.MeanSeconds)
 			deltaLine(phase+"_p99_seconds", op.P99Seconds, np.P99Seconds)
 		}
+	}
+}
+
+// compareStorage prints bytes/edge deltas between two storage blocks.
+func compareStorage(o, n *experiments.StoragePerf) {
+	switch {
+	case o == nil && n == nil:
+		return
+	case o == nil || n == nil:
+		fmt.Printf("\nstorage: present only in %s record\n", map[bool]string{o != nil: "old", n != nil: "new"}[true])
+		return
+	}
+	fmt.Printf("\nstorage (%s, %d copies):\n", n.Graph, n.EdgeCopies)
+	deltaLine("csr_bytes_per_edge", o.CSRBytesPerEdge, n.CSRBytesPerEdge)
+	deltaLine("map_bytes_per_edge", o.MapBytesPerEdge, n.MapBytesPerEdge)
+	deltaLine("reduction", o.Reduction, n.Reduction)
+}
+
+// compareDelta matches full-vs-delta rows by (algo, batch size) and
+// prints the ns/batch movement for each side of the comparison.
+func compareDelta(o, n []experiments.DeltaPerf) {
+	if len(o) == 0 && len(n) == 0 {
+		return
+	}
+	old := make(map[string]experiments.DeltaPerf, len(o))
+	key := func(d experiments.DeltaPerf) string { return fmt.Sprintf("%s/batch=%d", d.Algo, d.BatchSize) }
+	for _, d := range o {
+		old[key(d)] = d
+	}
+	fmt.Printf("\ndelta recompute:\n")
+	for _, d := range n {
+		ov, ok := old[key(d)]
+		if !ok {
+			fmt.Printf("  %-24s only in new record\n", key(d))
+			continue
+		}
+		deltaLine(key(d)+" full_ns", ov.FullNsPerBatch, d.FullNsPerBatch)
+		deltaLine(key(d)+" delta_ns", ov.DeltaNsPerBatch, d.DeltaNsPerBatch)
+		deltaLine(key(d)+" speedup", ov.Speedup, d.Speedup)
 	}
 }
 

@@ -205,6 +205,7 @@ type Agent struct {
 	lastQueries   uint64
 	copyCount     atomic.Int64
 	vertexCount   atomic.Int64
+	storeBytes    atomic.Uint64 // O(1) store footprint estimate, scraped off-thread
 
 	// m holds optional instrumentation handles (nil without a registry);
 	// tickCount and lastRetransmits pace the periodic load-metric report
@@ -374,6 +375,7 @@ func (a *Agent) runLoop(initial *wire.View) {
 		retained := a.handlePacket(pkt)
 		a.copyCount.Store(int64(a.store.NumEdgeCopies()))
 		a.vertexCount.Store(int64(a.store.NumVertices()))
+		a.storeBytes.Store(a.store.MemoryBytes())
 		if !retained {
 			wire.ReleasePacket(pkt)
 		}

@@ -101,7 +101,11 @@ func (a *Agent) handleAsyncMsgs(batch *wire.VertexMsgBatch) {
 func (a *Agent) asyncScatter(b *asyncBatcher, v graph.VertexID, mv algorithm.Word, seeding bool) {
 	r := a.run
 	if r.prog.SendsOut() {
-		for _, w := range a.store.OutNeighbors(v) {
+		for it := a.store.OutCursor(v); ; {
+			w, ok := it.Next()
+			if !ok {
+				break
+			}
 			val := mv
 			if r.adjust != nil {
 				val = r.adjust.AdjustPerEdge(v, w, val)
@@ -112,7 +116,11 @@ func (a *Agent) asyncScatter(b *asyncBatcher, v graph.VertexID, mv algorithm.Wor
 		}
 	}
 	if r.prog.SendsIn() {
-		for _, u := range a.store.InNeighbors(v) {
+		for it := a.store.InCursor(v); ; {
+			u, ok := it.Next()
+			if !ok {
+				break
+			}
 			val := mv
 			if r.adjust != nil {
 				val = r.adjust.AdjustPerEdge(u, v, val)

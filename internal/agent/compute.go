@@ -499,7 +499,13 @@ func (b *msgBatcher) flush(groups ...*ackGroup) {
 func (a *Agent) scatter(b msgSink, v graph.VertexID, mv algorithm.Word) {
 	r := a.run
 	if r.prog.SendsOut() {
-		for _, w := range a.store.OutNeighbors(v) {
+		// Value-type cursor: iteration over sealed run + delta tail with
+		// no per-vertex allocation.
+		for it := a.store.OutCursor(v); ; {
+			w, ok := it.Next()
+			if !ok {
+				break
+			}
 			val := mv
 			if r.adjust != nil {
 				val = r.adjust.AdjustPerEdge(v, w, val)
@@ -510,7 +516,11 @@ func (a *Agent) scatter(b msgSink, v graph.VertexID, mv algorithm.Word) {
 		}
 	}
 	if r.prog.SendsIn() {
-		for _, u := range a.store.InNeighbors(v) {
+		for it := a.store.InCursor(v); ; {
+			u, ok := it.Next()
+			if !ok {
+				break
+			}
 			val := mv
 			if r.adjust != nil {
 				// The traversed edge is (u, v); keep its orientation.

@@ -16,6 +16,7 @@ type agentMetrics struct {
 	barrierWait  *metrics.Histogram
 	migBatch     *metrics.Histogram
 	migBytes     *metrics.Counter
+	frontierSize *metrics.Histogram
 }
 
 // initMetrics registers the agent's metric families on reg. Phase and
@@ -40,6 +41,9 @@ func (a *Agent) initMetrics(reg *metrics.Registry) {
 		nil, metrics.SizeBuckets)
 	a.m.migBytes = reg.Counter("elga_migration_bytes_total",
 		"Wire bytes of migration shipments sent.", nil)
+	a.m.frontierSize = reg.Histogram("elga_delta_frontier_size",
+		"Affected-vertex frontier per batch boundary (vertices a delta-driven recompute seeds from).",
+		nil, metrics.SizeBuckets)
 
 	a.node.RegisterMetrics(reg, "agent")
 	lbl := metrics.Labels{"addr": a.node.Addr()}
@@ -53,6 +57,19 @@ func (a *Agent) initMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(a.vertexCount.Load()) })
 	reg.GaugeFunc("elga_agent_edge_copies", "Locally stored edge copies.", lbl,
 		func() float64 { return float64(a.copyCount.Load()) })
+	// Storage health: footprint per copy and compaction churn. The bytes
+	// estimate and copy count are runLoop-published atomics; Compactions is
+	// itself atomic, so scrapes never touch single-threaded store state.
+	reg.GaugeFunc("elga_graph_bytes_per_edge", "Estimated store bytes per locally stored edge copy.", lbl,
+		func() float64 {
+			copies := a.copyCount.Load()
+			if copies == 0 {
+				return 0
+			}
+			return float64(a.storeBytes.Load()) / float64(copies)
+		})
+	reg.CounterFunc("elga_graph_compactions_total", "Delta-log tail compactions folded into sealed CSR runs.", lbl,
+		func() uint64 { return a.store.Compactions() })
 	// Backpressure counter for span shipping: sampled spans discarded
 	// because the tracer's pending batch was full. Nil-tracer safe.
 	reg.CounterFunc("elga_trace_dropped_spans_total",

@@ -463,6 +463,13 @@ func (a *Agent) handleBatchOpen() {
 	a.sendMetric(autoscale.MetricChangeRate, float64(applied-a.lastApplied))
 	a.sendMetric(autoscale.MetricQueryRate, float64(queries-a.lastQueries))
 	a.lastApplied, a.lastQueries = applied, queries
+	// The active set right after the flush IS the affected-vertex frontier
+	// of this batch: exactly the locally stored endpoints whose topology
+	// changed, which an incremental run (FromScratch=false) seeds from.
+	frontier := a.store.ActiveCount()
+	a.m.frontierSize.Observe(float64(frontier))
+	a.sendMetric(autoscale.MetricFrontierSize, float64(frontier))
+	a.sendMetric(autoscale.MetricBytesPerEdge, a.store.BytesPerEdge())
 	gate := &ackGroup{}
 	if a.skDelta.Count() > 0 {
 		data, err := a.skDelta.MarshalBinary()

@@ -56,3 +56,19 @@ func benchmarkSuperstep(b *testing.B, workers int) {
 func BenchmarkSuperstepPageRankSeq(b *testing.B)  { benchmarkSuperstep(b, 1) }
 func BenchmarkSuperstepPageRankPar2(b *testing.B) { benchmarkSuperstep(b, 2) }
 func BenchmarkSuperstepPageRankPar4(b *testing.B) { benchmarkSuperstep(b, 4) }
+
+// TestSuperstepAllocCeiling pins the steady-state sequential superstep at
+// 3 allocs/op (the ack group, its completion closure, and mailbox map
+// slack). Neighbour iteration must contribute zero: the CSR+delta store's
+// value-type cursors live on the stack, so the ceiling is how CI catches
+// a cursor or tail structure escaping to the heap. Skipped under -race,
+// whose instrumentation allocates on its own.
+func TestSuperstepAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under -race")
+	}
+	res := testing.Benchmark(func(b *testing.B) { benchmarkSuperstep(b, 1) })
+	if allocs := res.AllocsPerOp(); allocs > 3 {
+		t.Fatalf("sequential superstep allocates %d allocs/op, ceiling is 3", allocs)
+	}
+}

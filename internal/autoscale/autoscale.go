@@ -36,6 +36,14 @@ const (
 	// MetricRetransmits is acked-push retransmissions since the last
 	// report (a fault/pressure signal).
 	MetricRetransmits = "retransmits"
+	// MetricFrontierSize is the affected-vertex frontier of the last batch
+	// boundary: how many locally stored vertices the batch actually
+	// touched, which bounds the first-superstep work of a delta-driven
+	// recompute (a cheap proxy for incremental load).
+	MetricFrontierSize = "frontier_size"
+	// MetricBytesPerEdge is the store's estimated bytes per stored edge
+	// copy — memory-pressure signal for scale-out decisions.
+	MetricBytesPerEdge = "bytes_per_edge"
 )
 
 // EMA is an exponential moving average over irregular samples, using a

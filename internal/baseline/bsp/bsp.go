@@ -46,20 +46,34 @@ type Engine struct {
 
 // New partitions the edge list across workers and builds the CSR.
 func New(el graph.EdgeList, workers int) *Engine {
+	csr := graph.BuildCSR(el)
+	present := make([]bool, csr.N)
+	for _, edge := range el {
+		present[edge.Src] = true
+		present[edge.Dst] = true
+	}
+	return newEngine(csr, present, workers)
+}
+
+// NewFromStore builds an engine straight from a dynamic store's Out
+// copies, skipping the edge-list materialization and sort that New pays
+// (cursor iteration yields neighbours pre-sorted). The snapshot baseline
+// uses this for its per-batch rebuild.
+func NewFromStore(st *graph.Store, workers int) *Engine {
+	csr, present := graph.BuildCSRFromStore(st)
+	return newEngine(csr, present, workers)
+}
+
+func newEngine(csr *graph.CSR, present []bool, workers int) *Engine {
 	if workers <= 0 {
 		workers = 8
 	}
-	csr := graph.BuildCSR(el)
 	e := &Engine{
 		workers: workers,
 		csr:     csr,
-		present: make([]bool, csr.N),
+		present: present,
 		owner:   make([]int, csr.N),
 		verts:   make([][]graph.VertexID, workers),
-	}
-	for _, edge := range el {
-		e.present[edge.Src] = true
-		e.present[edge.Dst] = true
 	}
 	for v := 0; v < csr.N; v++ {
 		if !e.present[v] {
@@ -75,6 +89,15 @@ func New(el graph.EdgeList, workers int) *Engine {
 
 // NumVertices returns the loaded vertex count.
 func (e *Engine) NumVertices() uint64 { return e.n }
+
+// IDRange returns the dense ID bound (max vertex ID + 1); Result.State
+// slices have this length.
+func (e *Engine) IDRange() int { return e.csr.N }
+
+// Present reports whether v is a loaded vertex.
+func (e *Engine) Present(v graph.VertexID) bool {
+	return int(v) < len(e.present) && e.present[v]
+}
 
 // Result is the outcome of one Run.
 type Result struct {

@@ -16,11 +16,15 @@ import (
 )
 
 // Engine maintains the current edge set and prior output between batches.
+// The edge set lives in a graph.Store (Out copies only) — the same
+// CSR+delta structure the agents use — so batch maintenance is cheap;
+// what stays deliberately expensive is the per-batch CSR re-partition,
+// the startup cost that defines this baseline.
 type Engine struct {
 	workers     int
-	edges       map[graph.Edge]struct{}
+	st          *graph.Store
 	prior       []algorithm.Word
-	prevPresent map[graph.VertexID]bool
+	prevPresent []bool
 	// FixedStartup adds a constant per-batch cost modeling cluster
 	// start/teardown (the "49.45 seconds minimum" effect §4.9 reports
 	// for GraphX); zero by default so measurements stay honest.
@@ -29,15 +33,15 @@ type Engine struct {
 
 // New creates a snapshot engine over an initial edge list.
 func New(el graph.EdgeList, workers int) *Engine {
-	e := &Engine{workers: workers, edges: make(map[graph.Edge]struct{}, len(el))}
+	st := graph.NewStore()
 	for _, ed := range el {
-		e.edges[ed] = struct{}{}
+		st.AddEdge(ed.Src, ed.Dst, graph.Out)
 	}
-	return e
+	return &Engine{workers: workers, st: st}
 }
 
 // NumEdges returns the current edge count.
-func (e *Engine) NumEdges() int { return len(e.edges) }
+func (e *Engine) NumEdges() int { return e.st.NumOutEdges() }
 
 // BatchResult reports one maintenance batch.
 type BatchResult struct {
@@ -55,53 +59,42 @@ func (e *Engine) ApplyBatch(p algorithm.Program, b graph.Batch, opts bsp.Options
 	start := time.Now()
 	seeds := make([]graph.VertexID, 0, 2*len(b))
 	for _, c := range b {
-		edge := graph.Edge{Src: c.Src, Dst: c.Dst}
-		if c.Action == graph.Insert {
-			e.edges[edge] = struct{}{}
-		} else {
-			delete(e.edges, edge)
-		}
+		e.st.Apply(c, graph.Out)
+		// §4.9 restart semantics: every batch endpoint re-seeds, whether
+		// or not the change was a no-op (the snapshot system cannot tell).
 		seeds = append(seeds, c.Src, c.Dst)
 	}
+	e.st.TakeActive() // seeds are explicit here; drop store activations
 	// Full snapshot rebuild: the startup cost a fully dynamic system
 	// avoids.
-	el := make(graph.EdgeList, 0, len(e.edges))
-	for ed := range e.edges {
-		el = append(el, ed)
-	}
-	el.Sort()
-	engine := bsp.New(el, e.workers)
+	engine := bsp.NewFromStore(e.st, e.workers)
 
-	present := make(map[graph.VertexID]bool, 2*len(el))
-	for _, ed := range el {
-		present[ed.Src] = true
-		present[ed.Dst] = true
-	}
 	var prior []algorithm.Word
 	if e.prior != nil {
 		// Prior output carries over; vertices first appearing in this
 		// snapshot are (re-)initialized. Existing vertices keep their
 		// labels — re-running to convergence from prior output is the
 		// §4.9 restart strategy.
-		n := 0
-		for v := range present {
-			if int(v) >= n {
-				n = int(v) + 1
-			}
-		}
-		prior = make([]algorithm.Word, n)
+		prior = make([]algorithm.Word, engine.IDRange())
 		ctx := &algorithm.Context{N: engine.NumVertices(), Source: opts.Source}
-		for v := range present {
-			if e.prevPresent[v] && int(v) < len(e.prior) {
+		for v := 0; v < engine.IDRange(); v++ {
+			id := graph.VertexID(v)
+			if !engine.Present(id) {
+				continue
+			}
+			if v < len(e.prevPresent) && e.prevPresent[v] && v < len(e.prior) {
 				prior[v] = e.prior[v]
 			} else {
-				prior[v] = p.Init(v, ctx)
+				prior[v] = p.Init(id, ctx)
 			}
 		}
 	}
 	res := engine.RunIncremental(p, opts, prior, seeds)
 	e.prior = res.State
-	e.prevPresent = present
+	e.prevPresent = make([]bool, engine.IDRange())
+	for v := range e.prevPresent {
+		e.prevPresent[v] = engine.Present(graph.VertexID(v))
+	}
 	elapsed := time.Since(start) + e.FixedStartup
 	return &BatchResult{Steps: res.Steps, Elapsed: elapsed, State: res.State}
 }

@@ -360,6 +360,7 @@ var Registry = map[string]func(Scale) (*Report, error){
 	"fig13":     Fig13,
 	"fig14":     Fig14,
 	"fig15":     Fig15,
+	"storage":   Storage,
 	"fig16":     Fig16,
 	"fig17":     Fig17,
 	"fig18":     Fig18,
@@ -370,6 +371,6 @@ var Registry = map[string]func(Scale) (*Report, error){
 // Order lists experiment IDs in paper order.
 var Order = []string{
 	"table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-	"net", "abl-split",
+	"fig11", "fig12", "fig13", "fig14", "fig15", "storage", "fig16", "fig17",
+	"fig18", "net", "abl-split",
 }

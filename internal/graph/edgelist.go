@@ -193,6 +193,68 @@ func BuildCSR(el EdgeList) *CSR {
 	return c
 }
 
+// BuildCSRFromStore builds a CSR over IDs 0..max from a store's Out
+// copies, plus a presence bitmap covering every edge endpoint and pinned
+// vertex. Unlike BuildCSR it needs no edge-list materialization or sort:
+// cursors yield each vertex's neighbours pre-sorted, and the fill pass
+// walks vertices in ascending ID order so the in-adjacency of every
+// vertex also comes out sorted — the output is deterministic regardless
+// of the store's compaction timing.
+func BuildCSRFromStore(s *Store) (*CSR, []bool) {
+	verts := s.VertexList()
+	var maxV VertexID
+	m := 0
+	for _, v := range verts {
+		if v > maxV {
+			maxV = v
+		}
+		s.ForEachOut(v, func(w VertexID) bool {
+			if w > maxV {
+				maxV = w
+			}
+			m++
+			return true
+		})
+	}
+	n := 0
+	if len(verts) > 0 {
+		n = int(maxV) + 1
+	}
+	c := &CSR{
+		N:          n,
+		OutOffsets: make([]int64, n+1),
+		OutAdj:     make([]VertexID, m),
+		InOffsets:  make([]int64, n+1),
+		InAdj:      make([]VertexID, m),
+	}
+	present := make([]bool, n)
+	for _, v := range verts {
+		present[v] = true
+		s.ForEachOut(v, func(w VertexID) bool {
+			c.OutOffsets[v+1]++
+			c.InOffsets[w+1]++
+			present[w] = true
+			return true
+		})
+	}
+	for i := 0; i < n; i++ {
+		c.OutOffsets[i+1] += c.OutOffsets[i]
+		c.InOffsets[i+1] += c.InOffsets[i]
+	}
+	outPos := make([]int64, n)
+	inPos := make([]int64, n)
+	for _, v := range verts {
+		s.ForEachOut(v, func(w VertexID) bool {
+			c.OutAdj[c.OutOffsets[v]+outPos[v]] = w
+			outPos[v]++
+			c.InAdj[c.InOffsets[w]+inPos[w]] = v
+			inPos[w]++
+			return true
+		})
+	}
+	return c, present
+}
+
 // Out returns v's out-neighbours.
 func (c *CSR) Out(v VertexID) []VertexID {
 	return c.OutAdj[c.OutOffsets[v]:c.OutOffsets[v+1]]

@@ -1,22 +1,21 @@
 // Package graph provides the per-agent dynamic graph store.
 //
 // The paper (§4) stores the dynamic graph "as a flat hash map with
-// vectors", keeping both in- and out-edges. This package mirrors that: a
-// map from vertex ID to an adjacency record holding out- and in-neighbour
-// vectors. Edges insert in O(1) amortized and delete in O(deg) by
-// swap-remove, so there are no tombstones and memory stays proportional to
-// the live graph (Goal 2).
+// vectors". This package kept that literal shape through PR 5 (see
+// MapStore, retained as the reference implementation); the production
+// Store is now a hybrid CSR-plus-delta-log structure: sealed immutable
+// CSR runs (sorted, compact, offset-indexed into two store-wide arrays)
+// plus a small mutable tail of recent inserts and deletes, folded into a
+// fresh sealed generation when the tail crosses a size threshold. Callers
+// never see the representation: neighbour access goes through the cursor
+// / ForEach iteration interface, which yields a canonical ascending order
+// regardless of compaction timing.
 //
 // A Store holds only the slice of the graph owned by one agent. Each edge
 // copy is tagged with the direction it represents locally, because in
 // ElGA's partition the out-copy of (u,v) and the in-copy can live on
 // different agents.
 package graph
-
-import (
-	"fmt"
-	"sort"
-)
 
 // VertexID is a 64-bit vertex identifier, matching the paper's
 // configuration of all systems with 64-bit IDs.
@@ -60,284 +59,9 @@ const (
 	In
 )
 
-type adjacency struct {
-	out []VertexID
-	in  []VertexID
-}
-
-// Store is a single agent's dynamic graph slice. It is not safe for
-// concurrent use: agents are single-threaded event loops.
-type Store struct {
-	adj      map[VertexID]*adjacency
-	numOut   int
-	numIn    int
-	active   map[VertexID]struct{}
-	pinEmpty map[VertexID]struct{} // vertices kept alive despite zero local edges
-}
-
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{
-		adj:      make(map[VertexID]*adjacency),
-		active:   make(map[VertexID]struct{}),
-		pinEmpty: make(map[VertexID]struct{}),
-	}
-}
-
-// NumVertices returns the count of vertices with at least one local edge
-// copy (or a pin).
-func (s *Store) NumVertices() int { return len(s.adj) }
-
-// NumOutEdges returns the number of locally stored out-copies.
-func (s *Store) NumOutEdges() int { return s.numOut }
-
-// NumInEdges returns the number of locally stored in-copies.
-func (s *Store) NumInEdges() int { return s.numIn }
-
-// NumEdgeCopies returns out+in copies, the agent's memory-relevant load.
-func (s *Store) NumEdgeCopies() int { return s.numOut + s.numIn }
-
-func (s *Store) record(v VertexID) *adjacency {
-	a := s.adj[v]
-	if a == nil {
-		a = &adjacency{}
-		s.adj[v] = a
-	}
-	return a
-}
-
-// Pin keeps vertex v in the store even with zero local edges, used for
-// replica bookkeeping of split vertices that currently hold no edge copy.
-func (s *Store) Pin(v VertexID) {
-	s.record(v)
-	s.pinEmpty[v] = struct{}{}
-}
-
-// Unpin removes the pin; the vertex is dropped if it has no edges left.
-func (s *Store) Unpin(v VertexID) {
-	delete(s.pinEmpty, v)
-	s.maybeDrop(v)
-}
-
-func (s *Store) maybeDrop(v VertexID) {
-	if a, ok := s.adj[v]; ok && len(a.out) == 0 && len(a.in) == 0 {
-		if _, pinned := s.pinEmpty[v]; !pinned {
-			delete(s.adj, v)
-			delete(s.active, v)
-		}
-	}
-}
-
-func contains(list []VertexID, v VertexID) bool {
-	for _, x := range list {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
-
-func remove(list []VertexID, v VertexID) ([]VertexID, bool) {
-	for i, x := range list {
-		if x == v {
-			list[i] = list[len(list)-1]
-			return list[:len(list)-1], true
-		}
-	}
-	return list, false
-}
-
-// AddEdge stores a copy of edge (u,v) in direction dir. For dir==Out the
-// copy lives under u (v appended to u's out-list); for dir==In it lives
-// under v (u appended to v's in-list). Duplicate copies are ignored; the
-// return reports whether the store changed.
-func (s *Store) AddEdge(u, v VertexID, dir Dir) bool {
-	switch dir {
-	case Out:
-		a := s.record(u)
-		if contains(a.out, v) {
-			return false
-		}
-		a.out = append(a.out, v)
-		s.numOut++
-	case In:
-		a := s.record(v)
-		if contains(a.in, u) {
-			return false
-		}
-		a.in = append(a.in, u)
-		s.numIn++
-	}
-	return true
-}
-
-// RemoveEdge deletes the stored copy of (u,v) in direction dir, reporting
-// whether it existed. Vertices left with no copies (and no pin) are
-// dropped so memory tracks the live graph.
-func (s *Store) RemoveEdge(u, v VertexID, dir Dir) bool {
-	switch dir {
-	case Out:
-		a, ok := s.adj[u]
-		if !ok {
-			return false
-		}
-		var removed bool
-		a.out, removed = remove(a.out, v)
-		if removed {
-			s.numOut--
-			s.maybeDrop(u)
-		}
-		return removed
-	case In:
-		a, ok := s.adj[v]
-		if !ok {
-			return false
-		}
-		var removed bool
-		a.in, removed = remove(a.in, u)
-		if removed {
-			s.numIn--
-			s.maybeDrop(v)
-		}
-		return removed
-	}
-	return false
-}
-
-// Apply applies one change in direction dir, marking the locally stored
-// endpoint active if the topology changed.
-func (s *Store) Apply(c Change, dir Dir) bool {
-	var changed bool
-	if c.Action == Insert {
-		changed = s.AddEdge(c.Src, c.Dst, dir)
-	} else {
-		changed = s.RemoveEdge(c.Src, c.Dst, dir)
-	}
-	if changed {
-		if dir == Out {
-			s.MarkActive(c.Src)
-		} else {
-			s.MarkActive(c.Dst)
-		}
-	}
-	return changed
-}
-
-// HasVertex reports whether v has any local presence.
-func (s *Store) HasVertex(v VertexID) bool {
-	_, ok := s.adj[v]
-	return ok
-}
-
-// OutNeighbors returns v's locally stored out-neighbours. The slice is
-// owned by the store; callers must not mutate or retain it across changes.
-func (s *Store) OutNeighbors(v VertexID) []VertexID {
-	if a, ok := s.adj[v]; ok {
-		return a.out
-	}
-	return nil
-}
-
-// InNeighbors returns v's locally stored in-neighbours, with the same
-// aliasing caveat as OutNeighbors.
-func (s *Store) InNeighbors(v VertexID) []VertexID {
-	if a, ok := s.adj[v]; ok {
-		return a.in
-	}
-	return nil
-}
-
-// OutDegree returns the local out-degree of v.
-func (s *Store) OutDegree(v VertexID) int { return len(s.OutNeighbors(v)) }
-
-// InDegree returns the local in-degree of v.
-func (s *Store) InDegree(v VertexID) int { return len(s.InNeighbors(v)) }
-
-// Vertices calls fn for every locally present vertex until fn returns
-// false. Iteration order is unspecified.
-func (s *Store) Vertices(fn func(VertexID) bool) {
-	for v := range s.adj {
-		if !fn(v) {
-			return
-		}
-	}
-}
-
-// VertexList returns all locally present vertices, sorted (deterministic
-// iteration for tests and checkpoints).
-func (s *Store) VertexList() []VertexID {
-	out := make([]VertexID, 0, len(s.adj))
-	for v := range s.adj {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// MarkActive adds v to the active set consumed by the next superstep.
-func (s *Store) MarkActive(v VertexID) { s.active[v] = struct{}{} }
-
-// IsActive reports whether v is in the active set.
-func (s *Store) IsActive(v VertexID) bool {
-	_, ok := s.active[v]
-	return ok
-}
-
-// ClearActive removes v from the active set.
-func (s *Store) ClearActive(v VertexID) { delete(s.active, v) }
-
-// ActiveCount returns the size of the active set.
-func (s *Store) ActiveCount() int { return len(s.active) }
-
-// TakeActive returns the current active set sorted and resets it. Dynamic
-// algorithms seed each batch's first superstep from this set (§4.3: "only
-// vertices directly modified in the batch are activated").
-func (s *Store) TakeActive() []VertexID {
-	if len(s.active) == 0 {
-		return nil
-	}
-	out := make([]VertexID, 0, len(s.active))
-	for v := range s.active {
-		out = append(out, v)
-	}
-	s.active = make(map[VertexID]struct{})
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// ActivateAll marks every local vertex active (static from-scratch runs).
-func (s *Store) ActivateAll() {
-	for v := range s.adj {
-		s.active[v] = struct{}{}
-	}
-}
-
 // EdgeCopy describes one stored copy for migration enumeration.
 type EdgeCopy struct {
 	Src VertexID
 	Dst VertexID
 	Dir Dir
-}
-
-// Copies calls fn for every stored edge copy until fn returns false.
-// Agents use it to re-evaluate ownership after a directory change.
-func (s *Store) Copies(fn func(EdgeCopy) bool) {
-	for v, a := range s.adj {
-		for _, w := range a.out {
-			if !fn(EdgeCopy{Src: v, Dst: w, Dir: Out}) {
-				return
-			}
-		}
-		for _, u := range a.in {
-			if !fn(EdgeCopy{Src: u, Dst: v, Dir: In}) {
-				return
-			}
-		}
-	}
-}
-
-// String summarizes the store for logs.
-func (s *Store) String() string {
-	return fmt.Sprintf("store{v=%d out=%d in=%d active=%d}",
-		len(s.adj), s.numOut, s.numIn, len(s.active))
 }

@@ -13,7 +13,7 @@ func TestEmptyStore(t *testing.T) {
 	if s.HasVertex(1) {
 		t.Error("HasVertex on empty store")
 	}
-	if s.OutNeighbors(1) != nil || s.InNeighbors(1) != nil {
+	if s.AppendOut(1, nil) != nil || s.AppendIn(1, nil) != nil {
 		t.Error("neighbors of absent vertex not nil")
 	}
 }
@@ -29,11 +29,11 @@ func TestAddEdgeBothDirections(t *testing.T) {
 	if s.NumOutEdges() != 1 || s.NumInEdges() != 1 {
 		t.Fatalf("counts out=%d in=%d", s.NumOutEdges(), s.NumInEdges())
 	}
-	if got := s.OutNeighbors(1); len(got) != 1 || got[0] != 2 {
-		t.Errorf("OutNeighbors(1) = %v", got)
+	if got := s.AppendOut(1, nil); len(got) != 1 || got[0] != 2 {
+		t.Errorf("AppendOut(1) = %v", got)
 	}
-	if got := s.InNeighbors(2); len(got) != 1 || got[0] != 1 {
-		t.Errorf("InNeighbors(2) = %v", got)
+	if got := s.AppendIn(2, nil); len(got) != 1 || got[0] != 1 {
+		t.Errorf("AppendIn(2) = %v", got)
 	}
 	// Out copy lives under src; in copy under dst.
 	if s.InDegree(1) != 0 || s.OutDegree(2) != 0 {
@@ -65,8 +65,8 @@ func TestRemoveEdge(t *testing.T) {
 	if s.RemoveEdge(9, 9, In) {
 		t.Error("RemoveEdge on absent vertex returned true")
 	}
-	if got := s.OutNeighbors(1); len(got) != 1 || got[0] != 3 {
-		t.Errorf("OutNeighbors after remove = %v", got)
+	if got := s.AppendOut(1, nil); len(got) != 1 || got[0] != 3 {
+		t.Errorf("AppendOut after remove = %v", got)
 	}
 }
 

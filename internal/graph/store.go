@@ -1,0 +1,707 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Store is a single agent's dynamic graph slice, stored as sealed CSR
+// runs plus a delta-log tail. It is not safe for concurrent use: agents
+// are single-threaded event loops. The one exception is Compactions,
+// which is an atomic so metric scrapes may read it from other goroutines.
+//
+// Layout: every locally present vertex has a slot recording its sealed
+// neighbour runs — contiguous, sorted spans of the store-wide sealedOut /
+// sealedIn arrays written by the last compaction — plus an optional tail
+// of edges inserted or deleted since. Iteration merges the sealed run
+// (minus the tail's delete log) with the tail's sorted inserts, so
+// neighbours always come back in ascending ID order no matter how the
+// edges are split between generations.
+type Store struct {
+	slots     map[VertexID]slotRec
+	sealedOut []VertexID
+	sealedIn  []VertexID
+
+	numOut int
+	numIn  int
+
+	// tailOps counts live tail entries (adds + delete-log records) and
+	// deadSealed counts sealed entries that are logically deleted or
+	// unreachable (dropped vertices); their sum against the sealed size
+	// drives compaction.
+	tailOps    int
+	tailRecs   int
+	deadSealed int
+
+	// compactMin is the tail size below which compaction never triggers;
+	// above it, compaction fires when tail+dead exceeds sealed/4.
+	compactMin  int
+	compactions atomic.Uint64
+
+	active   map[VertexID]struct{}
+	pinEmpty map[VertexID]struct{} // vertices kept alive despite zero local edges
+}
+
+// slotRec locates one vertex's sealed runs. The tail pointer is nil for
+// the (steady-state) majority of vertices untouched since the last
+// compaction, so per-vertex overhead is one map entry, not a heap record
+// with two growing vectors.
+type slotRec struct {
+	outStart, outLen uint32
+	inStart, inLen   uint32
+	tail             *tailRec
+}
+
+// tailRec is the delta log of one recently-mutated vertex. All four
+// lists are kept sorted ascending; adds are disjoint from the sealed run,
+// dels are a subset of it.
+type tailRec struct {
+	outAdd, outDel []VertexID
+	inAdd, inDel   []VertexID
+}
+
+func (t *tailRec) empty() bool {
+	return len(t.outAdd) == 0 && len(t.outDel) == 0 && len(t.inAdd) == 0 && len(t.inDel) == 0
+}
+
+func (t *tailRec) size() int {
+	return len(t.outAdd) + len(t.outDel) + len(t.inAdd) + len(t.inDel)
+}
+
+// DefaultCompactMin is the minimum tail size (adds + delete-log records,
+// store-wide) before a compaction can trigger.
+const DefaultCompactMin = 1024
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		slots:      make(map[VertexID]slotRec),
+		compactMin: DefaultCompactMin,
+		active:     make(map[VertexID]struct{}),
+		pinEmpty:   make(map[VertexID]struct{}),
+	}
+}
+
+// SetCompactMin overrides the minimum tail size that triggers compaction
+// (tests and benchmarks force small thresholds to exercise generation
+// boundaries).
+func (s *Store) SetCompactMin(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.compactMin = n
+}
+
+// NumVertices returns the count of vertices with at least one local edge
+// copy (or a pin).
+func (s *Store) NumVertices() int { return len(s.slots) }
+
+// NumOutEdges returns the number of locally stored out-copies.
+func (s *Store) NumOutEdges() int { return s.numOut }
+
+// NumInEdges returns the number of locally stored in-copies.
+func (s *Store) NumInEdges() int { return s.numIn }
+
+// NumEdgeCopies returns out+in copies, the agent's memory-relevant load.
+func (s *Store) NumEdgeCopies() int { return s.numOut + s.numIn }
+
+// Compactions returns the number of tail-fold compactions performed. It
+// is safe to call from any goroutine (metric scrapes).
+func (s *Store) Compactions() uint64 { return s.compactions.Load() }
+
+// sealedOutRun returns the (possibly partially deleted) sealed out run.
+func (s *Store) sealedOutRun(rec slotRec) []VertexID {
+	return s.sealedOut[rec.outStart : rec.outStart+rec.outLen]
+}
+
+func (s *Store) sealedInRun(rec slotRec) []VertexID {
+	return s.sealedIn[rec.inStart : rec.inStart+rec.inLen]
+}
+
+// sortedContains reports whether v is in the ascending list.
+func sortedContains(list []VertexID, v VertexID) bool {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
+	return i < len(list) && list[i] == v
+}
+
+// sortedInsert inserts v keeping ascending order; reports false if
+// already present.
+func sortedInsert(list []VertexID, v VertexID) ([]VertexID, bool) {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
+	if i < len(list) && list[i] == v {
+		return list, false
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = v
+	return list, true
+}
+
+// sortedRemove deletes v preserving order; reports whether it was there.
+func sortedRemove(list []VertexID, v VertexID) ([]VertexID, bool) {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
+	if i >= len(list) || list[i] != v {
+		return list, false
+	}
+	copy(list[i:], list[i+1:])
+	return list[:len(list)-1], true
+}
+
+// tailOf attaches (or returns) the vertex's tail record. The caller must
+// re-store rec into s.slots if it was newly attached.
+func (s *Store) tailOf(rec *slotRec) *tailRec {
+	if rec.tail == nil {
+		rec.tail = &tailRec{}
+		s.tailRecs++
+	}
+	return rec.tail
+}
+
+// Pin keeps vertex v in the store even with zero local edges, used for
+// replica bookkeeping of split vertices that currently hold no edge copy.
+func (s *Store) Pin(v VertexID) {
+	if _, ok := s.slots[v]; !ok {
+		s.slots[v] = slotRec{}
+	}
+	s.pinEmpty[v] = struct{}{}
+}
+
+// Unpin removes the pin; the vertex is dropped if it has no edges left.
+func (s *Store) Unpin(v VertexID) {
+	delete(s.pinEmpty, v)
+	if rec, ok := s.slots[v]; ok {
+		s.maybeDrop(v, rec)
+	}
+}
+
+// liveDegrees returns the vertex's live out/in degrees under rec.
+func liveDegrees(rec slotRec) (out, in int) {
+	out, in = int(rec.outLen), int(rec.inLen)
+	if t := rec.tail; t != nil {
+		out += len(t.outAdd) - len(t.outDel)
+		in += len(t.inAdd) - len(t.inDel)
+	}
+	return out, in
+}
+
+// maybeDrop removes a vertex left with no live copies and no pin. Sealed
+// entries it still occupies become dead weight until the next compaction.
+func (s *Store) maybeDrop(v VertexID, rec slotRec) {
+	out, in := liveDegrees(rec)
+	if out != 0 || in != 0 {
+		return
+	}
+	if _, pinned := s.pinEmpty[v]; pinned {
+		return
+	}
+	if t := rec.tail; t != nil {
+		s.tailOps -= t.size()
+		s.tailRecs--
+		// Sealed entries not already delete-logged join the dead count.
+		s.deadSealed += int(rec.outLen) - len(t.outDel) + int(rec.inLen) - len(t.inDel)
+	} else {
+		s.deadSealed += int(rec.outLen) + int(rec.inLen)
+	}
+	delete(s.slots, v)
+	delete(s.active, v)
+}
+
+// AddEdge stores a copy of edge (u,v) in direction dir. For dir==Out the
+// copy lives under u (v added to u's out-set); for dir==In it lives
+// under v (u added to v's in-set). Duplicate copies are ignored; the
+// return reports whether the store changed.
+func (s *Store) AddEdge(u, v VertexID, dir Dir) bool {
+	key, nbr := u, v
+	if dir == In {
+		key, nbr = v, u
+	}
+	rec := s.slots[key]
+	var sealed []VertexID
+	if dir == Out {
+		sealed = s.sealedOutRun(rec)
+	} else {
+		sealed = s.sealedInRun(rec)
+	}
+	t := rec.tail
+	if sortedContains(sealed, nbr) {
+		// Present in the sealed run unless delete-logged; a logged delete
+		// is revived by erasing the log entry.
+		if t == nil {
+			return false
+		}
+		del := &t.outDel
+		if dir == In {
+			del = &t.inDel
+		}
+		var revived bool
+		if *del, revived = sortedRemove(*del, nbr); !revived {
+			return false
+		}
+		s.tailOps--
+		s.deadSealed--
+	} else {
+		add := func() *[]VertexID {
+			t = s.tailOf(&rec)
+			if dir == Out {
+				return &t.outAdd
+			}
+			return &t.inAdd
+		}()
+		var inserted bool
+		if *add, inserted = sortedInsert(*add, nbr); !inserted {
+			return false
+		}
+		s.tailOps++
+	}
+	if dir == Out {
+		s.numOut++
+	} else {
+		s.numIn++
+	}
+	s.slots[key] = rec
+	s.maybeCompact()
+	return true
+}
+
+// RemoveEdge deletes the stored copy of (u,v) in direction dir, reporting
+// whether it existed. Vertices left with no copies (and no pin) are
+// dropped so memory tracks the live graph.
+func (s *Store) RemoveEdge(u, v VertexID, dir Dir) bool {
+	key, nbr := u, v
+	if dir == In {
+		key, nbr = v, u
+	}
+	rec, ok := s.slots[key]
+	if !ok {
+		return false
+	}
+	t := rec.tail
+	if t != nil {
+		// A tail-added edge is removed from the add log directly.
+		add := &t.outAdd
+		if dir == In {
+			add = &t.inAdd
+		}
+		if list, removed := sortedRemove(*add, nbr); removed {
+			*add = list
+			s.tailOps--
+			if dir == Out {
+				s.numOut--
+			} else {
+				s.numIn--
+			}
+			s.slots[key] = rec
+			s.maybeDrop(key, rec)
+			return true
+		}
+	}
+	var sealed []VertexID
+	if dir == Out {
+		sealed = s.sealedOutRun(rec)
+	} else {
+		sealed = s.sealedInRun(rec)
+	}
+	if !sortedContains(sealed, nbr) {
+		return false
+	}
+	t = s.tailOf(&rec)
+	del := &t.outDel
+	if dir == In {
+		del = &t.inDel
+	}
+	var logged bool
+	if *del, logged = sortedInsert(*del, nbr); !logged {
+		return false // already delete-logged
+	}
+	s.tailOps++
+	s.deadSealed++
+	if dir == Out {
+		s.numOut--
+	} else {
+		s.numIn--
+	}
+	s.slots[key] = rec
+	s.maybeDrop(key, rec)
+	s.maybeCompact()
+	return true
+}
+
+// maybeCompact folds the tail into a fresh sealed generation once the
+// delta log (plus dead sealed entries) outgrows max(compactMin,
+// sealed/4) — geometric growth keeps amortized insert cost O(1) while
+// bounding tail scans and dead space to a constant fraction.
+func (s *Store) maybeCompact() {
+	threshold := (len(s.sealedOut) + len(s.sealedIn)) / 4
+	if threshold < s.compactMin {
+		threshold = s.compactMin
+	}
+	if s.tailOps+s.deadSealed >= threshold {
+		s.Compact()
+	}
+}
+
+// Compact rebuilds the sealed arrays from the current live edge set,
+// clearing every tail. Pinned zero-edge vertices survive with empty runs.
+func (s *Store) Compact() {
+	newOut := make([]VertexID, 0, s.numOut)
+	newIn := make([]VertexID, 0, s.numIn)
+	for v, rec := range s.slots {
+		outStart := uint32(len(newOut))
+		newOut = mergeRun(newOut, s.sealedOutRun(rec), rec.tail, false)
+		inStart := uint32(len(newIn))
+		newIn = mergeRun(newIn, s.sealedInRun(rec), rec.tail, true)
+		s.slots[v] = slotRec{
+			outStart: outStart, outLen: uint32(len(newOut)) - outStart,
+			inStart: inStart, inLen: uint32(len(newIn)) - inStart,
+		}
+	}
+	s.sealedOut, s.sealedIn = newOut, newIn
+	s.tailOps, s.tailRecs, s.deadSealed = 0, 0, 0
+	s.compactions.Add(1)
+}
+
+// mergeRun appends the live merge of one sealed run and its tail (sealed
+// minus delete log, plus adds, ascending) onto dst.
+func mergeRun(dst, sealed []VertexID, t *tailRec, in bool) []VertexID {
+	var add, del []VertexID
+	if t != nil {
+		if in {
+			add, del = t.inAdd, t.inDel
+		} else {
+			add, del = t.outAdd, t.outDel
+		}
+	}
+	si, ai, di := 0, 0, 0
+	for si < len(sealed) || ai < len(add) {
+		if si < len(sealed) {
+			sv := sealed[si]
+			for di < len(del) && del[di] < sv {
+				di++
+			}
+			if di < len(del) && del[di] == sv {
+				si++
+				continue
+			}
+			if ai < len(add) && add[ai] < sv {
+				dst = append(dst, add[ai])
+				ai++
+				continue
+			}
+			dst = append(dst, sv)
+			si++
+			continue
+		}
+		dst = append(dst, add[ai])
+		ai++
+	}
+	return dst
+}
+
+// Apply applies one change in direction dir, marking the locally stored
+// endpoint active if the topology changed.
+func (s *Store) Apply(c Change, dir Dir) bool {
+	var changed bool
+	if c.Action == Insert {
+		changed = s.AddEdge(c.Src, c.Dst, dir)
+	} else {
+		changed = s.RemoveEdge(c.Src, c.Dst, dir)
+	}
+	if changed {
+		if dir == Out {
+			s.MarkActive(c.Src)
+		} else {
+			s.MarkActive(c.Dst)
+		}
+	}
+	return changed
+}
+
+// ApplyBatch applies a change batch in direction dir and returns the
+// affected-vertex frontier: the sorted set of locally stored endpoints
+// whose topology actually changed. The frontier seeds the first superstep
+// of a delta-driven recompute (§4.3: "only vertices directly modified in
+// the batch are activated"); the same vertices are also marked active, so
+// agent-side incremental runs keep working through TakeActive.
+func (s *Store) ApplyBatch(b Batch, dir Dir) []VertexID {
+	if len(b) == 0 {
+		return nil
+	}
+	touched := make(map[VertexID]struct{}, len(b))
+	for _, c := range b {
+		if s.Apply(c, dir) {
+			if dir == Out {
+				touched[c.Src] = struct{}{}
+			} else {
+				touched[c.Dst] = struct{}{}
+			}
+		}
+	}
+	if len(touched) == 0 {
+		return nil
+	}
+	frontier := make([]VertexID, 0, len(touched))
+	for v := range touched {
+		frontier = append(frontier, v)
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	return frontier
+}
+
+// HasVertex reports whether v has any local presence.
+func (s *Store) HasVertex(v VertexID) bool {
+	_, ok := s.slots[v]
+	return ok
+}
+
+// Cursor is a zero-allocation neighbour iterator: a value type holding
+// the sealed run, delete log, and add log of one vertex in one direction.
+// It must not be held across store mutations (compaction and tail edits
+// invalidate the aliased slices), the same lifetime rule the old
+// neighbour-slice accessors had.
+type Cursor struct {
+	sealed, del, add []VertexID
+	si, di, ai       int
+}
+
+// Next returns the next neighbour in ascending ID order.
+func (c *Cursor) Next() (VertexID, bool) {
+	for c.si < len(c.sealed) {
+		sv := c.sealed[c.si]
+		for c.di < len(c.del) && c.del[c.di] < sv {
+			c.di++
+		}
+		if c.di < len(c.del) && c.del[c.di] == sv {
+			c.si++
+			continue
+		}
+		if c.ai < len(c.add) && c.add[c.ai] < sv {
+			v := c.add[c.ai]
+			c.ai++
+			return v, true
+		}
+		c.si++
+		return sv, true
+	}
+	if c.ai < len(c.add) {
+		v := c.add[c.ai]
+		c.ai++
+		return v, true
+	}
+	return 0, false
+}
+
+// OutCursor returns a cursor over v's locally stored out-neighbours.
+func (s *Store) OutCursor(v VertexID) Cursor {
+	rec, ok := s.slots[v]
+	if !ok {
+		return Cursor{}
+	}
+	c := Cursor{sealed: s.sealedOutRun(rec)}
+	if t := rec.tail; t != nil {
+		c.del, c.add = t.outDel, t.outAdd
+	}
+	return c
+}
+
+// InCursor returns a cursor over v's locally stored in-neighbours.
+func (s *Store) InCursor(v VertexID) Cursor {
+	rec, ok := s.slots[v]
+	if !ok {
+		return Cursor{}
+	}
+	c := Cursor{sealed: s.sealedInRun(rec)}
+	if t := rec.tail; t != nil {
+		c.del, c.add = t.inDel, t.inAdd
+	}
+	return c
+}
+
+// ForEachOut calls fn for every locally stored out-neighbour of v in
+// ascending ID order until fn returns false.
+func (s *Store) ForEachOut(v VertexID, fn func(VertexID) bool) {
+	for it := s.OutCursor(v); ; {
+		w, ok := it.Next()
+		if !ok || !fn(w) {
+			return
+		}
+	}
+}
+
+// ForEachIn calls fn for every locally stored in-neighbour of v in
+// ascending ID order until fn returns false.
+func (s *Store) ForEachIn(v VertexID, fn func(VertexID) bool) {
+	for it := s.InCursor(v); ; {
+		u, ok := it.Next()
+		if !ok || !fn(u) {
+			return
+		}
+	}
+}
+
+// Degree returns v's local out- and in-degrees in O(1).
+func (s *Store) Degree(v VertexID) (out, in int) {
+	rec, ok := s.slots[v]
+	if !ok {
+		return 0, 0
+	}
+	return liveDegrees(rec)
+}
+
+// OutDegree returns the local out-degree of v.
+func (s *Store) OutDegree(v VertexID) int {
+	out, _ := s.Degree(v)
+	return out
+}
+
+// InDegree returns the local in-degree of v.
+func (s *Store) InDegree(v VertexID) int {
+	_, in := s.Degree(v)
+	return in
+}
+
+// AppendOut appends v's out-neighbours (ascending) onto buf — the
+// slice-materializing convenience for tests and snapshots; hot paths use
+// cursors.
+func (s *Store) AppendOut(v VertexID, buf []VertexID) []VertexID {
+	s.ForEachOut(v, func(w VertexID) bool {
+		buf = append(buf, w)
+		return true
+	})
+	return buf
+}
+
+// AppendIn appends v's in-neighbours (ascending) onto buf.
+func (s *Store) AppendIn(v VertexID, buf []VertexID) []VertexID {
+	s.ForEachIn(v, func(u VertexID) bool {
+		buf = append(buf, u)
+		return true
+	})
+	return buf
+}
+
+// Vertices calls fn for every locally present vertex until fn returns
+// false. Iteration order is unspecified.
+func (s *Store) Vertices(fn func(VertexID) bool) {
+	for v := range s.slots {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// VertexList returns all locally present vertices, sorted (deterministic
+// iteration for tests and checkpoints).
+func (s *Store) VertexList() []VertexID {
+	out := make([]VertexID, 0, len(s.slots))
+	for v := range s.slots {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MarkActive adds v to the active set consumed by the next superstep.
+func (s *Store) MarkActive(v VertexID) { s.active[v] = struct{}{} }
+
+// IsActive reports whether v is in the active set.
+func (s *Store) IsActive(v VertexID) bool {
+	_, ok := s.active[v]
+	return ok
+}
+
+// ClearActive removes v from the active set.
+func (s *Store) ClearActive(v VertexID) { delete(s.active, v) }
+
+// ActiveCount returns the size of the active set — between batch boundary
+// and run start this is the frontier the next delta recompute seeds from.
+func (s *Store) ActiveCount() int { return len(s.active) }
+
+// TakeActive returns the current active set sorted and resets it. Dynamic
+// algorithms seed each batch's first superstep from this set (§4.3: "only
+// vertices directly modified in the batch are activated").
+func (s *Store) TakeActive() []VertexID {
+	if len(s.active) == 0 {
+		return nil
+	}
+	out := make([]VertexID, 0, len(s.active))
+	for v := range s.active {
+		out = append(out, v)
+	}
+	s.active = make(map[VertexID]struct{})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ActivateAll marks every local vertex active (static from-scratch runs).
+func (s *Store) ActivateAll() {
+	for v := range s.slots {
+		s.active[v] = struct{}{}
+	}
+}
+
+// Copies calls fn for every stored edge copy until fn returns false.
+// Agents use it to re-evaluate ownership after a directory change.
+func (s *Store) Copies(fn func(EdgeCopy) bool) {
+	for v := range s.slots {
+		stop := false
+		s.ForEachOut(v, func(w VertexID) bool {
+			if !fn(EdgeCopy{Src: v, Dst: w, Dir: Out}) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+		s.ForEachIn(v, func(u VertexID) bool {
+			if !fn(EdgeCopy{Src: u, Dst: v, Dir: In}) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// MemoryBytes estimates the store's heap footprint in O(1) from
+// maintained counters: sealed array capacity, per-slot map overhead, and
+// tail records. It is an estimate (Go map internals are approximated at
+// 48 bytes per slot entry), but a consistent one — the bytes/edge metric
+// and the MapStore comparison use the same accounting rules.
+func (s *Store) MemoryBytes() uint64 {
+	const (
+		slotBytes    = 48  // map entry (key+slotRec) incl. bucket overhead
+		tailRecBytes = 112 // tailRec struct + object header
+		setBytes     = 16  // active/pin set entry
+	)
+	b := uint64(cap(s.sealedOut)+cap(s.sealedIn)) * 8
+	b += uint64(len(s.slots)) * slotBytes
+	b += uint64(s.tailRecs) * tailRecBytes
+	// Tail entry slack: sorted-insert slices run near capacity; 2x covers
+	// append doubling.
+	b += uint64(s.tailOps) * 16
+	b += uint64(len(s.active)+len(s.pinEmpty)) * setBytes
+	return b
+}
+
+// BytesPerEdge returns the estimated bytes per stored edge copy.
+func (s *Store) BytesPerEdge() float64 {
+	copies := s.NumEdgeCopies()
+	if copies == 0 {
+		return 0
+	}
+	return float64(s.MemoryBytes()) / float64(copies)
+}
+
+// String summarizes the store for logs.
+func (s *Store) String() string {
+	return fmt.Sprintf("store{v=%d out=%d in=%d sealed=%d tail=%d dead=%d active=%d compactions=%d}",
+		len(s.slots), s.numOut, s.numIn,
+		len(s.sealedOut)+len(s.sealedIn), s.tailOps, s.deadSealed,
+		len(s.active), s.compactions.Load())
+}
