@@ -46,6 +46,10 @@ type jsonOutput struct {
 	// delta-recompute ns/batch per algorithm and batch size.
 	Storage *experiments.StoragePerf `json:"storage,omitempty"`
 	Delta   []experiments.DeltaPerf  `json:"delta,omitempty"`
+	// Repartition compares hash-only placement against the adaptive
+	// planner on a community-structured workload: cut ratio and
+	// cross-agent bytes are the regression-tracked numbers.
+	Repartition *experiments.RepartitionPerf `json:"repartition,omitempty"`
 }
 
 func main() {
@@ -162,6 +166,18 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr)
 		}
+		// The repartition comparison rides every JSON record too: cut ratio
+		// and cross-agent bytes under hash-only vs adaptive placement.
+		if rp, err := experiments.MeasureRepartition(scale); err != nil {
+			fmt.Fprintf(os.Stderr, "elga-bench: repartition failed: %v\n", err)
+			failed++
+		} else {
+			out.Repartition = rp
+			fmt.Fprintf(os.Stderr, "[repart: cut %.3f -> %.3f, remote %.2f -> %.2f MiB, %d moves on %s]\n\n",
+				rp.Baseline.CutRatio, rp.Repart.CutRatio,
+				float64(rp.Baseline.RemoteBytes)/(1<<20), float64(rp.Repart.RemoteBytes)/(1<<20),
+				rp.Moves, rp.Graph)
+		}
 		// The tracing-on repeat quantifies the tracing subsystem's overhead
 		// against the baseline directly in the same record.
 		if out.Superstep != nil {
@@ -218,6 +234,7 @@ func runCompare(oldPath, newPath string) error {
 	comparePerf("superstep_traced", o.SuperstepTraced, n.SuperstepTraced)
 	compareStorage(o.Storage, n.Storage)
 	compareDelta(o.Delta, n.Delta)
+	compareRepartition(o.Repartition, n.Repartition)
 	oldSecs := make(map[string]float64, len(o.Experiments))
 	for _, e := range o.Experiments {
 		oldSecs[e.ID] = e.Seconds
@@ -266,6 +283,25 @@ func compareStorage(o, n *experiments.StoragePerf) {
 	deltaLine("csr_bytes_per_edge", o.CSRBytesPerEdge, n.CSRBytesPerEdge)
 	deltaLine("map_bytes_per_edge", o.MapBytesPerEdge, n.MapBytesPerEdge)
 	deltaLine("reduction", o.Reduction, n.Reduction)
+}
+
+// compareRepartition prints cut-ratio and cross-agent traffic deltas for
+// both placement variants between two records.
+func compareRepartition(o, n *experiments.RepartitionPerf) {
+	switch {
+	case o == nil && n == nil:
+		return
+	case o == nil || n == nil:
+		fmt.Printf("\nrepartition: present only in %s record\n", map[bool]string{o != nil: "old", n != nil: "new"}[true])
+		return
+	}
+	fmt.Printf("\nrepartition (%s, %d agents):\n", n.Graph, n.Agents)
+	deltaLine("baseline_cut_ratio", o.Baseline.CutRatio, n.Baseline.CutRatio)
+	deltaLine("repart_cut_ratio", o.Repart.CutRatio, n.Repart.CutRatio)
+	deltaLine("baseline_remote_bytes", float64(o.Baseline.RemoteBytes), float64(n.Baseline.RemoteBytes))
+	deltaLine("repart_remote_bytes", float64(o.Repart.RemoteBytes), float64(n.Repart.RemoteBytes))
+	deltaLine("repart_ns_per_step", o.Repart.NsPerStep, n.Repart.NsPerStep)
+	deltaLine("moves", float64(o.Moves), float64(n.Moves))
 }
 
 // compareDelta matches full-vs-delta rows by (algo, batch size) and

@@ -1,10 +1,12 @@
 // Command elga-gen generates synthetic graphs as edge-list files: R-MAT
-// (Graph500), uniform, preferential attachment, and BTER profile scaling
-// of an existing edge list (the A-BTER role of §4.4).
+// (Graph500), uniform, preferential attachment, planted-partition
+// community graphs, and BTER profile scaling of an existing edge list
+// (the A-BTER role of §4.4).
 //
 //	elga-gen rmat -scale 16 -edges 1000000 > g.txt
 //	elga-gen uniform -n 100000 -edges 500000 > g.txt
 //	elga-gen pa -n 50000 -k 8 > g.txt
+//	elga-gen community -n 65536 -communities 16 -intra 0.9 > g.txt
 //	elga-gen bter -base g.txt -scale 10 > g10.txt
 //	elga-gen dataset -name twitter > twitter.txt
 package main
@@ -50,6 +52,17 @@ func main() {
 		seed := fs.Int64("seed", 1, "random seed")
 		_ = fs.Parse(args)
 		el = gen.PreferentialAttachment(*n, *k, *seed)
+	case "community":
+		fs := flag.NewFlagSet("community", flag.ExitOnError)
+		n := fs.Int("n", 1<<16, "vertex count")
+		comms := fs.Int("communities", 16, "planted community count")
+		edges := fs.Int("edges", 1<<18, "edge attempts")
+		intra := fs.Float64("intra", 0.9, "probability an edge stays inside its community")
+		seed := fs.Int64("seed", 1, "random seed")
+		_ = fs.Parse(args)
+		el = gen.Community(gen.CommunityParams{
+			N: *n, Communities: *comms, Edges: *edges, PIntra: *intra,
+		}, *seed)
 	case "bter":
 		fs := flag.NewFlagSet("bter", flag.ExitOnError)
 		base := fs.String("base", "", "base edge list to profile and scale")
@@ -89,7 +102,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: elga-gen {rmat|uniform|pa|bter|dataset} [flags] > edges.txt")
+	fmt.Fprintln(os.Stderr, "usage: elga-gen {rmat|uniform|pa|community|bter|dataset} [flags] > edges.txt")
 }
 
 func fatal(err error) {

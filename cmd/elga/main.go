@@ -32,6 +32,7 @@ import (
 	"elga/internal/directory"
 	"elga/internal/graph"
 	"elga/internal/metrics"
+	"elga/internal/repartition"
 	"elga/internal/streamer"
 	"elga/internal/trace"
 	"elga/internal/trace/collect"
@@ -128,8 +129,18 @@ func runDirectory(args []string) error {
 	addr := fs.String("addr", "", "listen address (empty = ephemeral)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	traceOut := fs.String("trace-out", "", "write collected spans as Chrome trace-event JSON here on shutdown (implies -trace; coordinator only)")
+	repart := fs.Bool("repartition", false, "enable adaptive locality-aware repartitioning (coordinator only; agents need -repartition too)")
+	repartCfg := repartition.DefaultConfig()
+	fs.IntVar(&repartCfg.MaxMoves, "repartition-max-moves", repartCfg.MaxMoves, "vertex moves per planning round")
+	fs.Uint64Var(&repartCfg.MinGain, "repartition-min-gain", repartCfg.MinGain, "minimum remote-minus-local message advantage per move")
+	fs.IntVar(&repartCfg.Cooldown, "repartition-cooldown", repartCfg.Cooldown, "rounds a moved vertex is frozen against re-moving")
+	fs.Float64Var(&repartCfg.Slack, "repartition-slack", repartCfg.Slack, "allowed per-agent vertex-count overshoot vs the mean")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var rcfg *repartition.Config
+	if *repart {
+		rcfg = &repartCfg
 	}
 	if *traceOut != "" {
 		tcfg.Enabled = true
@@ -159,7 +170,7 @@ func runDirectory(args []string) error {
 	}
 	d, err := directory.Start(directory.Options{
 		Config: *cfg, Network: transport.NewTCP(), MasterAddr: *master, Addr: *addr,
-		Metrics: reg, Trace: tcfg, SpanSink: sink,
+		Metrics: reg, Trace: tcfg, SpanSink: sink, Repartition: rcfg,
 	})
 	if err != nil {
 		return err
@@ -194,6 +205,7 @@ func runAgent(args []string) error {
 	master, cfg, tcfg := commonFlags(fs)
 	n := fs.Int("n", 1, "number of agents to run in this process")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
+	repart := fs.Bool("repartition", false, "account scatter traffic and report chatty-vertex digests (pair with the coordinator's -repartition)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -208,7 +220,7 @@ func runAgent(args []string) error {
 	for i := 0; i < *n; i++ {
 		a, err := agent.Start(agent.Options{
 			Config: *cfg, Network: transport.NewTCP(), MasterAddr: *master, DirIndex: i,
-			Metrics: reg, Trace: tcfg,
+			Metrics: reg, Trace: tcfg, Repartition: *repart,
 		})
 		if err != nil {
 			return err

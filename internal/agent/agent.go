@@ -45,6 +45,10 @@ type Options struct {
 	// phase histograms for the /metrics endpoint. Nil leaves every handle
 	// nil (observation points become single branches).
 	Metrics *metrics.Registry
+	// Repartition enables scatter-traffic accounting and the periodic
+	// top-K chatty-vertex digest feeding the coordinator's repartition
+	// planner. Off, the scatter path pays a single branch.
+	Repartition bool
 	// Trace configures distributed tracing; nil resolves from the
 	// environment (trace.FromEnv), so every layer honours one Config.
 	Trace *trace.Config
@@ -214,6 +218,10 @@ type Agent struct {
 	tickCount       uint64
 	lastRetransmits uint64
 
+	// comm is the repartition scatter-traffic ledger (repart.go); its
+	// enabled flag gates every accounting touch point.
+	comm commAccounting
+
 	// Distributed tracing (nil tracer = off, one branch per touch point).
 	// phaseSpan covers Advance-to-vote processing; barrierSpan covers the
 	// vote-to-next-Advance idle that attributes barrier wait per agent per
@@ -259,6 +267,7 @@ func Start(opts Options) (*Agent, error) {
 	tcfg := trace.Resolve(opts.Trace)
 	tcfg.Apply()
 	a.tracer = trace.NewTracer("agent", tcfg)
+	a.initComm()
 	a.initMetrics(opts.Metrics)
 	// Directories register with the master concurrently with agent
 	// startup, so an empty list is retried until the deadline rather
@@ -428,9 +437,11 @@ func (a *Agent) handlePacket(pkt *wire.Packet) bool {
 	case wire.TAlgoDone:
 		a.handleAlgoDone(pkt)
 		a.node.Ack(pkt)
-		// Flush completed spans promptly at run end rather than waiting
-		// out the tick cadence — the collector wants the final steps.
+		// Flush completed spans and the scatter digest promptly at run
+		// end rather than waiting out the tick cadence — the collector
+		// wants the final steps, the planner wants fresh evidence.
 		a.shipSpans()
+		a.sendDigest()
 	case wire.TBatchOpen:
 		a.handleBatchOpen()
 		a.node.Ack(pkt)
@@ -451,6 +462,7 @@ func (a *Agent) handlePacket(pkt *wire.Packet) bool {
 		if a.tickCount%4 == 0 {
 			a.sendLoadMetrics()
 			a.shipSpans()
+			a.sendDigest()
 		}
 	case wire.TQuery:
 		a.handleQuery(pkt)

@@ -455,6 +455,9 @@ func (a *Agent) putBatcher(b *msgBatcher) {
 func (b *msgBatcher) add(dst consistent.AgentID, m wire.VertexMsg) {
 	a := b.agent
 	if dst == consistent.AgentID(a.id) {
+		if a.comm.enabled {
+			a.accountLocal(m.Via, 1)
+		}
 		// Local delivery: aggregate straight into the mailbox.
 		a.deliverLocal(b.step, graph.VertexID(m.Target), algorithm.Word(m.Value))
 		return
@@ -462,6 +465,9 @@ func (b *msgBatcher) add(dst consistent.AgentID, m wire.VertexMsg) {
 	addr, ok := a.router.AddrOf(dst)
 	if !ok {
 		return
+	}
+	if a.comm.enabled {
+		a.accountRemote(m.Via, dst, 1)
 	}
 	b.byDst[addr] = append(b.byDst[addr], m)
 }

@@ -75,4 +75,25 @@ func (a *Agent) initMetrics(reg *metrics.Registry) {
 	reg.CounterFunc("elga_trace_dropped_spans_total",
 		"Sampled trace spans dropped before shipping (backpressure).", lbl,
 		func() uint64 { return a.tracer.Dropped() })
+	// Repartition cut instrumentation (repart.go): local vs cross-agent
+	// scatter volume and the derived cut ratio. Zero while accounting is
+	// disabled.
+	reg.CounterFunc("elga_scatter_local_msgs_total",
+		"Scattered algorithm messages delivered to the sending agent.", lbl,
+		func() uint64 { return a.comm.localMsgs.Load() })
+	reg.CounterFunc("elga_scatter_remote_msgs_total",
+		"Scattered algorithm messages sent to other agents.", lbl,
+		func() uint64 { return a.comm.remoteMsgs.Load() })
+	reg.CounterFunc("elga_scatter_remote_bytes_total",
+		"Wire bytes of cross-agent scattered messages.", lbl,
+		func() uint64 { return a.comm.remoteBytes.Load() })
+	reg.GaugeFunc("elga_scatter_cut_ratio",
+		"Fraction of scattered messages crossing agents (cumulative).", lbl,
+		func() float64 {
+			l, r := a.comm.localMsgs.Load(), a.comm.remoteMsgs.Load()
+			if l+r == 0 {
+				return 0
+			}
+			return float64(r) / float64(l+r)
+		})
 }

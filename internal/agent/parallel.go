@@ -342,10 +342,20 @@ func (a *Agent) mergeShards(shards []*computeShard, batches *msgBatcher, self co
 				continue
 			}
 			if dst == self {
+				if a.comm.enabled {
+					for _, m := range msgs {
+						a.accountLocal(m.Via, 1)
+					}
+				}
 				for _, m := range msgs {
 					a.deliverLocal(batches.step, graph.VertexID(m.Target), algorithm.Word(m.Value))
 				}
 			} else {
+				if a.comm.enabled {
+					for _, m := range msgs {
+						a.accountRemote(m.Via, dst, 1)
+					}
+				}
 				batches.addMany(dst, msgs)
 			}
 		}

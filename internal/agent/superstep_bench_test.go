@@ -16,9 +16,19 @@ import (
 // parallel variants show the speedup; on a single-core host they measure
 // pool overhead instead — record numbers honestly either way.
 func benchmarkSuperstep(b *testing.B, workers int) {
+	benchmarkSuperstepComm(b, workers, false)
+}
+
+// benchmarkSuperstepComm is benchmarkSuperstep with the repartitioner's
+// scatter-traffic ledger optionally armed, to pin its hot-path cost.
+func benchmarkSuperstepComm(b *testing.B, workers int, repart bool) {
 	cfg := allocTestConfig()
 	const n = 4096
 	a := newLoopbackAgent(b, cfg, n)
+	if repart {
+		a.opts.Repartition = true
+		a.initComm()
+	}
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < n; i++ {
 		src := graph.VertexID(i)
@@ -70,5 +80,19 @@ func TestSuperstepAllocCeiling(t *testing.T) {
 	res := testing.Benchmark(func(b *testing.B) { benchmarkSuperstep(b, 1) })
 	if allocs := res.AllocsPerOp(); allocs > 3 {
 		t.Fatalf("sequential superstep allocates %d allocs/op, ceiling is 3", allocs)
+	}
+}
+
+// TestSuperstepAllocCeilingRepartition repeats the ceiling with the
+// repartitioner's scatter accounting armed: the window map is cleared in
+// place between digests, so steady-state accounting re-inserts warm keys
+// into retained buckets and the 3 allocs/op ceiling must hold unchanged.
+func TestSuperstepAllocCeilingRepartition(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under -race")
+	}
+	res := testing.Benchmark(func(b *testing.B) { benchmarkSuperstepComm(b, 1, true) })
+	if allocs := res.AllocsPerOp(); allocs > 3 {
+		t.Fatalf("superstep with comm accounting allocates %d allocs/op, ceiling is 3", allocs)
 	}
 }

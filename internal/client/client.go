@@ -11,6 +11,7 @@ import (
 
 	"elga/internal/algorithm"
 	"elga/internal/config"
+	"elga/internal/consistent"
 	"elga/internal/graph"
 	"elga/internal/metrics"
 	"elga/internal/route"
@@ -152,6 +153,12 @@ func (c *Client) Epoch() uint64 { return c.router.Epoch() }
 
 // NumAgents returns the agent count of the installed view.
 func (c *Client) NumAgents() int { return c.router.NumAgents() }
+
+// Overrides returns a copy of the placement override table carried by the
+// client's installed view (empty unless adaptive repartitioning is on).
+func (c *Client) Overrides() map[graph.VertexID]consistent.AgentID {
+	return c.router.Overrides()
+}
 
 func (c *Client) drainViews(block bool) error {
 	deadline := time.Now().Add(c.opts.Config.RequestTimeout)

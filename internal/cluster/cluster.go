@@ -18,6 +18,7 @@ import (
 	"elga/internal/directory"
 	"elga/internal/graph"
 	"elga/internal/metrics"
+	"elga/internal/repartition"
 	"elga/internal/stats"
 	"elga/internal/streamer"
 	"elga/internal/trace"
@@ -60,6 +61,14 @@ type Options struct {
 	// cluster hosts a span collector — read it back with Collector(),
 	// WriteTrace, or TraceSummary.
 	Trace *trace.Config
+	// Repartition, when non-nil, enables adaptive locality-aware
+	// repartitioning: agents account their scatter traffic and the
+	// coordinator migrates chatty vertices between supersteps.
+	Repartition *repartition.Config
+	// CommAccounting arms the agents' scatter-traffic ledgers without a
+	// planner — the hash-only baseline of the repartition experiment
+	// (implied by Repartition).
+	CommAccounting bool
 }
 
 // Cluster is a running ElGA deployment.
@@ -159,6 +168,7 @@ func New(opts Options) (*Cluster, error) {
 			MetricHandler: dirMH,
 			SpanSink:      dirSS,
 			Metrics:       c.reg,
+			Repartition:   opts.Repartition,
 			Trace:         &c.tcfg,
 		})
 		if err != nil {
@@ -208,12 +218,13 @@ func (c *Cluster) Agents() []*agent.Agent { return c.agents }
 // computation resumes.
 func (c *Cluster) AddAgent() (*agent.Agent, error) {
 	a, err := agent.Start(agent.Options{
-		Config:     c.opts.Config,
-		Network:    c.net,
-		MasterAddr: c.master.Addr(),
-		DirIndex:   len(c.agents),
-		Metrics:    c.reg,
-		Trace:      &c.tcfg,
+		Config:      c.opts.Config,
+		Network:     c.net,
+		MasterAddr:  c.master.Addr(),
+		DirIndex:    len(c.agents),
+		Metrics:     c.reg,
+		Repartition: c.opts.Repartition != nil || c.opts.CommAccounting,
+		Trace:       &c.tcfg,
 	})
 	if err != nil {
 		return nil, err
@@ -270,6 +281,30 @@ func (c *Cluster) KillAgent(i int) error {
 // Epoch returns the view epoch as seen by the control client.
 func (c *Cluster) Epoch() uint64 {
 	return c.ctl.Epoch()
+}
+
+// Coordinator returns the coordinator directory, or nil before boot
+// completes. Tests and experiments use it to read planner state.
+func (c *Cluster) Coordinator() *directory.Directory {
+	for _, d := range c.dirs {
+		if d.IsCoordinator() {
+			return d
+		}
+	}
+	return nil
+}
+
+// CommStats sums every live agent's scatter-traffic ledger: local and
+// cross-agent message counts plus cross-agent wire bytes. Zero unless the
+// cluster was booted with Options.Repartition.
+func (c *Cluster) CommStats() (local, remote, remoteBytes uint64) {
+	for _, a := range c.agents {
+		l, r, b := a.CommStats()
+		local += l
+		remote += r
+		remoteBytes += b
+	}
+	return local, remote, remoteBytes
 }
 
 // StatsMaps collects every live agent's counters plus each directory's,

@@ -9,7 +9,9 @@ import (
 
 	"elga/internal/algorithm"
 	"elga/internal/config"
+	"elga/internal/graph"
 	"elga/internal/metrics"
+	"elga/internal/repartition"
 	"elga/internal/sketch"
 	"elga/internal/stats"
 	"elga/internal/trace"
@@ -36,6 +38,10 @@ type Options struct {
 	// Metrics, when non-nil, registers this directory's counters, view
 	// gauges, and superstep histogram for the /metrics endpoint.
 	Metrics *metrics.Registry
+	// Repartition, when non-nil, enables the adaptive repartition planner
+	// at the coordinator: agent digests accumulate and bounded move plans
+	// execute as placement overrides between supersteps.
+	Repartition *repartition.Config
 	// Trace configures distributed tracing; nil resolves from the
 	// environment (trace.FromEnv).
 	Trace *trace.Config
@@ -95,6 +101,11 @@ type Directory struct {
 	seal      *sealState
 	run       *runState
 
+	// Repartitioning (repart.go): planner accumulates agent digests; the
+	// coordinator's canonical override table rides every view broadcast.
+	planner   *repartition.Planner
+	overrides map[graph.VertexID]uint64
+
 	// Atomic mirrors of event-loop state, read by StatsMap and metric
 	// scrapes off the event loop: statEvictions counts failure-detector
 	// evictions, statAgents/statEpoch follow the published view, and
@@ -108,6 +119,12 @@ type Directory struct {
 	stepHist *metrics.Histogram
 	// statSpanBatches counts TSpanBatch packets folded into the span sink.
 	statSpanBatches atomic.Uint64
+	// Repartition instrumentation: executed moves, completed plan rounds,
+	// live override count, and plan latency.
+	statMoves      atomic.Uint64
+	statPlanRounds atomic.Uint64
+	statOverrides  atomic.Int64
+	planHist       *metrics.Histogram
 	// tracer mints the coordinator's run and step spans — the roots every
 	// agent span links under. Nil when tracing is off.
 	tracer *trace.Tracer
@@ -185,7 +202,6 @@ func Start(opts Options) (*Directory, error) {
 	tcfg := trace.Resolve(opts.Trace)
 	tcfg.Apply()
 	d.tracer = trace.NewTracer("dir", tcfg)
-	d.initMetrics(opts.Metrics)
 	// Registration is idempotent (the master dedups by address), so it is
 	// safe to retry through transient faults.
 	reply, err := node.RequestRetry(opts.MasterAddr, transport.Retry{Attempts: 5},
@@ -206,6 +222,10 @@ func Start(opts Options) (*Directory, error) {
 	d.coordinator = d.coordAddr == node.Addr()
 	if d.coordinator {
 		d.tracer.SetProc("coordinator")
+		if opts.Repartition != nil {
+			d.planner = repartition.New(*opts.Repartition)
+			d.overrides = make(map[graph.VertexID]uint64)
+		}
 		d.lastView = wire.EncodeView(d.view())
 		d.scheduleLeaseSweep()
 	} else {
@@ -216,6 +236,9 @@ func Start(opts Options) (*Directory, error) {
 			return nil, err
 		}
 	}
+	// After the coordinator branch: the repartition metric families are
+	// gated on the planner existing, which is only decided above.
+	d.initMetrics(opts.Metrics)
 	go d.runLoop()
 	return d, nil
 }
@@ -244,6 +267,17 @@ func (d *Directory) initMetrics(reg *metrics.Registry) {
 	d.stepHist = reg.Histogram("elga_dir_superstep_seconds",
 		"Whole-superstep wall time observed at the coordinator barrier.",
 		nil, metrics.DurationBuckets)
+	if d.planner != nil {
+		reg.CounterFunc("elga_repart_moves_total", "Vertex placement moves executed by the repartition planner.", lbl,
+			d.statMoves.Load)
+		reg.CounterFunc("elga_repart_plan_rounds_total", "Completed repartition planning rounds.", lbl,
+			d.statPlanRounds.Load)
+		reg.GaugeFunc("elga_repart_overrides", "Live placement-override entries in the view.", lbl,
+			func() float64 { return float64(d.statOverrides.Load()) })
+		d.planHist = reg.Histogram("elga_repart_plan_seconds",
+			"Wall time of one repartition planning round.",
+			nil, metrics.DurationBuckets)
+	}
 }
 
 // Addr returns the directory's dialable address.
@@ -267,15 +301,18 @@ func (d *Directory) Close() error {
 func (d *Directory) StatsMap() stats.Counters {
 	ts := d.node.Stats()
 	return stats.Counters{
-		"evictions":      d.statEvictions.Load(),
-		"agents":         uint64(d.statAgents.Load()),
-		"epoch":          d.statEpoch.Load(),
-		"metric_samples": d.statMetricSamples.Load(),
-		"frames_in":      ts.FramesIn,
-		"frames_out":     ts.FramesOut,
-		"retransmits":    ts.Retransmits,
-		"dups_dropped":   ts.DuplicatesDropped,
-		"ack_give_ups":   ts.AckGiveUps,
+		"evictions":        d.statEvictions.Load(),
+		"agents":           uint64(d.statAgents.Load()),
+		"epoch":            d.statEpoch.Load(),
+		"metric_samples":   d.statMetricSamples.Load(),
+		"repart_moves":     d.statMoves.Load(),
+		"repart_rounds":    d.statPlanRounds.Load(),
+		"repart_overrides": uint64(d.statOverrides.Load()),
+		"frames_in":        ts.FramesIn,
+		"frames_out":       ts.FramesOut,
+		"retransmits":      ts.Retransmits,
+		"dups_dropped":     ts.DuplicatesDropped,
+		"ack_give_ups":     ts.AckGiveUps,
 	}
 }
 
@@ -290,7 +327,17 @@ func (d *Directory) view() *wire.View {
 		infos = append(infos, wire.AgentInfo{ID: id, Addr: d.agents[id]})
 	}
 	skBytes, _ := d.sk.MarshalBinary()
-	return &wire.View{Epoch: d.epoch, BatchID: d.batchID, N: d.n, Agents: infos, Sketch: skBytes}
+	v := &wire.View{Epoch: d.epoch, BatchID: d.batchID, N: d.n, Agents: infos, Sketch: skBytes}
+	if len(d.overrides) > 0 {
+		v.Overrides = make([]wire.VertexOverride, 0, len(d.overrides))
+		for vid, aid := range d.overrides {
+			v.Overrides = append(v.Overrides, wire.VertexOverride{Vertex: vid, AgentID: aid})
+		}
+		// Deterministic encoding keeps broadcast bytes stable across
+		// identical states (and test output reproducible).
+		sort.Slice(v.Overrides, func(i, j int) bool { return v.Overrides[i].Vertex < v.Overrides[j].Vertex })
+	}
+	return v
 }
 
 func (d *Directory) broadcastView() {
@@ -456,6 +503,13 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 				d.opts.SpanSink(sb.Proc, sb.Spans)
 			}
 		}
+	case wire.TVertexDigest:
+		if d.planner != nil {
+			if dg, err := wire.DecodeVertexDigest(pkt.Payload); err == nil {
+				d.planner.Observe(dg)
+				d.maybeRepartitionIdle()
+			}
+		}
 	case wire.TDirectoryList:
 		// Peer directories fan out on their own; nothing to track here.
 	case wire.TTick:
@@ -557,6 +611,13 @@ func (d *Directory) applyMembership() {
 	}
 	d.pendingJoins = nil
 	d.pendingLeaves = nil
+	if len(leavers) > 0 {
+		gone := make([]uint64, 0, len(leavers))
+		for id := range leavers {
+			gone = append(gone, id)
+		}
+		d.pruneOverrides(gone)
+	}
 	d.epoch++
 	d.broadcastView()
 
@@ -797,6 +858,9 @@ func (d *Directory) evictAgents(dead []uint64) {
 		}
 		d.statEvictions.Add(1)
 	}
+	// Rebase placement overrides onto the survivors before the view goes
+	// out: overrides that named a corpse revert to ring placement.
+	d.pruneOverrides(dead)
 	d.epoch++
 	d.broadcastView()
 	expected := make(map[uint64]bool, len(d.agents))
@@ -992,6 +1056,12 @@ func (d *Directory) finishPhase() {
 		// membership + migration, then resume (Fig. 17).
 		r.paused = true
 		d.advanceWork()
+		return
+	}
+	if d.maybeRepartition() {
+		// A repartition plan bumped the view between supersteps: hold the
+		// run while the override migration round completes, then resume.
+		r.paused = true
 		return
 	}
 	r.stepStart = time.Now()

@@ -1,0 +1,220 @@
+package repartition
+
+import (
+	"testing"
+
+	"elga/internal/consistent"
+	"elga/internal/graph"
+	"elga/internal/wire"
+)
+
+// digest builds a one-agent digest reporting the given entries with a
+// vertex load of n.
+func digest(agent uint64, n uint64, entries ...wire.DigestEntry) *wire.VertexDigest {
+	return &wire.VertexDigest{AgentID: agent, Epoch: 1, Vertices: n, Entries: entries}
+}
+
+func entry(v graph.VertexID, local uint64, peer uint64, peerMsgs uint64) wire.DigestEntry {
+	return wire.DigestEntry{Vertex: v, Local: local, Peer: peer, PeerMsgs: peerMsgs}
+}
+
+func members(ids ...uint64) []consistent.AgentID {
+	out := make([]consistent.AgentID, len(ids))
+	for i, id := range ids {
+		out[i] = consistent.AgentID(id)
+	}
+	return out
+}
+
+func TestPlanGainOrderingAndBound(t *testing.T) {
+	p := New(Config{MaxMoves: 2, MinGain: 1})
+	p.Observe(digest(1, 100,
+		entry(10, 0, 2, 5),  // gain 5
+		entry(11, 2, 2, 22), // gain 20
+		entry(12, 0, 2, 9),  // gain 9
+	))
+	moves := p.Plan(members(1, 2), nil)
+	if len(moves) != 2 {
+		t.Fatalf("MaxMoves=2 but got %d moves: %+v", len(moves), moves)
+	}
+	if moves[0].Vertex != 11 || moves[0].Gain != 20 {
+		t.Fatalf("highest-gain move first, got %+v", moves[0])
+	}
+	if moves[1].Vertex != 12 || moves[1].Gain != 9 {
+		t.Fatalf("second move should be vertex 12 (gain 9), got %+v", moves[1])
+	}
+	if moves[0].From != 1 || moves[0].To != 2 {
+		t.Fatalf("move endpoints wrong: %+v", moves[0])
+	}
+}
+
+func TestPlanDeterministicTieBreak(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		p := New(Config{MaxMoves: 1, MinGain: 1})
+		p.Observe(digest(1, 100,
+			entry(30, 0, 2, 7),
+			entry(20, 0, 2, 7),
+			entry(40, 0, 2, 7),
+		))
+		moves := p.Plan(members(1, 2), nil)
+		if len(moves) != 1 || moves[0].Vertex != 20 {
+			t.Fatalf("equal gains must break ties by lowest vertex id, got %+v", moves)
+		}
+	}
+}
+
+func TestPlanMinGainFilter(t *testing.T) {
+	p := New(Config{MinGain: 10})
+	p.Observe(digest(1, 100,
+		entry(1, 0, 2, 9),  // gain 9 < 10: dropped
+		entry(2, 5, 2, 15), // gain 10: kept
+		entry(3, 8, 2, 5),  // remote below local: dropped
+	))
+	moves := p.Plan(members(1, 2), nil)
+	if len(moves) != 1 || moves[0].Vertex != 2 {
+		t.Fatalf("MinGain filter wrong: %+v", moves)
+	}
+}
+
+func TestPlanCapacityCap(t *testing.T) {
+	// Agent 2 already holds far more than the mean; Slack 0.25 caps its
+	// projected load, so only part of the plan lands there.
+	p := New(Config{MinGain: 1, MaxMoves: 100, Slack: 0.25})
+	p.Observe(digest(1, 100,
+		entry(1, 0, 2, 50),
+		entry(2, 0, 2, 40),
+		entry(3, 0, 2, 30),
+	))
+	p.Observe(digest(2, 124)) // mean (100+124)/2 = 112, cap = 112*1.25+1 = 141
+	moves := p.Plan(members(1, 2), nil)
+	// proj[2] starts 124; cap 141 admits all 3 — widen the imbalance.
+	if len(moves) != 3 {
+		t.Fatalf("under cap, all moves accepted: %+v", moves)
+	}
+
+	p.Observe(digest(1, 20,
+		entry(1, 0, 2, 50),
+		entry(2, 0, 2, 40),
+		entry(3, 0, 2, 30),
+	))
+	p.Observe(digest(2, 200)) // mean 110, cap 138: agent 2 is already over
+	moves = p.Plan(members(1, 2), nil)
+	if len(moves) != 0 {
+		t.Fatalf("overloaded destination must reject moves, got %+v", moves)
+	}
+}
+
+func TestPlanCooldown(t *testing.T) {
+	p := New(Config{MinGain: 1, Cooldown: 3})
+	seed := func() {
+		p.Observe(digest(1, 100, entry(5, 0, 2, 10)))
+	}
+	seed()
+	if moves := p.Plan(members(1, 2), nil); len(moves) != 1 {
+		t.Fatalf("round 0: want 1 move, got %+v", moves)
+	}
+	// Rounds 1 and 2: vertex 5 is frozen.
+	for r := 1; r < 3; r++ {
+		seed()
+		if moves := p.Plan(members(1, 2), nil); len(moves) != 0 {
+			t.Fatalf("round %d: cooldown must freeze vertex 5, got %+v", r, moves)
+		}
+	}
+	// Round 3: cooldown expired.
+	seed()
+	if moves := p.Plan(members(1, 2), nil); len(moves) != 1 {
+		t.Fatalf("round 3: cooldown should have expired, got %+v", moves)
+	}
+}
+
+func TestPlanSkipsDeadAgentsAndForget(t *testing.T) {
+	p := New(Config{MinGain: 1})
+	p.Observe(digest(1, 100,
+		entry(1, 0, 9, 50), // peer 9 not a member
+		entry(2, 0, 2, 40),
+	))
+	p.Observe(digest(3, 100, entry(7, 0, 2, 30))) // owner 3 will be excluded
+	moves := p.Plan(members(1, 2), nil)
+	if len(moves) != 1 || moves[0].Vertex != 2 {
+		t.Fatalf("dead owner/peer must be filtered, got %+v", moves)
+	}
+
+	// Forget drops candidates and reporter/load state for an evicted agent.
+	p.Observe(digest(1, 100, entry(1, 0, 2, 10)))
+	p.Observe(digest(2, 100, entry(5, 0, 1, 10)))
+	if p.Reporters() != 2 {
+		t.Fatalf("reporters = %d, want 2", p.Reporters())
+	}
+	p.Forget(2)
+	if p.Reporters() != 1 {
+		t.Fatalf("after Forget, reporters = %d, want 1", p.Reporters())
+	}
+	if p.Pending() != 0 {
+		// both candidates name agent 2 as owner or peer
+		t.Fatalf("after Forget, pending = %d, want 0", p.Pending())
+	}
+}
+
+func TestPlanSplitVertexFilter(t *testing.T) {
+	p := New(Config{MinGain: 1})
+	p.Observe(digest(1, 100,
+		entry(1, 0, 2, 50),
+		entry(2, 0, 2, 40),
+	))
+	split := func(v graph.VertexID) bool { return v == 1 }
+	moves := p.Plan(members(1, 2), split)
+	if len(moves) != 1 || moves[0].Vertex != 2 {
+		t.Fatalf("split vertices must never move, got %+v", moves)
+	}
+}
+
+func TestPlanClearsPoolAndReporters(t *testing.T) {
+	p := New(Config{MinGain: 1})
+	p.Observe(digest(1, 100, entry(1, 0, 2, 10)))
+	if p.Pending() != 1 || p.Reporters() != 1 {
+		t.Fatalf("pre-plan state wrong: pending=%d reporters=%d", p.Pending(), p.Reporters())
+	}
+	p.Plan(members(1, 2), nil)
+	if p.Pending() != 0 || p.Reporters() != 0 || p.Round() != 1 {
+		t.Fatalf("Plan must clear pool and advance round: pending=%d reporters=%d round=%d",
+			p.Pending(), p.Reporters(), p.Round())
+	}
+	// Even a degenerate plan (single member) clears and advances.
+	p.Observe(digest(1, 100, entry(1, 0, 2, 10)))
+	if moves := p.Plan(members(1), nil); moves != nil {
+		t.Fatalf("single-member plan must be nil, got %+v", moves)
+	}
+	if p.Pending() != 0 || p.Round() != 2 {
+		t.Fatalf("degenerate plan must still clear: pending=%d round=%d", p.Pending(), p.Round())
+	}
+}
+
+func TestObserveFresherReplacesAndSelfSkipped(t *testing.T) {
+	p := New(Config{MinGain: 1})
+	p.Observe(digest(1, 100, entry(5, 0, 2, 10)))
+	p.Observe(digest(1, 100, entry(5, 1, 3, 30))) // fresher evidence, new peer
+	p.Observe(digest(2, 50, entry(9, 0, 2, 99)))  // self-referential: skipped
+	if p.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (self-referential entry must be skipped)", p.Pending())
+	}
+	moves := p.Plan(members(1, 2, 3), nil)
+	if len(moves) != 1 || moves[0].To != 3 || moves[0].Gain != 29 {
+		t.Fatalf("fresher digest must replace older evidence, got %+v", moves)
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	// MinGain is not default-filled: zero means "chase every gain" and is a
+	// legitimate explicit choice, so withDefaults leaves it alone.
+	p := New(Config{})
+	d := DefaultConfig()
+	d.MinGain = 0
+	if p.Config() != d {
+		t.Fatalf("zero config must fill to defaults: %+v vs %+v", p.Config(), d)
+	}
+	// MinGain 0 is a legitimate explicit setting and must survive.
+	p2 := New(Config{MinGain: 0, TopK: 1, MaxMoves: 2, Cooldown: 4, Slack: 0.5})
+	if got := p2.Config(); got.MinGain != 0 || got.TopK != 1 || got.MaxMoves != 2 {
+		t.Fatalf("explicit fields overwritten: %+v", got)
+	}
+}

@@ -74,7 +74,14 @@ type Router struct {
 	ring  *consistent.Ring
 	sk    *sketch.Sketch
 	addrs map[uint64]string
-	cache lookupCache
+	// overrides is the repartitioner's placement table layered over the
+	// ring, swapped wholesale on every view Update (epoch-versioned like
+	// the ring and sketch). An override wins only for unsplit vertices
+	// whose target is a ring member; anything else falls back to pure
+	// consistent hashing, which is what rebases overrides onto survivors
+	// when their target agent dies.
+	overrides map[graph.VertexID]consistent.AgentID
+	cache     lookupCache
 }
 
 // New creates a Router with an empty view.
@@ -96,6 +103,11 @@ func (r *Router) computeRoute(v graph.VertexID) *vertexRoute {
 	k := r.cfg.Replicas(r.sk.Estimate(uint64(v)))
 	if n := r.ring.Size(); k > n && n > 0 {
 		k = n
+	}
+	if k <= 1 {
+		if ov, ok := r.overrides[v]; ok && r.ring.Contains(ov) {
+			return &vertexRoute{k: k, set: []consistent.AgentID{ov}}
+		}
 	}
 	return &vertexRoute{k: k, set: r.ring.ReplicaSet(uint64(v), k)}
 }
@@ -138,12 +150,20 @@ func (r *Router) Update(v *wire.View) (bool, error) {
 			return false, fmt.Errorf("route: view sketch: %w", err)
 		}
 	}
+	var overrides map[graph.VertexID]consistent.AgentID
+	if len(v.Overrides) > 0 {
+		overrides = make(map[graph.VertexID]consistent.AgentID, len(v.Overrides))
+		for _, o := range v.Overrides {
+			overrides[o.Vertex] = consistent.AgentID(o.AgentID)
+		}
+	}
 	r.epoch = v.Epoch
 	r.batch = v.BatchID
 	r.n = v.N
 	r.ring = consistent.New(members, consistent.Options{Virtual: r.cfg.Virtual, Hash: r.cfg.Hash})
 	r.sk = sk
 	r.addrs = addrs
+	r.overrides = overrides
 	// Wholesale invalidation: every cached answer was a function of the
 	// previous (ring, sketch) pair and none may survive the epoch bump.
 	r.cache.invalidate(v.Epoch)
@@ -257,6 +277,26 @@ func (r *Router) Split(v graph.VertexID) bool { return r.routeOf(v).k > 1 }
 
 // IsMember reports ring membership.
 func (r *Router) IsMember(id consistent.AgentID) bool { return r.ring.Contains(id) }
+
+// NumOverrides returns the size of the installed placement override table.
+func (r *Router) NumOverrides() int { return len(r.overrides) }
+
+// Override returns the placement override for v, if one is installed.
+// Whether it actually governs routing also depends on the vertex being
+// unsplit and the target being a live member (see computeRoute).
+func (r *Router) Override(v graph.VertexID) (consistent.AgentID, bool) {
+	ov, ok := r.overrides[v]
+	return ov, ok
+}
+
+// Overrides returns a copy of the installed placement override table.
+func (r *Router) Overrides() map[graph.VertexID]consistent.AgentID {
+	out := make(map[graph.VertexID]consistent.AgentID, len(r.overrides))
+	for v, a := range r.overrides {
+		out[v] = a
+	}
+	return out
+}
 
 // Config returns the shared cluster configuration.
 func (r *Router) Config() config.Config { return r.cfg }

@@ -120,6 +120,11 @@ const (
 	// collector. Lossy like TMetric: dropped batches cost visibility,
 	// never correctness, so they ride outside the acked discipline.
 	TSpanBatch
+	// TVertexDigest carries an agent's top-K "chatty vertex" communication
+	// digest to the coordinator's repartition planner. Lossy like TMetric:
+	// a dropped digest only delays a planning round, so it rides outside
+	// the acked discipline.
+	TVertexDigest
 
 	typeCount
 )
@@ -154,7 +159,7 @@ var typeNames = [...]string{
 	TSketchDelta: "sketch-delta", TQuery: "query", TQueryReply: "query-reply",
 	TRunAlgo: "run-algo", TRunReply: "run-reply", TIngest: "ingest",
 	TPing: "ping", TPong: "pong", TTick: "tick", THeartbeat: "heartbeat",
-	TSpanBatch: "span-batch",
+	TSpanBatch: "span-batch", TVertexDigest: "vertex-digest",
 }
 
 // String names the type for logs.
