@@ -50,6 +50,10 @@ type jsonOutput struct {
 	// planner on a community-structured workload: cut ratio and
 	// cross-agent bytes are the regression-tracked numbers.
 	Repartition *experiments.RepartitionPerf `json:"repartition,omitempty"`
+	// Recovery tracks the durability subsystem: warm checkpoint-restore
+	// recovery vs cold re-stream rebuild after an agent kill, plus the
+	// checkpoint-on superstep overhead against the durability-off baseline.
+	Recovery *experiments.RecoveryPerf `json:"recovery,omitempty"`
 }
 
 func main() {
@@ -178,6 +182,17 @@ func main() {
 				float64(rp.Baseline.RemoteBytes)/(1<<20), float64(rp.Repart.RemoteBytes)/(1<<20),
 				rp.Moves, rp.Graph)
 		}
+		// The recovery comparison rides every JSON record: warm restore vs
+		// cold re-stream after an identical kill, plus checkpoint overhead.
+		if rc, err := experiments.MeasureRecovery(scale); err != nil {
+			fmt.Fprintf(os.Stderr, "elga-bench: recovery failed: %v\n", err)
+			failed++
+		} else {
+			out.Recovery = rc
+			fmt.Fprintf(os.Stderr, "[recovery: warm %.2fs vs cold %.2fs (%.1fx), ckpt overhead %+.1f%%, %d snapshots %.2f MiB on %s]\n\n",
+				rc.WarmRestoreSeconds, rc.ColdRebuildSeconds, rc.Speedup,
+				rc.OverheadPct, rc.Snapshots, float64(rc.SnapshotBytes)/(1<<20), rc.Graph)
+		}
 		// The tracing-on repeat quantifies the tracing subsystem's overhead
 		// against the baseline directly in the same record.
 		if out.Superstep != nil {
@@ -235,6 +250,7 @@ func runCompare(oldPath, newPath string) error {
 	compareStorage(o.Storage, n.Storage)
 	compareDelta(o.Delta, n.Delta)
 	compareRepartition(o.Repartition, n.Repartition)
+	compareRecovery(o.Recovery, n.Recovery)
 	oldSecs := make(map[string]float64, len(o.Experiments))
 	for _, e := range o.Experiments {
 		oldSecs[e.ID] = e.Seconds
@@ -302,6 +318,25 @@ func compareRepartition(o, n *experiments.RepartitionPerf) {
 	deltaLine("repart_remote_bytes", float64(o.Repart.RemoteBytes), float64(n.Repart.RemoteBytes))
 	deltaLine("repart_ns_per_step", o.Repart.NsPerStep, n.Repart.NsPerStep)
 	deltaLine("moves", float64(o.Moves), float64(n.Moves))
+}
+
+// compareRecovery prints recovery-time and checkpoint-overhead deltas
+// between two records.
+func compareRecovery(o, n *experiments.RecoveryPerf) {
+	switch {
+	case o == nil && n == nil:
+		return
+	case o == nil || n == nil:
+		fmt.Printf("\nrecovery: present only in %s record\n", map[bool]string{o != nil: "old", n != nil: "new"}[true])
+		return
+	}
+	fmt.Printf("\nrecovery (%s, %d agents):\n", n.Graph, n.Agents)
+	deltaLine("warm_restore_seconds", o.WarmRestoreSeconds, n.WarmRestoreSeconds)
+	deltaLine("cold_rebuild_seconds", o.ColdRebuildSeconds, n.ColdRebuildSeconds)
+	deltaLine("speedup", o.Speedup, n.Speedup)
+	deltaLine("ckpt_overhead_pct", o.OverheadPct, n.OverheadPct)
+	deltaLine("snapshots", float64(o.Snapshots), float64(n.Snapshots))
+	deltaLine("snapshot_bytes", float64(o.SnapshotBytes), float64(n.SnapshotBytes))
 }
 
 // compareDelta matches full-vs-delta rows by (algo, batch size) and

@@ -27,12 +27,12 @@ import (
 
 	"elga/internal/agent"
 	"elga/internal/algorithm"
+	"elga/internal/checkpoint"
 	"elga/internal/client"
 	"elga/internal/config"
 	"elga/internal/directory"
 	"elga/internal/graph"
 	"elga/internal/metrics"
-	"elga/internal/repartition"
 	"elga/internal/streamer"
 	"elga/internal/trace"
 	"elga/internal/trace/collect"
@@ -88,23 +88,14 @@ commands:
 `)
 }
 
-// commonFlags registers the flags shared by every role. The trace flags
-// start from the environment (ELGA_TRACE*) so flags and env vars funnel
-// into the same trace.Config.
-func commonFlags(fs *flag.FlagSet) (master *string, cfg *config.Config, tcfg *trace.Config) {
-	c := config.Default()
+// commonFlags registers the master address plus the shared composite —
+// every role resolves one config.Common (environment first, then flags)
+// so a setting has exactly one spelling across the CLI, env vars, and
+// the harness. Flag spellings are unchanged from the pre-composite CLI.
+func commonFlags(fs *flag.FlagSet, c *config.Common) (master *string) {
 	master = fs.String("master", "127.0.0.1:7700", "DirectoryMaster address")
-	fs.IntVar(&c.Virtual, "virtual", c.Virtual, "virtual agents per agent")
-	fs.IntVar(&c.SketchWidth, "sketch-width", c.SketchWidth, "count-min sketch width")
-	fs.IntVar(&c.SketchDepth, "sketch-depth", c.SketchDepth, "count-min sketch depth")
-	fs.Uint64Var(&c.ReplicationThreshold, "split-threshold", c.ReplicationThreshold,
-		"degree estimate above which a vertex splits (0 disables)")
-	fs.IntVar(&c.MaxReplicas, "max-replicas", c.MaxReplicas, "replica cap per split vertex")
-	tc := trace.FromEnv()
-	fs.BoolVar(&tc.Enabled, "trace", tc.Enabled, "enable distributed tracing (also ELGA_TRACE=1)")
-	fs.Float64Var(&tc.Sample, "trace-sample", tc.Sample, "fraction of trace roots exported to the collector [0,1]")
-	fs.IntVar(&tc.FlightRecorder, "trace-flight", tc.FlightRecorder, "per-participant flight-recorder capacity")
-	return master, &c, &tc
+	c.RegisterFlags(fs)
+	return master
 }
 
 func runMaster(args []string) error {
@@ -125,27 +116,20 @@ func runMaster(args []string) error {
 
 func runDirectory(args []string) error {
 	fs := flag.NewFlagSet("directory", flag.ExitOnError)
-	master, cfg, tcfg := commonFlags(fs)
+	dcfg := config.DirectoryFromEnv()
+	master := fs.String("master", "127.0.0.1:7700", "DirectoryMaster address")
+	dcfg.RegisterFlags(fs)
 	addr := fs.String("addr", "", "listen address (empty = ephemeral)")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
-	traceOut := fs.String("trace-out", "", "write collected spans as Chrome trace-event JSON here on shutdown (implies -trace; coordinator only)")
-	repart := fs.Bool("repartition", false, "enable adaptive locality-aware repartitioning (coordinator only; agents need -repartition too)")
-	repartCfg := repartition.DefaultConfig()
-	fs.IntVar(&repartCfg.MaxMoves, "repartition-max-moves", repartCfg.MaxMoves, "vertex moves per planning round")
-	fs.Uint64Var(&repartCfg.MinGain, "repartition-min-gain", repartCfg.MinGain, "minimum remote-minus-local message advantage per move")
-	fs.IntVar(&repartCfg.Cooldown, "repartition-cooldown", repartCfg.Cooldown, "rounds a moved vertex is frozen against re-moving")
-	fs.Float64Var(&repartCfg.Slack, "repartition-slack", repartCfg.Slack, "allowed per-agent vertex-count overshoot vs the mean")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var rcfg *repartition.Config
-	if *repart {
-		rcfg = &repartCfg
+	if dcfg.TraceOut != "" {
+		dcfg.Trace.Enabled = true
 	}
-	if *traceOut != "" {
-		tcfg.Enabled = true
+	if err := dcfg.Validate(); err != nil {
+		return err
 	}
-	reg, srv, err := startMetrics(*metricsAddr)
+	reg, srv, err := startMetrics(dcfg.MetricsAddr)
 	if err != nil {
 		return err
 	}
@@ -156,7 +140,7 @@ func runDirectory(args []string) error {
 	// batches, so the sink simply stays idle there.
 	var col *collect.Collector
 	var sink func(string, []trace.SpanRecord)
-	if tcfg.Enabled {
+	if dcfg.Trace.Enabled {
 		col = collect.New()
 		sink = func(proc string, spans []trace.SpanRecord) {
 			col.Add(proc, spans)
@@ -169,8 +153,9 @@ func runDirectory(args []string) error {
 		}
 	}
 	d, err := directory.Start(directory.Options{
-		Config: *cfg, Network: transport.NewTCP(), MasterAddr: *master, Addr: *addr,
-		Metrics: reg, Trace: tcfg, SpanSink: sink, Repartition: rcfg,
+		Config: dcfg.Cluster, Network: transport.NewTCP(), MasterAddr: *master, Addr: *addr,
+		Metrics: reg, Trace: dcfg.TraceConfig(), SpanSink: sink, Repartition: dcfg.PlanConfig(),
+		Checkpoint: dcfg.CheckpointConfig(),
 	})
 	if err != nil {
 		return err
@@ -182,8 +167,8 @@ func runDirectory(args []string) error {
 	fmt.Printf("elga directory (%s) listening on %s\n", role, d.Addr())
 	waitForSignal()
 	d.Close()
-	if *traceOut != "" && col != nil {
-		f, err := os.Create(*traceOut)
+	if dcfg.TraceOut != "" && col != nil {
+		f, err := os.Create(dcfg.TraceOut)
 		if err != nil {
 			return err
 		}
@@ -194,33 +179,60 @@ func runDirectory(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("elga: wrote trace to %s (%d traces, %d spans)\n", *traceOut, col.TraceCount(), col.SpanCount())
+		fmt.Printf("elga: wrote trace to %s (%d traces, %d spans)\n", dcfg.TraceOut, col.TraceCount(), col.SpanCount())
 		fmt.Print(col.Summary())
 	}
 	return nil
 }
 
+// agentCheckpointKeys derives a distinct durable identity per in-process
+// agent: restores must never collide, so with -n > 1 each agent gets
+// "<base>-<i>" (base defaults to "agent", matching the harness's slot
+// naming).
+func agentCheckpointKeys(cfg checkpoint.Config, n int) []*checkpoint.Config {
+	out := make([]*checkpoint.Config, n)
+	base := cfg.Key
+	if base == "" {
+		base = "agent"
+	}
+	for i := 0; i < n; i++ {
+		per := cfg
+		if n > 1 {
+			per.Key = fmt.Sprintf("%s-%d", base, i)
+		} else {
+			per.Key = base
+		}
+		out[i] = &per
+	}
+	return out
+}
+
 func runAgent(args []string) error {
 	fs := flag.NewFlagSet("agent", flag.ExitOnError)
-	master, cfg, tcfg := commonFlags(fs)
+	acfg := config.AgentFromEnv()
+	master := fs.String("master", "127.0.0.1:7700", "DirectoryMaster address")
+	acfg.RegisterFlags(fs)
 	n := fs.Int("n", 1, "number of agents to run in this process")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
-	repart := fs.Bool("repartition", false, "account scatter traffic and report chatty-vertex digests (pair with the coordinator's -repartition)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reg, srv, err := startMetrics(*metricsAddr)
+	if err := acfg.Validate(); err != nil {
+		return err
+	}
+	reg, srv, err := startMetrics(acfg.MetricsAddr)
 	if err != nil {
 		return err
 	}
 	if srv != nil {
 		defer srv.Close()
 	}
+	ckptKeys := agentCheckpointKeys(acfg.Durability, *n)
 	agents := make([]*agent.Agent, 0, *n)
 	for i := 0; i < *n; i++ {
 		a, err := agent.Start(agent.Options{
-			Config: *cfg, Network: transport.NewTCP(), MasterAddr: *master, DirIndex: i,
-			Metrics: reg, Trace: tcfg, Repartition: *repart,
+			Config: acfg.Cluster, Network: transport.NewTCP(), MasterAddr: *master, DirIndex: i,
+			Metrics: reg, Trace: acfg.TraceConfig(), Repartition: acfg.Repartition,
+			Checkpoint: ckptKeys[i],
 		})
 		if err != nil {
 			return err
@@ -238,7 +250,7 @@ func runAgent(args []string) error {
 	for _, a := range agents {
 		select {
 		case <-a.Done():
-		case <-time.After(cfg.RequestTimeout):
+		case <-time.After(acfg.Cluster.RequestTimeout):
 			a.Close()
 		}
 	}
@@ -247,10 +259,14 @@ func runAgent(args []string) error {
 
 func runStream(args []string) error {
 	fs := flag.NewFlagSet("stream", flag.ExitOnError)
-	master, cfg, _ := commonFlags(fs)
+	ccfg := config.CommonFromEnv()
+	master := commonFlags(fs, &ccfg)
 	file := fs.String("file", "", "edge list file ('-' for stdin)")
 	deleteMode := fs.Bool("delete", false, "stream deletions instead of insertions")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := ccfg.Validate(); err != nil {
 		return err
 	}
 	var in *os.File
@@ -268,7 +284,7 @@ func runStream(args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := streamer.Start(streamer.Options{Config: *cfg, Network: transport.NewTCP(), MasterAddr: *master})
+	s, err := streamer.Start(streamer.Options{Config: ccfg.Cluster, Network: transport.NewTCP(), MasterAddr: *master})
 	if err != nil {
 		return err
 	}
@@ -308,7 +324,8 @@ func newClient(master string, cfg config.Config, tcfg *trace.Config) (*client.Cl
 
 func runAlgo(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	master, cfg, tcfg := commonFlags(fs)
+	ccfg := config.CommonFromEnv()
+	master := commonFlags(fs, &ccfg)
 	algo := fs.String("algo", "pagerank", "algorithm: pagerank, ppr, wcc, bfs, sssp, degree")
 	async := fs.Bool("async", false, "asynchronous execution (wcc/bfs/sssp only)")
 	steps := fs.Uint("steps", 0, "max supersteps (0 = program default)")
@@ -318,7 +335,10 @@ func runAlgo(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := newClient(*master, *cfg, tcfg)
+	if err := ccfg.Validate(); err != nil {
+		return err
+	}
+	c, err := newClient(*master, ccfg.Cluster, ccfg.TraceConfig())
 	if err != nil {
 		return err
 	}
@@ -341,11 +361,15 @@ func runAlgo(args []string) error {
 
 func runSeal(args []string) error {
 	fs := flag.NewFlagSet("seal", flag.ExitOnError)
-	master, cfg, tcfg := commonFlags(fs)
+	ccfg := config.CommonFromEnv()
+	master := commonFlags(fs, &ccfg)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := newClient(*master, *cfg, tcfg)
+	if err := ccfg.Validate(); err != nil {
+		return err
+	}
+	c, err := newClient(*master, ccfg.Cluster, ccfg.TraceConfig())
 	if err != nil {
 		return err
 	}
@@ -360,13 +384,17 @@ func runSeal(args []string) error {
 
 func runQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	master, cfg, tcfg := commonFlags(fs)
+	ccfg := config.CommonFromEnv()
+	master := commonFlags(fs, &ccfg)
 	vertex := fs.Uint64("vertex", 0, "vertex to query")
 	asFloat := fs.Bool("float", false, "interpret the result as float64 (pagerank)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	c, err := newClient(*master, *cfg, tcfg)
+	if err := ccfg.Validate(); err != nil {
+		return err
+	}
+	c, err := newClient(*master, ccfg.Cluster, ccfg.TraceConfig())
 	if err != nil {
 		return err
 	}

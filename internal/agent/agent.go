@@ -16,6 +16,7 @@ import (
 
 	"elga/internal/algorithm"
 	"elga/internal/autoscale"
+	"elga/internal/checkpoint"
 	"elga/internal/config"
 	"elga/internal/consistent"
 	"elga/internal/graph"
@@ -52,6 +53,11 @@ type Options struct {
 	// Trace configures distributed tracing; nil resolves from the
 	// environment (trace.FromEnv), so every layer honours one Config.
 	Trace *trace.Config
+	// Checkpoint configures durable incremental checkpointing; nil
+	// resolves from the environment (checkpoint.FromEnv). When enabled,
+	// the agent restores its last snapshot before joining and rejoins
+	// warm through the normal migration reconciliation.
+	Checkpoint *checkpoint.Config
 }
 
 // Validate reports option errors before any resource is allocated.
@@ -222,6 +228,10 @@ type Agent struct {
 	// enabled flag gates every accounting touch point.
 	comm commAccounting
 
+	// ckpt is the durability state (checkpoint.go); a nil writer means
+	// off, one branch per trigger site.
+	ckpt agentCkpt
+
 	// Distributed tracing (nil tracer = off, one branch per touch point).
 	// phaseSpan covers Advance-to-vote processing; barrierSpan covers the
 	// vote-to-next-Advance idle that attributes barrier wait per agent per
@@ -267,6 +277,15 @@ func Start(opts Options) (*Agent, error) {
 	tcfg := trace.Resolve(opts.Trace)
 	tcfg.Apply()
 	a.tracer = trace.NewTracer("agent", tcfg)
+	// Restore-before-join: a prior snapshot is loaded into the store and
+	// value maps now, so the join's first view change runs the ordinary
+	// migration round over the restored state — copies this agent no
+	// longer owns ship to their owners, missing ones arrive through the
+	// same path, and the agent rejoins warm instead of empty.
+	if err := a.initCheckpoint(); err != nil {
+		node.Close()
+		return nil, err
+	}
 	a.initComm()
 	a.initMetrics(opts.Metrics)
 	// Directories register with the master concurrently with agent
@@ -312,7 +331,8 @@ func Start(opts Options) (*Agent, error) {
 	joinPolicy.Attempts = 20
 	joinPolicy.PerTry = opts.Config.RequestTimeout / 20
 	jr, err := node.RequestRetry(a.coordAddr, joinPolicy, opts.Config.RequestTimeout, func() []byte {
-		return wire.AppendJoin(node.NewFrame(wire.TJoin), &wire.Join{Addr: node.Addr()})
+		return wire.AppendJoin(node.NewFrame(wire.TJoin),
+			&wire.Join{Addr: node.Addr(), Restore: a.ckpt.restored})
 	})
 	if err != nil {
 		node.Close()
@@ -398,6 +418,9 @@ func (a *Agent) runLoop(initial *wire.View) {
 	// stderr on every traced shutdown. Fault paths (eviction, kill)
 	// dump explicitly before this point.
 	a.shipSpans()
+	// Drain the checkpoint writer so the last submitted snapshot is
+	// durable before the process goes away.
+	a.closeCheckpoint()
 	_ = a.node.SendFrame(a.dirAddr, a.node.NewFrame(wire.TUnsubscribe))
 	if a.stopped.CompareAndSwap(false, true) {
 		a.node.Close()
@@ -439,9 +462,12 @@ func (a *Agent) handlePacket(pkt *wire.Packet) bool {
 		a.node.Ack(pkt)
 		// Flush completed spans and the scatter digest promptly at run
 		// end rather than waiting out the tick cadence — the collector
-		// wants the final steps, the planner wants fresh evidence.
+		// wants the final steps, the planner wants fresh evidence. Run
+		// completion is also a forced checkpoint: final vertex values are
+		// exactly what a restarted agent must not lose.
 		a.shipSpans()
 		a.sendDigest()
+		a.checkpointNow()
 	case wire.TBatchOpen:
 		a.handleBatchOpen()
 		a.node.Ack(pkt)
@@ -463,6 +489,8 @@ func (a *Agent) handlePacket(pkt *wire.Packet) bool {
 			a.sendLoadMetrics()
 			a.shipSpans()
 			a.sendDigest()
+			a.maybeCheckpointTimed()
+			a.maybeSendCheckpointMark()
 		}
 	case wire.TQuery:
 		a.handleQuery(pkt)
@@ -619,6 +647,10 @@ func (a *Agent) maybeReady() {
 	case wire.PhaseCompute:
 		a.m.phaseCompute.Observe(dur)
 		a.sendMetric(autoscale.MetricStepTime, dur)
+		// Durability cadence rides the post-vote safe point: the barrier
+		// vote is already out, so snapshot encoding overlaps the barrier
+		// wait instead of stretching the superstep.
+		a.maybeCheckpointStep()
 	case wire.PhaseCombine:
 		a.m.phaseCombine.Observe(dur)
 		a.sendMetric(autoscale.MetricCombineTime, dur)

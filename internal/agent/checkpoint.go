@@ -1,0 +1,218 @@
+package agent
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"elga/internal/algorithm"
+	"elga/internal/checkpoint"
+	"elga/internal/graph"
+	"elga/internal/wire"
+)
+
+// agentCkpt is the event-loop-owned durability state. When the writer is
+// nil (durability off) every trigger site costs one predicted branch.
+type agentCkpt struct {
+	cfg    checkpoint.Config
+	sink   checkpoint.Sink
+	writer *checkpoint.Writer
+
+	seq        uint64 // next snapshot sequence number under this Key
+	stepsSince int    // compute phases since the last snapshot
+	lastTimed  time.Time
+	// lastMarkSeq is the last snapshot sequence reported to the
+	// coordinator; marks ride the lossy metric cadence.
+	lastMarkSeq uint64
+	// restored is the cut stamp of the manifest this process restored
+	// from, attached to the join so the coordinator's cut table covers
+	// warm rejoins.
+	restored *wire.CheckpointMeta
+	// restoreCount/restoreSeconds feed the restore metric family.
+	restoreCount   uint64
+	restoreSeconds float64
+}
+
+// initCheckpoint opens the sink, restores any prior snapshot into the
+// store/value maps (before the join, so the first view's migration round
+// reconciles restored state against live ownership), and starts the
+// background writer. Restore failures are fatal only when a manifest
+// exists but is damaged — restoring garbage silently would be worse than
+// a cold start, so the operator must clear the sink deliberately.
+func (a *Agent) initCheckpoint() error {
+	cfg := checkpoint.Resolve(a.opts.Checkpoint)
+	if !cfg.Enabled {
+		return nil
+	}
+	if cfg.Key == "" {
+		cfg.Key = "agent"
+	}
+	sink, err := checkpoint.Open(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	st, err := checkpoint.Load(sink, cfg.Key)
+	if err != nil {
+		return fmt.Errorf("agent: restore %q: %w", cfg.Key, err)
+	}
+	if st != nil {
+		st.ApplyToStore(a.store)
+		for _, vs := range st.States {
+			a.values[vs.Vertex] = algorithm.Word(vs.State)
+			if vs.Active {
+				a.store.MarkActive(vs.Vertex)
+			}
+		}
+		meta := st.Meta
+		a.ckpt.restored = &meta
+		a.ckpt.seq = meta.Seq
+		a.ckpt.restoreCount = 1
+		a.ckpt.restoreSeconds = time.Since(start).Seconds()
+		fmt.Fprintf(os.Stderr, "elga agent: restored %q seq=%d (%d copies, %d states) in %s\n",
+			cfg.Key, meta.Seq, a.store.NumEdgeCopies(), len(st.States),
+			time.Since(start).Round(time.Millisecond))
+	}
+	a.ckpt.cfg = cfg
+	a.ckpt.sink = sink
+	a.ckpt.writer = checkpoint.NewWriter(sink, cfg.Key)
+	a.ckpt.lastTimed = time.Now()
+	return nil
+}
+
+// maybeCheckpointStep runs at the post-vote safe point of every compute
+// phase: the barrier vote is already sent, so snapshot encoding overlaps
+// the barrier wait instead of stretching the superstep. Non-firing steps
+// pay one increment and one compare.
+func (a *Agent) maybeCheckpointStep() {
+	if a.ckpt.writer == nil {
+		return
+	}
+	a.ckpt.stepsSince++
+	if a.ckpt.stepsSince >= a.ckpt.cfg.EverySteps {
+		a.checkpointNow()
+	}
+}
+
+// maybeCheckpointTimed runs on the heartbeat tick: the wall-clock cadence
+// covers idle periods (no supersteps, no batches) when Interval is set.
+func (a *Agent) maybeCheckpointTimed() {
+	if a.ckpt.writer == nil || a.ckpt.cfg.Interval <= 0 {
+		return
+	}
+	if time.Since(a.ckpt.lastTimed) >= a.ckpt.cfg.Interval {
+		a.checkpointNow()
+	}
+}
+
+// checkpointNow builds a snapshot of the agent's durable state and hands
+// it to the background writer. Building runs on the event loop (the only
+// safe reader of store/values); hashing, CRC, and file I/O happen on the
+// writer goroutine. A busy writer drops the snapshot — the next cadence
+// captures strictly newer state.
+func (a *Agent) checkpointNow() {
+	w := a.ckpt.writer
+	if w == nil || a.leaving {
+		return
+	}
+	start := time.Now()
+	runID := uint32(0)
+	if a.run != nil {
+		runID = a.run.id
+	}
+	span := a.tracer.StartRoot("checkpoint-build", runID)
+	meta := wire.CheckpointMeta{
+		Key:       a.ckpt.cfg.Key,
+		AgentID:   a.id,
+		Seq:       a.ckpt.seq + 1,
+		ViewEpoch: a.router.Epoch(),
+		BatchID:   a.router.BatchID(),
+		// Overrides version with the view: a table change always ships
+		// inside a new epoch's view broadcast.
+		OverrideVer: a.router.Epoch(),
+		SealedGen:   a.store.Compactions(),
+		WallNanos:   uint64(time.Now().UnixNano()),
+	}
+	if r := a.run; r != nil {
+		meta.RunID = r.id
+		meta.Step = r.step
+	}
+	states := make([]wire.VertexState, 0, len(a.values))
+	for v, val := range a.values {
+		states = append(states, wire.VertexState{
+			Vertex: v,
+			State:  wire.Word(val),
+			Active: a.isActiveForCkpt(v),
+		})
+	}
+	var marks []wire.MailboxWatermark
+	if len(a.mailbox) > 0 {
+		marks = make([]wire.MailboxWatermark, 0, len(a.mailbox))
+		for step, m := range a.mailbox {
+			marks = append(marks, wire.MailboxWatermark{RunID: runID, Step: step, Count: uint32(len(m))})
+		}
+	}
+	prevSealed, prevGen := w.LastSealedRef()
+	snap := &checkpoint.Snapshot{
+		Meta:     meta,
+		Segments: checkpoint.BuildSegments(a.store, states, marks, prevSealed, prevGen),
+	}
+	if w.TrySubmit(snap) {
+		a.ckpt.seq = meta.Seq
+	}
+	a.ckpt.stepsSince = 0
+	a.ckpt.lastTimed = time.Now()
+	a.m.ckptBuild.Observe(time.Since(start).Seconds())
+	span.End()
+}
+
+// isActiveForCkpt preserves activation the way migration shipments do:
+// a vertex is active if the store marks it or the installed run holds it
+// in the next compute frontier.
+func (a *Agent) isActiveForCkpt(v graph.VertexID) bool {
+	if a.store.IsActive(v) {
+		return true
+	}
+	if a.run != nil {
+		_, ok := a.run.active[v]
+		return ok
+	}
+	return false
+}
+
+// maybeSendCheckpointMark reports a newly durable snapshot to the
+// coordinator's cut table. Lossy, riding the metric cadence: the
+// snapshot is already safe on disk, the mark only freshens the
+// coordinator's view of it.
+func (a *Agent) maybeSendCheckpointMark() {
+	w := a.ckpt.writer
+	if w == nil || a.leaving {
+		return
+	}
+	mark := w.LastMark()
+	if mark == nil || mark.Meta.Seq == a.ckpt.lastMarkSeq {
+		return
+	}
+	a.ckpt.lastMarkSeq = mark.Meta.Seq
+	_ = a.node.SendFrame(a.coordAddr, wire.AppendCheckpointMark(
+		a.node.NewFrameHint(wire.TCheckpointMark, 96), mark))
+}
+
+// CheckpointStats returns the durable-writer counters (snapshots made
+// durable, snapshots dropped on a busy writer, sink errors, post-dedup
+// segment bytes); all zero when durability is off. Safe from any
+// goroutine — the writer's counters are atomics.
+func (a *Agent) CheckpointStats() (count, drops, errs, bytes uint64) {
+	if a.ckpt.writer == nil {
+		return 0, 0, 0, 0
+	}
+	return a.ckpt.writer.Stats()
+}
+
+// closeCheckpoint drains the writer so the last submitted snapshot is
+// durable before the process exits.
+func (a *Agent) closeCheckpoint() {
+	if a.ckpt.writer != nil {
+		a.ckpt.writer.Close()
+	}
+}

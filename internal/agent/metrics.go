@@ -17,6 +17,7 @@ type agentMetrics struct {
 	migBatch     *metrics.Histogram
 	migBytes     *metrics.Counter
 	frontierSize *metrics.Histogram
+	ckptBuild    *metrics.Histogram
 }
 
 // initMetrics registers the agent's metric families on reg. Phase and
@@ -44,6 +45,9 @@ func (a *Agent) initMetrics(reg *metrics.Registry) {
 	a.m.frontierSize = reg.Histogram("elga_delta_frontier_size",
 		"Affected-vertex frontier per batch boundary (vertices a delta-driven recompute seeds from).",
 		nil, metrics.SizeBuckets)
+	a.m.ckptBuild = reg.Histogram("elga_ckpt_build_seconds",
+		"Event-loop time to build one checkpoint snapshot (encode only; I/O is off-loop).",
+		nil, metrics.DurationBuckets)
 
 	a.node.RegisterMetrics(reg, "agent")
 	lbl := metrics.Labels{"addr": a.node.Addr()}
@@ -96,4 +100,23 @@ func (a *Agent) initMetrics(reg *metrics.Registry) {
 			}
 			return float64(r) / float64(l+r)
 		})
+	// Durability instrumentation: the Writer's counters are atomics, so
+	// scrapes never touch event-loop state. All zero while durability is
+	// off (nil writer short-circuits).
+	if w := a.ckpt.writer; w != nil {
+		reg.CounterFunc("elga_ckpt_total", "Checkpoint snapshots made durable.", lbl,
+			func() uint64 { c, _, _, _ := w.Stats(); return c })
+		reg.CounterFunc("elga_ckpt_dropped_total", "Checkpoint snapshots dropped on a busy writer.", lbl,
+			func() uint64 { _, d, _, _ := w.Stats(); return d })
+		reg.CounterFunc("elga_ckpt_errors_total", "Checkpoint snapshots failed at the sink.", lbl,
+			func() uint64 { _, _, e, _ := w.Stats(); return e })
+		reg.CounterFunc("elga_ckpt_bytes_total", "Post-dedup checkpoint segment bytes written.", lbl,
+			func() uint64 { _, _, _, b := w.Stats(); return b })
+		reg.GaugeFunc("elga_ckpt_age_seconds", "Seconds since the last durable checkpoint.", lbl,
+			func() float64 { return w.AgeSeconds() })
+		reg.CounterFunc("elga_ckpt_restores_total", "Snapshot restores performed at startup.", lbl,
+			func() uint64 { return a.ckpt.restoreCount })
+		reg.GaugeFunc("elga_ckpt_restore_seconds", "Duration of the startup restore (0 = cold start).", lbl,
+			func() float64 { return a.ckpt.restoreSeconds })
+	}
 }

@@ -484,4 +484,8 @@ func (a *Agent) handleBatchOpen() {
 	a.voteWhenDrained(gate, func() {
 		a.sendReady(batchID, wire.PhaseBatch, masters)
 	})
+	// Batch boundaries always checkpoint: the flush above folded the
+	// buffered mutations in, so this is the freshest consistent topology
+	// a restart could want.
+	a.checkpointNow()
 }

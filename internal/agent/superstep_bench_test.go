@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"elga/internal/algorithm"
+	"elga/internal/checkpoint"
 	"elga/internal/graph"
 )
 
@@ -80,6 +81,71 @@ func TestSuperstepAllocCeiling(t *testing.T) {
 	res := testing.Benchmark(func(b *testing.B) { benchmarkSuperstep(b, 1) })
 	if allocs := res.AllocsPerOp(); allocs > 3 {
 		t.Fatalf("sequential superstep allocates %d allocs/op, ceiling is 3", allocs)
+	}
+}
+
+// benchmarkSuperstepCkpt is benchmarkSuperstep with durable
+// checkpointing armed but the superstep cadence never firing — each
+// iteration runs the compute phase plus the maybeCheckpointStep trigger
+// exactly as maybeReady's post-vote tail does.
+func benchmarkSuperstepCkpt(b *testing.B, workers int) {
+	cfg := allocTestConfig()
+	const n = 4096
+	a := newLoopbackAgent(b, cfg, n)
+	sink, err := checkpoint.NewDirSink(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.ckpt.cfg = checkpoint.Config{Enabled: true, Key: "bench", EverySteps: 1 << 30}
+	a.ckpt.writer = checkpoint.NewWriter(sink, "bench")
+	b.Cleanup(a.closeCheckpoint)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		src := graph.VertexID(i)
+		dsts := [4]graph.VertexID{
+			graph.VertexID((i + 1) % n),
+			graph.VertexID(rng.Intn(n)),
+			graph.VertexID(rng.Intn(n)),
+			graph.VertexID(rng.Intn(n)),
+		}
+		for _, dst := range dsts {
+			a.store.AddEdge(src, dst, graph.Out)
+			a.store.AddEdge(src, dst, graph.In)
+		}
+	}
+	installRun(a, algorithm.PageRank{}, n)
+
+	SetComputeParallelism(workers, 1)
+	defer SetComputeParallelism(0, 0)
+
+	advanceCompute(a, 0)
+	a.maybeCheckpointStep()
+	advanceCompute(a, 1)
+	a.maybeCheckpointStep()
+	advanceCompute(a, 2)
+	a.maybeCheckpointStep()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		advanceCompute(a, uint32(i+3))
+		a.maybeCheckpointStep()
+	}
+}
+
+// TestSuperstepAllocCeilingCheckpointArmed pins the superstep at the same
+// 3 allocs/op ceiling with durable checkpointing enabled: a non-firing
+// cadence step must cost one increment and one compare, nothing on the
+// heap. This is how CI catches the trigger site drifting onto the hot
+// path (checkpoint building itself runs off the superstep critical path,
+// overlapping the barrier wait).
+func TestSuperstepAllocCeilingCheckpointArmed(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under -race")
+	}
+	res := testing.Benchmark(func(b *testing.B) { benchmarkSuperstepCkpt(b, 1) })
+	if allocs := res.AllocsPerOp(); allocs > 3 {
+		t.Fatalf("superstep with checkpointing armed allocates %d allocs/op, ceiling is 3", allocs)
 	}
 }
 

@@ -1,0 +1,372 @@
+package checkpoint
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"elga/internal/graph"
+	"elga/internal/wire"
+)
+
+func TestSegmentFramingRoundTrip(t *testing.T) {
+	payload := []byte("hello checkpoint")
+	kind, got, err := UnframeSegment(FrameSegment(wire.SegTail, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != wire.SegTail || string(got) != string(payload) {
+		t.Fatalf("round trip mangled: kind=%d payload=%q", kind, got)
+	}
+	// Empty payloads are legal (an idle agent's tail segment).
+	if _, got, err := UnframeSegment(FrameSegment(wire.SegStates, nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty payload: %q %v", got, err)
+	}
+}
+
+func TestSegmentFramingRejectsCorruption(t *testing.T) {
+	frame := FrameSegment(wire.SegSealed, []byte("some sealed content"))
+
+	// Truncation at every prefix must fail (short header or length
+	// mismatch), never return garbage.
+	for n := 0; n < len(frame); n++ {
+		if _, _, err := UnframeSegment(frame[:n]); err == nil {
+			t.Fatalf("truncated frame at %d accepted", n)
+		}
+	}
+	// A flipped payload bit must fail the CRC.
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 0x01
+	if _, _, err := UnframeSegment(bad); err == nil {
+		t.Fatal("bit-flipped payload accepted")
+	}
+	// A wrong magic must fail before anything else is trusted.
+	bad = append([]byte(nil), frame...)
+	bad[0] ^= 0xff
+	if _, _, err := UnframeSegment(bad); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+}
+
+func TestDirSinkSegmentsAndManifests(t *testing.T) {
+	sink, err := NewDirSink(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("segment payload")
+	name := SegmentName(wire.SegStates, payload)
+	if sink.HasSegment(name) {
+		t.Fatal("segment exists before write")
+	}
+	if err := sink.WriteSegment(name, wire.SegStates, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.HasSegment(name) {
+		t.Fatal("segment missing after write")
+	}
+	kind, got, err := sink.ReadSegment(name)
+	if err != nil || kind != wire.SegStates || string(got) != string(payload) {
+		t.Fatalf("segment read back wrong: kind=%d payload=%q err=%v", kind, got, err)
+	}
+
+	if _, err := sink.ReadManifest("agent-0"); !os.IsNotExist(err) {
+		t.Fatalf("missing manifest error = %v, want not-exist", err)
+	}
+	man := []byte("manifest bytes")
+	if err := sink.WriteManifest("agent-0", man); err != nil {
+		t.Fatal(err)
+	}
+	got, err = sink.ReadManifest("agent-0")
+	if err != nil || string(got) != string(man) {
+		t.Fatalf("manifest read back wrong: %q %v", got, err)
+	}
+}
+
+// snapshotStore builds and synchronously commits one snapshot of st.
+func snapshotStore(t *testing.T, sink Sink, key string, st *graph.Store, states []wire.VertexState, seq uint64) {
+	t.Helper()
+	w := NewWriter(sink, key)
+	defer w.Close()
+	snapshotWith(t, w, st, states, seq)
+}
+
+func snapshotWith(t *testing.T, w *Writer, st *graph.Store, states []wire.VertexState, seq uint64) {
+	t.Helper()
+	prev, prevGen := w.LastSealedRef()
+	snap := &Snapshot{
+		Meta:     wire.CheckpointMeta{Key: w.key, Seq: seq, SealedGen: st.Compactions()},
+		Segments: BuildSegments(st, states, nil, prev, prevGen),
+	}
+	if !w.TrySubmit(snap) {
+		t.Fatal("writer busy on first submit")
+	}
+}
+
+// compareStores asserts observational equivalence: same vertices, same
+// ascending neighbour lists in both directions.
+func compareStores(t *testing.T, seed int64, a, b *graph.Store) {
+	t.Helper()
+	av, bv := a.VertexList(), b.VertexList()
+	if len(av) != len(bv) {
+		t.Fatalf("seed %d: vertex count %d != %d (%v vs %v)", seed, len(av), len(bv), av, bv)
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("seed %d: vertex list diverges at %d: %d != %d", seed, i, av[i], bv[i])
+		}
+	}
+	for _, v := range av {
+		ao, ai := a.Degree(v)
+		bo, bi := b.Degree(v)
+		if ao != bo || ai != bi {
+			t.Fatalf("seed %d: degree(%d): (%d,%d) != (%d,%d)", seed, v, ao, ai, bo, bi)
+		}
+		aOut, bOut := a.AppendOut(v, nil), b.AppendOut(v, nil)
+		for i := range aOut {
+			if aOut[i] != bOut[i] {
+				t.Fatalf("seed %d: out[%d] of %d: %d != %d", seed, i, v, aOut[i], bOut[i])
+			}
+		}
+		aIn, bIn := a.AppendIn(v, nil), b.AppendIn(v, nil)
+		for i := range aIn {
+			if aIn[i] != bIn[i] {
+				t.Fatalf("seed %d: in[%d] of %d: %d != %d", seed, i, v, aIn[i], bIn[i])
+			}
+		}
+	}
+}
+
+// TestCheckpointRestoreEquivalenceProperty drives a store through
+// randomized insert/delete/compact sequences, snapshots it, restores into
+// a fresh store, and asserts observational equivalence — across sealed
+// generations, delete-logged sealed entries, and tail-only topology.
+func TestCheckpointRestoreEquivalenceProperty(t *testing.T) {
+	const (
+		seeds    = 15
+		opsPer   = 500
+		universe = 24
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		st := graph.NewStore()
+		st.SetCompactMin(1 + rng.Intn(16))
+		for op := 0; op < opsPer; op++ {
+			u := graph.VertexID(rng.Intn(universe))
+			v := graph.VertexID(rng.Intn(universe))
+			dir := graph.Out
+			if rng.Intn(2) == 0 {
+				dir = graph.In
+			}
+			if rng.Intn(3) == 0 {
+				st.RemoveEdge(u, v, dir)
+			} else {
+				st.AddEdge(u, v, dir)
+			}
+			if rng.Intn(29) == 0 {
+				st.Compact()
+			}
+		}
+
+		sink, err := NewDirSink(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapshotStore(t, sink, "prop", st, nil, 1)
+		state, err := Load(sink, "prop")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if state == nil {
+			t.Fatalf("seed %d: no state restored", seed)
+		}
+		restored := graph.NewStore()
+		state.ApplyToStore(restored)
+		compareStores(t, seed, st, restored)
+	}
+}
+
+// TestLoadMissingManifestIsColdStart distinguishes "never checkpointed"
+// (nil, nil) from a damaged sink (error).
+func TestLoadMissingManifestIsColdStart(t *testing.T) {
+	sink, err := NewDirSink(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(sink, "never")
+	if st != nil || err != nil {
+		t.Fatalf("cold start: state=%v err=%v, want nil,nil", st, err)
+	}
+}
+
+// TestLoadRejectsDamage corrupts durable files and asserts Load fails
+// loudly instead of restoring garbage.
+func TestLoadRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewDirSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := graph.NewStore()
+	st.AddEdge(1, 2, graph.Out)
+	st.AddEdge(2, 3, graph.In)
+	snapshotStore(t, sink, "victim", st, nil, 1)
+	if _, err := Load(sink, "victim"); err != nil {
+		t.Fatalf("pristine load failed: %v", err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "segments", "*"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments written: %v %v", segs, err)
+	}
+	// Flip one byte in every segment in turn; each corruption must be
+	// detected (framing CRC or the manifest's independent ref check).
+	for _, path := range segs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == segHeaderLen {
+			continue // empty payload: nothing to flip without resizing
+		}
+		bad := append([]byte(nil), data...)
+		bad[len(bad)-1] ^= 0x01
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(sink, "victim"); err == nil {
+			t.Fatalf("corrupted %s accepted", filepath.Base(path))
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A missing segment must fail even with a pristine manifest.
+	if err := os.Rename(segs[0], segs[0]+".gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(sink, "victim"); err == nil {
+		t.Fatal("missing segment accepted")
+	}
+	if err := os.Rename(segs[0]+".gone", segs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated manifest must fail its own framing.
+	manPath := filepath.Join(dir, "victim.manifest")
+	man, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manPath, man[:len(man)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(sink, "victim"); err == nil {
+		t.Fatal("truncated manifest accepted")
+	}
+}
+
+// TestSealedSegmentDedup checks the incremental fast path: consecutive
+// snapshots between compactions reuse the sealed segment's content
+// address instead of rewriting it, so only tail/state bytes hit the sink.
+func TestSealedSegmentDedup(t *testing.T) {
+	sink, err := NewDirSink(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := graph.NewStore()
+	st.SetCompactMin(1)
+	for i := 0; i < 200; i++ {
+		st.AddEdge(graph.VertexID(i%20), graph.VertexID(i), graph.Out)
+	}
+	st.Compact()
+
+	w := NewWriter(sink, "dedup")
+	snapshotWith(t, w, st, nil, 1)
+	w.Close() // drain so LastSealedRef is published
+	_, _, _, bytesAfterFirst := w.Stats()
+	if bytesAfterFirst == 0 {
+		t.Fatal("first snapshot wrote nothing")
+	}
+	ref, gen := w.LastSealedRef()
+	if ref == nil || gen != st.Compactions() {
+		t.Fatalf("sealed ref not published: %v gen=%d", ref, gen)
+	}
+
+	// Same generation: the builder must carry the ref forward without
+	// re-encoding the sealed CSR.
+	segs := BuildSegments(st, nil, nil, ref, gen)
+	if segs[0].Reuse == nil || segs[0].Reuse.Name != ref.Name {
+		t.Fatalf("sealed segment not reused: %+v", segs[0])
+	}
+
+	w2 := NewWriter(sink, "dedup")
+	snap := &Snapshot{Meta: wire.CheckpointMeta{Key: "dedup", Seq: 2, SealedGen: gen}, Segments: segs}
+	if !w2.TrySubmit(snap) {
+		t.Fatal("second submit refused")
+	}
+	w2.Close()
+	_, _, _, bytesSecond := w2.Stats()
+	if bytesSecond >= bytesAfterFirst {
+		t.Fatalf("second snapshot rewrote sealed data: %d bytes (first wrote %d)", bytesSecond, bytesAfterFirst)
+	}
+
+	// After another compaction the generation moves and the sealed
+	// segment is re-encoded with a new address.
+	st.AddEdge(999, 1000, graph.Out)
+	st.Compact()
+	segs = BuildSegments(st, nil, nil, ref, gen)
+	if segs[0].Reuse != nil {
+		t.Fatal("stale sealed ref reused across a compaction")
+	}
+	w3 := NewWriter(sink, "dedup")
+	if !w3.TrySubmit(&Snapshot{Meta: wire.CheckpointMeta{Key: "dedup", Seq: 3, SealedGen: st.Compactions()}, Segments: segs}) {
+		t.Fatal("third submit refused")
+	}
+	w3.Close()
+
+	// Restore still round-trips through the deduped manifest chain.
+	state, err := Load(sink, "dedup")
+	if err != nil || state == nil {
+		t.Fatalf("load after dedup: %v %v", state, err)
+	}
+	restored := graph.NewStore()
+	state.ApplyToStore(restored)
+	compareStores(t, -1, st, restored)
+}
+
+// TestWriterDropsWhenBusy checks the backpressure contract: a snapshot
+// submitted while the writer is mid-commit is dropped and counted, never
+// queued without bound.
+func TestWriterDropsWhenBusy(t *testing.T) {
+	sink, err := NewDirSink(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(sink, "busy")
+	st := graph.NewStore()
+	st.AddEdge(1, 2, graph.Out)
+	submitted, dropped := 0, 0
+	for i := 0; i < 64; i++ {
+		snap := &Snapshot{
+			Meta:     wire.CheckpointMeta{Key: "busy", Seq: uint64(i + 1)},
+			Segments: BuildSegments(st, nil, nil, nil, 0),
+		}
+		if w.TrySubmit(snap) {
+			submitted++
+		} else {
+			dropped++
+		}
+	}
+	w.Close()
+	count, drops, errs, _ := w.Stats()
+	if errs != 0 {
+		t.Fatalf("%d sink errors", errs)
+	}
+	if int(count) != submitted || int(drops) != dropped {
+		t.Fatalf("stats (%d committed, %d dropped) disagree with submits (%d, %d)",
+			count, drops, submitted, dropped)
+	}
+	if count == 0 {
+		t.Fatal("nothing committed")
+	}
+}

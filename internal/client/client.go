@@ -103,20 +103,24 @@ func Start(opts Options) (*Client, error) {
 		node.RegisterMetrics(opts.Metrics, "client")
 		lbl := metrics.Labels{"addr": node.Addr()}
 		opts.Metrics.CounterFunc("elga_client_queries_total", "Vertex queries issued.", lbl, c.queries.Load)
-		opts.Metrics.CounterFunc("elga_client_retries_total", "Query attempts beyond the first.", lbl, c.retried.Load)
+		opts.Metrics.CounterFunc("elga_client_retries_total", "Operation attempts beyond the first.", lbl, c.retried.Load)
 	}
 	reply, err := node.RequestRetry(opts.MasterAddr, transport.Retry{Attempts: 5},
 		opts.Config.RequestTimeout,
 		func() []byte { return node.NewFrame(wire.TGetDirectory) })
 	if err != nil {
 		node.Close()
-		return nil, fmt.Errorf("client: bootstrap: %w", err)
+		return nil, opError("bootstrap", err)
 	}
 	dirs, err := wire.DecodeStringList(reply.Payload)
 	wire.ReleasePacket(reply)
-	if err != nil || len(dirs) == 0 {
+	if err != nil {
 		node.Close()
-		return nil, fmt.Errorf("client: no directories")
+		return nil, opError("bootstrap", err)
+	}
+	if len(dirs) == 0 {
+		node.Close()
+		return nil, opError("bootstrap", ErrNoDirectories)
 	}
 	c.coordAddr = dirs[0]
 	c.dirAddr = dirs[len(dirs)-1]
@@ -181,7 +185,7 @@ func (c *Client) drainViews(block bool) error {
 				return nil
 			}
 			if time.Now().After(deadline) {
-				return fmt.Errorf("client: waiting for a view: %w", transport.ErrTimeout)
+				return opError("wait-view", transport.ErrTimeout)
 			}
 			time.Sleep(time.Millisecond)
 		}
@@ -193,7 +197,7 @@ func (c *Client) WaitReady() error {
 	deadline := time.Now().Add(c.opts.Config.RequestTimeout)
 	for c.router.NumAgents() == 0 {
 		if time.Now().After(deadline) {
-			return fmt.Errorf("client: no agents: %w", transport.ErrTimeout)
+			return opError("wait-ready", fmt.Errorf("%w (%w)", ErrNoAgents, transport.ErrTimeout))
 		}
 		if err := c.drainViews(true); err != nil {
 			return err
@@ -222,25 +226,99 @@ type RunSpec struct {
 	Timeout time.Duration
 }
 
+// op describes one blocking client operation: where it goes, how to
+// build a fresh request frame per attempt, and how to consume the reply.
+// do is the single execution core — every exported call (Run, RunWith,
+// Seal, SealWith, Query, QueryWith) is a thin named wrapper over it, so
+// timeout selection, retry shaping, per-attempt routing, packet release,
+// and typed error wrapping live in exactly one place.
+type op struct {
+	// name labels the operation in the typed OpError ("run pagerank",
+	// "seal", "query 42").
+	name string
+	// timeout overrides the CallOpts/config default budget when positive.
+	timeout time.Duration
+	// single marks a non-idempotent operation: exactly one attempt with
+	// the whole budget (Run — a timed-out submission may still execute,
+	// and re-submitting would queue a second run).
+	single bool
+	// addr resolves the destination per attempt; nil targets the
+	// coordinator. Per-attempt re-resolution lets a retry route around
+	// an agent that died since the last attempt.
+	addr func() (string, error)
+	// frame builds a fresh request frame (frames are consumed on send).
+	frame func() []byte
+	// reply consumes the reply payload; nil ignores it. do releases the
+	// packet after reply returns, so implementations must not retain it.
+	reply func(*wire.Packet) error
+}
+
+// do executes one op under co's policy and wraps any failure in the
+// typed taxonomy.
+func (c *Client) do(o op, co CallOpts) error {
+	overall := o.timeout
+	if overall <= 0 {
+		overall = co.timeout(&c.opts.Config)
+	}
+	deadline := time.Now().Add(overall)
+	perTry := co.Retry.PerTry
+	if o.single {
+		perTry = overall
+	} else if perTry <= 0 {
+		attempts := co.Retry.Attempts
+		if attempts <= 0 {
+			attempts = 3
+		}
+		perTry = overall / time.Duration(attempts)
+		if perTry < 50*time.Millisecond {
+			perTry = 50 * time.Millisecond
+		}
+	}
+	attempt := 0
+	try := func() error {
+		if attempt++; attempt > 1 {
+			c.retried.Add(1)
+		}
+		addr := c.coordAddr
+		if o.addr != nil {
+			var err error
+			if addr, err = o.addr(); err != nil {
+				return err
+			}
+		}
+		t := perTry
+		if rem := time.Until(deadline); rem < t {
+			t = rem
+		}
+		if t <= 0 {
+			return fmt.Errorf("retry budget exhausted: %w", transport.ErrTimeout)
+		}
+		reply, err := c.node.RequestFrame(addr, o.frame(), t)
+		if err != nil {
+			return err
+		}
+		if o.reply != nil {
+			err = o.reply(reply)
+		}
+		wire.ReleasePacket(reply)
+		return err
+	}
+	var err error
+	if o.single {
+		err = try()
+	} else {
+		err = co.Retry.Do(deadline, try)
+	}
+	return opError(o.name, err)
+}
+
 // Run asks the directory system to execute an algorithm and blocks until
 // it completes, returning the run statistics. Run is deliberately not
 // retried: a timed-out request may still be executing at the directory,
 // and re-submitting it would start a second run. Callers whose specs are
 // idempotent can opt into retries with RunWith.
 func (c *Client) Run(spec RunSpec) (*wire.RunStats, error) {
-	timeout := spec.Timeout
-	if timeout <= 0 {
-		timeout = 10 * time.Minute
-	}
-	start := time.Now()
-	reply, err := c.node.RequestFrame(c.coordAddr, c.runFrame(spec), timeout)
-	if err != nil {
-		return nil, fmt.Errorf("client: run %s: %w", spec.Algo, err)
-	}
-	c.linkRunSpan(reply.Ctx, start)
-	stats, err := wire.DecodeRunStats(reply.Payload)
-	wire.ReleasePacket(reply)
-	return stats, err
+	return c.run(spec, CallOpts{}, true)
 }
 
 // linkRunSpan records the client's side of a run retroactively: the run's
@@ -267,20 +345,38 @@ func (c *Client) linkRunSpan(ctx trace.SpanContext, start time.Time) {
 // Incremental runs (FromScratch false) must use Run. The per-try wait
 // must cover a full run's duration, not just the request round-trip.
 func (c *Client) RunWith(spec RunSpec, co CallOpts) (*wire.RunStats, error) {
+	return c.run(spec, co, false)
+}
+
+// run is the shared Run/RunWith body over the do core.
+func (c *Client) run(spec RunSpec, co CallOpts, single bool) (*wire.RunStats, error) {
 	timeout := spec.Timeout
-	if timeout <= 0 {
-		timeout = co.timeout(&c.opts.Config)
+	if timeout <= 0 && single {
+		// A run outlives ordinary request budgets; without an explicit
+		// bound give the single attempt a long leash.
+		timeout = 10 * time.Minute
 	}
 	start := time.Now()
-	reply, err := c.node.RequestRetry(c.coordAddr, co.Retry, timeout,
-		func() []byte { return c.runFrame(spec) })
+	var stats *wire.RunStats
+	err := c.do(op{
+		name:    "run " + spec.Algo,
+		timeout: timeout,
+		single:  single,
+		frame:   func() []byte { return c.runFrame(spec) },
+		reply: func(p *wire.Packet) error {
+			c.linkRunSpan(p.Ctx, start)
+			decoded, err := wire.DecodeRunStats(p.Payload)
+			if err != nil {
+				return err
+			}
+			stats = decoded
+			return nil
+		},
+	}, co)
 	if err != nil {
-		return nil, fmt.Errorf("client: run %s: %w", spec.Algo, err)
+		return nil, err
 	}
-	c.linkRunSpan(reply.Ctx, start)
-	stats, err := wire.DecodeRunStats(reply.Payload)
-	wire.ReleasePacket(reply)
-	return stats, err
+	return stats, nil
 }
 
 func (c *Client) runFrame(spec RunSpec) []byte {
@@ -303,15 +399,10 @@ func (c *Client) Seal() error { return c.SealWith(CallOpts{}) }
 // rebalance completed. It blocks until the cluster is quiescent. Seals
 // are idempotent, so the call retries under co's policy.
 func (c *Client) SealWith(co CallOpts) error {
-	reply, err := c.node.RequestRetry(c.coordAddr, co.Retry, co.timeout(&c.opts.Config),
-		func() []byte { return c.node.NewFrame(wire.TIngest) })
-	if reply != nil {
-		wire.ReleasePacket(reply)
-	}
-	if err != nil {
-		return fmt.Errorf("client: seal: %w", err)
-	}
-	return nil
+	return c.do(op{
+		name:  "seal",
+		frame: func() []byte { return c.node.NewFrame(wire.TIngest) },
+	}, co)
 }
 
 // Query returns vertex v's current algorithm state from a random replica
@@ -325,54 +416,39 @@ func (c *Client) Query(v graph.VertexID) (algorithm.Word, bool, error) {
 // re-resolves the replica set against the freshest view, so a retry
 // naturally routes around an agent that died since the last attempt.
 func (c *Client) QueryWith(v graph.VertexID, co CallOpts) (algorithm.Word, bool, error) {
-	overall := co.timeout(&c.opts.Config)
-	policy := co.Retry
-	perTry := policy.PerTry
-	if perTry <= 0 {
-		attempts := policy.Attempts
-		if attempts <= 0 {
-			attempts = 3
-		}
-		perTry = overall / time.Duration(attempts)
-		if perTry < 50*time.Millisecond {
-			perTry = 50 * time.Millisecond
-		}
-	}
-	deadline := time.Now().Add(overall)
 	c.queries.Add(1)
 	var qr *wire.QueryReply
-	attempt := 0
-	err := policy.Do(deadline, func() error {
-		if attempt++; attempt > 1 {
-			c.retried.Add(1)
-		}
-		if err := c.drainViews(false); err != nil {
-			return err
-		}
-		c.salt++
-		agentID, ok := c.router.AnyReplica(v, c.salt)
-		if !ok {
-			return fmt.Errorf("client: no agents: %w", transport.ErrUnavailable)
-		}
-		addr, ok := c.router.AddrOf(agentID)
-		if !ok {
-			return fmt.Errorf("client: unknown agent %d: %w", agentID, transport.ErrUnavailable)
-		}
-		reply, rerr := c.node.RequestFrame(addr,
-			wire.AppendQuery(c.node.NewFrame(wire.TQuery), &wire.Query{Vertex: v}), perTry)
-		if rerr != nil {
-			return rerr
-		}
-		decoded, derr := wire.DecodeQueryReply(reply.Payload)
-		wire.ReleasePacket(reply)
-		if derr != nil {
-			return derr
-		}
-		qr = decoded
-		return nil
-	})
+	err := c.do(op{
+		name: fmt.Sprintf("query %d", v),
+		addr: func() (string, error) {
+			if err := c.drainViews(false); err != nil {
+				return "", err
+			}
+			c.salt++
+			agentID, ok := c.router.AnyReplica(v, c.salt)
+			if !ok {
+				return "", ErrNoAgents
+			}
+			addr, ok := c.router.AddrOf(agentID)
+			if !ok {
+				return "", fmt.Errorf("unknown agent %d: %w", agentID, transport.ErrUnavailable)
+			}
+			return addr, nil
+		},
+		frame: func() []byte {
+			return wire.AppendQuery(c.node.NewFrame(wire.TQuery), &wire.Query{Vertex: v})
+		},
+		reply: func(p *wire.Packet) error {
+			decoded, err := wire.DecodeQueryReply(p.Payload)
+			if err != nil {
+				return err
+			}
+			qr = decoded
+			return nil
+		},
+	}, co)
 	if err != nil {
-		return 0, false, fmt.Errorf("client: query %d: %w", v, err)
+		return 0, false, err
 	}
 	return algorithm.Word(qr.State), qr.Found, nil
 }

@@ -1,0 +1,47 @@
+package client
+
+import (
+	"fmt"
+
+	"elga/internal/transport"
+)
+
+// Typed error taxonomy for the client. Every exported call returns an
+// *OpError wrapping the underlying cause, so call sites branch with
+// errors.Is/errors.As against the transport and wire sentinels instead
+// of string matching:
+//
+//	var oe *client.OpError
+//	if errors.As(err, &oe) { log.Printf("op %s failed", oe.Op) }
+//	if errors.Is(err, transport.ErrTimeout) { retryLater() }
+var (
+	// ErrNoDirectories means bootstrap returned an empty directory list;
+	// retrying after the directories come up is expected to succeed.
+	ErrNoDirectories = fmt.Errorf("no directories: %w", transport.ErrUnavailable)
+	// ErrNoAgents means the installed view has no agent able to serve
+	// the call yet.
+	ErrNoAgents = fmt.Errorf("no agents: %w", transport.ErrUnavailable)
+)
+
+// OpError is the uniform error every client operation returns: the
+// operation label plus the underlying cause, which always unwraps to a
+// transport or wire sentinel.
+type OpError struct {
+	// Op names the failing operation ("bootstrap", "seal", "run wcc",
+	// "query 42", ...).
+	Op string
+	// Err is the cause.
+	Err error
+}
+
+func (e *OpError) Error() string { return "client: " + e.Op + ": " + e.Err.Error() }
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+// opError wraps err into the taxonomy, passing nil through.
+func opError(opName string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &OpError{Op: opName, Err: err}
+}

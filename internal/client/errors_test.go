@@ -1,0 +1,29 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"elga/internal/transport"
+)
+
+func TestOpErrorTaxonomy(t *testing.T) {
+	err := opError("query 7", ErrNoAgents)
+	if !errors.Is(err, transport.ErrUnavailable) {
+		t.Error("ErrNoAgents does not unwrap to transport.ErrUnavailable")
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) || oe.Op != "query 7" {
+		t.Errorf("errors.As: %+v", oe)
+	}
+	want := "client: query 7: no agents: transport: unavailable"
+	if got := err.Error(); got != want {
+		t.Errorf("message: got %q, want %q", got, want)
+	}
+	if opError("x", nil) != nil {
+		t.Error("opError(nil) must pass nil through")
+	}
+	if !errors.Is(opError("seal", transport.ErrTimeout), transport.ErrTimeout) {
+		t.Error("wrapped timeout lost")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"elga/internal/agent"
 	"elga/internal/autoscale"
+	"elga/internal/checkpoint"
 	"elga/internal/client"
 	"elga/internal/config"
 	"elga/internal/directory"
@@ -69,6 +70,26 @@ type Options struct {
 	// planner — the hash-only baseline of the repartition experiment
 	// (implied by Repartition).
 	CommAccounting bool
+	// Durability, when non-nil and Enabled, turns on durable incremental
+	// checkpointing for every participant: the harness derives a stable
+	// per-slot key for each agent ("agent-<slot>") plus "coordinator" for
+	// the coordinator directory, all sharing Durability.Dir. A killed
+	// agent slot can then rejoin warm via RestartAgent.
+	Durability *checkpoint.Config
+}
+
+// WithCommon fills the cross-cutting Options fields from a resolved
+// config.Common composite — the one-call bridge between the CLI/env
+// configuration surface and the harness. Role-specific fields (Agents,
+// Directories, Network, ...) are left alone.
+func (o Options) WithCommon(c config.Common) Options {
+	o.Config = c.Cluster
+	o.MetricsAddr = c.MetricsAddr
+	o.Trace = c.TraceConfig()
+	if c.Durability.Enabled {
+		o.Durability = c.CheckpointConfig()
+	}
+	return o
 }
 
 // Cluster is a running ElGA deployment.
@@ -88,6 +109,12 @@ type Cluster struct {
 	// tracing is off).
 	tcfg      trace.Config
 	collector *collect.Collector
+	// agentSlots mirrors agents: the durable slot number each live agent
+	// was started under ("agent-<slot>" checkpoint keys). nextSlot only
+	// grows, so a slot freed by Kill/Remove is reused solely through
+	// RestartAgent — keys never collide across live agents.
+	agentSlots []int
+	nextSlot   int
 }
 
 // New boots a cluster and waits until every initial agent has joined.
@@ -170,6 +197,7 @@ func New(opts Options) (*Cluster, error) {
 			Metrics:       c.reg,
 			Repartition:   opts.Repartition,
 			Trace:         &c.tcfg,
+			Checkpoint:    c.durabilityFor("coordinator"),
 		})
 		if err != nil {
 			c.Shutdown()
@@ -213,23 +241,75 @@ func (c *Cluster) NumAgents() int { return len(c.agents) }
 // Agents returns the live agents (do not mutate).
 func (c *Cluster) Agents() []*agent.Agent { return c.agents }
 
+// durabilityFor derives one participant's checkpoint config from the
+// shared Durability option (nil when durability is off).
+func (c *Cluster) durabilityFor(key string) *checkpoint.Config {
+	if c.opts.Durability == nil {
+		return nil
+	}
+	cfg := c.opts.Durability.WithKey(key)
+	return &cfg
+}
+
+// startAgent boots one agent under a durable slot key.
+func (c *Cluster) startAgent(slot int) (*agent.Agent, error) {
+	return agent.Start(agent.Options{
+		Config:      c.opts.Config,
+		Network:     c.net,
+		MasterAddr:  c.master.Addr(),
+		DirIndex:    slot,
+		Metrics:     c.reg,
+		Repartition: c.opts.Repartition != nil || c.opts.CommAccounting,
+		Trace:       &c.tcfg,
+		Checkpoint:  c.durabilityFor(fmt.Sprintf("agent-%d", slot)),
+	})
+}
+
 // AddAgent elastically adds one agent, returning it once joined. The
 // join, view broadcast, and migration round complete before any queued
 // computation resumes.
 func (c *Cluster) AddAgent() (*agent.Agent, error) {
-	a, err := agent.Start(agent.Options{
-		Config:      c.opts.Config,
-		Network:     c.net,
-		MasterAddr:  c.master.Addr(),
-		DirIndex:    len(c.agents),
-		Metrics:     c.reg,
-		Repartition: c.opts.Repartition != nil || c.opts.CommAccounting,
-		Trace:       &c.tcfg,
-	})
+	slot := c.nextSlot
+	a, err := c.startAgent(slot)
+	if err != nil {
+		return nil, err
+	}
+	c.nextSlot = slot + 1
+	c.agents = append(c.agents, a)
+	c.agentSlots = append(c.agentSlots, slot)
+	return a, nil
+}
+
+// AgentSlot returns the durable slot number of the i-th live agent —
+// the handle RestartAgent takes after a kill.
+func (c *Cluster) AgentSlot(i int) int {
+	if i < 0 || i >= len(c.agentSlots) {
+		return -1
+	}
+	return c.agentSlots[i]
+}
+
+// RestartAgent boots a fresh agent under a previously used durable slot,
+// simulating a crashed process coming back on the same machine: the new
+// process restores the slot's last durable snapshot before joining,
+// presents its manifest to the coordinator, and reconciles the restored
+// state against the current view through the ordinary migration round —
+// a warm rejoin instead of a full re-stream.
+func (c *Cluster) RestartAgent(slot int) (*agent.Agent, error) {
+	if slot < 0 || slot >= c.nextSlot {
+		return nil, fmt.Errorf("cluster: unknown agent slot %d", slot)
+	}
+	for i, s := range c.agentSlots {
+		if s == slot {
+			return nil, fmt.Errorf("cluster: slot %d is still live (agent %d)", slot, c.agents[i].ID())
+		}
+	}
+	a, err := c.startAgent(slot)
 	if err != nil {
 		return nil, err
 	}
 	c.agents = append(c.agents, a)
+	c.agentSlots = append(c.agentSlots, slot)
 	return a, nil
 }
 
@@ -241,6 +321,7 @@ func (c *Cluster) RemoveAgent(i int) error {
 	}
 	a := c.agents[i]
 	c.agents = append(c.agents[:i], c.agents[i+1:]...)
+	c.agentSlots = append(c.agentSlots[:i], c.agentSlots[i+1:]...)
 	if err := a.Leave(); err != nil {
 		return err
 	}
@@ -257,14 +338,17 @@ func (c *Cluster) RemoveAgent(i int) error {
 // simulating a crash: its node closes immediately and its edges are NOT
 // migrated. The coordinator's failure detector notices the missing
 // heartbeats, evicts the agent via the leave/scale-down path, and
-// survivors re-own its key ranges. The killed agent's data is lost until
-// re-streamed (the system is fail-stop without replication).
+// survivors re-own its key ranges. Without durability the killed agent's
+// data is lost until re-streamed; with Options.Durability the slot's
+// last checkpoint survives on disk, and RestartAgent(slot) rejoins warm
+// from it.
 func (c *Cluster) KillAgent(i int) error {
 	if i < 0 || i >= len(c.agents) {
 		return fmt.Errorf("cluster: no agent %d", i)
 	}
 	a := c.agents[i]
 	c.agents = append(c.agents[:i], c.agents[i+1:]...)
+	c.agentSlots = append(c.agentSlots[:i], c.agentSlots[i+1:]...)
 	// Force the flight recorder out before the node dies. The request is
 	// injected through the event loop (never the faulty network), so it
 	// cannot race the agent's in-flight Close.
@@ -339,6 +423,19 @@ func (c *Cluster) AggregateStats() stats.Counters {
 		out.MergeNamespaced("streamer", c.stream.StatsMap())
 	}
 	return out
+}
+
+// CheckpointStats sums every live agent's durable-writer counters; all
+// zero without Options.Durability.
+func (c *Cluster) CheckpointStats() (count, drops, errs, bytes uint64) {
+	for _, a := range c.agents {
+		cn, d, e, b := a.CheckpointStats()
+		count += cn
+		drops += d
+		errs += e
+		bytes += b
+	}
+	return count, drops, errs, bytes
 }
 
 // Registry returns the metric registry every participant registered on.

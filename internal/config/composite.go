@@ -1,0 +1,166 @@
+package config
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"elga/internal/checkpoint"
+	"elga/internal/repartition"
+	"elga/internal/trace"
+)
+
+// Common is the per-process composite every role shares: the cluster
+// Config all participants must agree on, plus the cross-cutting
+// subsystems (observability endpoint, tracing, durability) that used to
+// be wired ad hoc per role. One Common resolves from the environment,
+// registers one coherent flag set, and validates as a unit — cmd/elga
+// and the cluster harness both consume it, so a setting has exactly one
+// spelling everywhere.
+type Common struct {
+	// Cluster is the shared cluster configuration (routing, sketch,
+	// replication, failure detector).
+	Cluster Config
+	// MetricsAddr serves /metrics and /debug/pprof when non-empty
+	// (env: ELGA_METRICS_ADDR).
+	MetricsAddr string
+	// Trace configures distributed tracing (env: ELGA_TRACE*).
+	Trace trace.Config
+	// Durability configures durable incremental checkpointing
+	// (env: ELGA_CKPT*).
+	Durability checkpoint.Config
+}
+
+// CommonFromEnv builds the composite from defaults plus environment
+// overrides, the seed RegisterFlags starts from so flags and env vars
+// funnel into the same struct.
+func CommonFromEnv() Common {
+	return Common{
+		Cluster:     Default(),
+		MetricsAddr: os.Getenv("ELGA_METRICS_ADDR"),
+		Trace:       trace.FromEnv(),
+		Durability:  checkpoint.FromEnv(),
+	}
+}
+
+// Validate reports configuration errors across every embedded subsystem.
+func (c *Common) Validate() error {
+	if err := c.Cluster.Validate(); err != nil {
+		return err
+	}
+	if err := c.Durability.Validate(); err != nil {
+		return err
+	}
+	if c.Trace.Sample < 0 || c.Trace.Sample > 1 {
+		return fmt.Errorf("config: trace sample %g outside [0,1]", c.Trace.Sample)
+	}
+	if c.Trace.FlightRecorder < 0 {
+		return fmt.Errorf("config: flight recorder capacity must be non-negative, got %d", c.Trace.FlightRecorder)
+	}
+	return nil
+}
+
+// RegisterFlags registers the shared flag set on fs, defaulting from c.
+// Flag spellings are unchanged from the pre-composite CLI, so existing
+// deployment scripts keep working.
+func (c *Common) RegisterFlags(fs *flag.FlagSet) {
+	fs.IntVar(&c.Cluster.Virtual, "virtual", c.Cluster.Virtual, "virtual agents per agent")
+	fs.IntVar(&c.Cluster.SketchWidth, "sketch-width", c.Cluster.SketchWidth, "count-min sketch width")
+	fs.IntVar(&c.Cluster.SketchDepth, "sketch-depth", c.Cluster.SketchDepth, "count-min sketch depth")
+	fs.Uint64Var(&c.Cluster.ReplicationThreshold, "split-threshold", c.Cluster.ReplicationThreshold,
+		"degree estimate above which a vertex splits (0 disables)")
+	fs.IntVar(&c.Cluster.MaxReplicas, "max-replicas", c.Cluster.MaxReplicas, "replica cap per split vertex")
+	fs.StringVar(&c.MetricsAddr, "metrics-addr", c.MetricsAddr,
+		"serve /metrics and /debug/pprof on this address (empty = disabled; also ELGA_METRICS_ADDR)")
+	fs.BoolVar(&c.Trace.Enabled, "trace", c.Trace.Enabled, "enable distributed tracing (also ELGA_TRACE=1)")
+	fs.Float64Var(&c.Trace.Sample, "trace-sample", c.Trace.Sample, "fraction of trace roots exported to the collector [0,1]")
+	fs.IntVar(&c.Trace.FlightRecorder, "trace-flight", c.Trace.FlightRecorder, "per-participant flight-recorder capacity")
+	c.Durability.RegisterFlags(fs)
+}
+
+// Agent is the composite an agent process consumes.
+type Agent struct {
+	Common
+	// Repartition arms the scatter-traffic ledger and chatty-vertex
+	// digests (pair with the coordinator's -repartition).
+	Repartition bool
+}
+
+// AgentFromEnv builds an agent composite from the environment.
+func AgentFromEnv() Agent {
+	return Agent{Common: CommonFromEnv()}
+}
+
+// RegisterFlags registers the shared flags plus the agent-only ones.
+func (a *Agent) RegisterFlags(fs *flag.FlagSet) {
+	a.Common.RegisterFlags(fs)
+	fs.BoolVar(&a.Repartition, "repartition", a.Repartition,
+		"account scatter traffic and report chatty-vertex digests (pair with the coordinator's -repartition)")
+}
+
+// Directory is the composite a directory process consumes.
+type Directory struct {
+	Common
+	// Repartition enables the adaptive locality planner (coordinator
+	// only; agents must run with -repartition too).
+	Repartition bool
+	// Plan tunes the planner when Repartition is set.
+	Plan repartition.Config
+	// TraceOut, when non-empty, writes collected spans as Chrome
+	// trace-event JSON on shutdown (implies tracing; coordinator only).
+	TraceOut string
+}
+
+// DirectoryFromEnv builds a directory composite from the environment.
+func DirectoryFromEnv() Directory {
+	return Directory{Common: CommonFromEnv(), Plan: repartition.DefaultConfig()}
+}
+
+// RegisterFlags registers the shared flags plus the directory-only ones.
+func (d *Directory) RegisterFlags(fs *flag.FlagSet) {
+	d.Common.RegisterFlags(fs)
+	fs.BoolVar(&d.Repartition, "repartition", d.Repartition,
+		"enable adaptive locality-aware repartitioning (coordinator only; agents need -repartition too)")
+	fs.IntVar(&d.Plan.MaxMoves, "repartition-max-moves", d.Plan.MaxMoves, "vertex moves per planning round")
+	fs.Uint64Var(&d.Plan.MinGain, "repartition-min-gain", d.Plan.MinGain, "minimum remote-minus-local message advantage per move")
+	fs.IntVar(&d.Plan.Cooldown, "repartition-cooldown", d.Plan.Cooldown, "rounds a moved vertex is frozen against re-moving")
+	fs.Float64Var(&d.Plan.Slack, "repartition-slack", d.Plan.Slack, "allowed per-agent vertex-count overshoot vs the mean")
+	fs.StringVar(&d.TraceOut, "trace-out", d.TraceOut,
+		"write collected spans as Chrome trace-event JSON here on shutdown (implies -trace; coordinator only)")
+}
+
+// PlanConfig returns the planner configuration, or nil when the planner
+// is disabled — the shape directory.Options.Repartition takes.
+func (d *Directory) PlanConfig() *repartition.Config {
+	if !d.Repartition {
+		return nil
+	}
+	return &d.Plan
+}
+
+// Validate extends Common validation with directory-only checks.
+func (d *Directory) Validate() error {
+	if err := d.Common.Validate(); err != nil {
+		return err
+	}
+	if d.Repartition && d.Plan.Slack < 0 {
+		return fmt.Errorf("config: repartition slack must be non-negative, got %g", d.Plan.Slack)
+	}
+	return nil
+}
+
+// CheckpointConfig returns the durability configuration in the pointer
+// shape agent/directory Options take, or nil when durability is off (so
+// those layers fall back to their own env resolution only when the
+// composite was never consulted).
+func (c *Common) CheckpointConfig() *checkpoint.Config {
+	d := c.Durability
+	return &d
+}
+
+// TraceConfig returns the trace configuration as the pointer shape every
+// Options struct takes.
+func (c *Common) TraceConfig() *trace.Config {
+	t := c.Trace
+	return &t
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"elga/internal/algorithm"
+	"elga/internal/checkpoint"
 	"elga/internal/config"
 	"elga/internal/graph"
 	"elga/internal/metrics"
@@ -45,6 +46,11 @@ type Options struct {
 	// Trace configures distributed tracing; nil resolves from the
 	// environment (trace.FromEnv).
 	Trace *trace.Config
+	// Checkpoint configures durable coordinator checkpointing; nil
+	// resolves from the environment (checkpoint.FromEnv). A restarted
+	// coordinator recovers the published view, identity counters, and
+	// the cluster's consistent-cut table.
+	Checkpoint *checkpoint.Config
 }
 
 // Validate reports option errors before any resource is allocated.
@@ -128,6 +134,10 @@ type Directory struct {
 	// tracer mints the coordinator's run and step spans — the roots every
 	// agent span links under. Nil when tracing is off.
 	tracer *trace.Tracer
+
+	// ckpt is the coordinator's durability state (checkpoint.go); a nil
+	// writer means off.
+	ckpt dirCkpt
 }
 
 type migrationState struct {
@@ -225,6 +235,13 @@ func Start(opts Options) (*Directory, error) {
 		if opts.Repartition != nil {
 			d.planner = repartition.New(*opts.Repartition)
 			d.overrides = make(map[graph.VertexID]uint64)
+		}
+		// Restore before the first view encode: a recovered coordinator
+		// publishes the membership and overrides it last sequenced, so
+		// restarting agents rejoin under their old identities.
+		if err := d.initCheckpoint(); err != nil {
+			node.Close()
+			return nil, err
 		}
 		d.lastView = wire.EncodeView(d.view())
 		d.scheduleLeaseSweep()
@@ -347,6 +364,9 @@ func (d *Directory) broadcastView() {
 	d.statEpoch.Store(d.epoch)
 	d.lastView = wire.AppendView(d.lastView[:0], d.view())
 	d.pub.Publish(wire.TDirUpdate, d.lastView)
+	// Every epoch bump is a coordinator-state change at a coherent
+	// moment; snapshot it (no-op while durability is off).
+	d.checkpointCoord()
 }
 
 // publishAdvance broadcasts an Advance through the reusable scratch
@@ -393,6 +413,8 @@ func (d *Directory) runLoop() {
 			wire.ReleasePacket(pkt)
 		}
 	}
+	// Drain the checkpoint writer so the last snapshot is durable.
+	d.closeCheckpoint()
 }
 
 func (d *Directory) handleRelay(pkt *wire.Packet) {
@@ -503,6 +525,10 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 				d.opts.SpanSink(sb.Proc, sb.Spans)
 			}
 		}
+	case wire.TCheckpointMark:
+		if m, err := wire.DecodeCheckpointMark(pkt.Payload); err == nil {
+			d.recordMark(m)
+		}
 	case wire.TVertexDigest:
 		if d.planner != nil {
 			if dg, err := wire.DecodeVertexDigest(pkt.Payload); err == nil {
@@ -566,6 +592,12 @@ func (d *Directory) applyMembership() {
 		if err != nil {
 			wire.ReleasePacket(pkt)
 			continue
+		}
+		// A restore-carrying join seeds the cut table: the agent already
+		// recovered to this snapshot, so the coordinator knows it without
+		// waiting for the first lossy mark.
+		if j.Restore != nil {
+			d.recordMark(&wire.CheckpointMark{Meta: *j.Restore})
 		}
 		// Joins are idempotent by address so a client-side Retry (whose
 		// earlier attempt may have been applied but its reply lost) does
@@ -702,6 +734,9 @@ func (d *Directory) maybeFinishSeal() {
 		wire.ReleasePacket(pkt)
 	}
 	d.pendingSeals = nil
+	// The sketch-clean seal path bumps batchID without a view broadcast;
+	// persist the new batch watermark here.
+	d.checkpointCoord()
 	d.maybeStartRun()
 }
 
@@ -1111,5 +1146,8 @@ func (d *Directory) finishRun(converged bool) {
 		Wall: time.Since(r.start), StepTimes: r.stepTimes,
 	}, runCtx)
 	d.shipSpans()
+	// Run boundaries persist the bumped run counter (and the freshest cut
+	// table) without waiting for the next view change.
+	d.checkpointCoord()
 	d.advanceWork()
 }

@@ -367,11 +367,12 @@ var Registry = map[string]func(Scale) (*Report, error){
 	"net":       Net,
 	"abl-split": AblSplit,
 	"repart":    Repartition,
+	"recovery":  Recovery,
 }
 
 // Order lists experiment IDs in paper order.
 var Order = []string{
 	"table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"fig11", "fig12", "fig13", "fig14", "fig15", "storage", "fig16", "fig17",
-	"fig18", "net", "abl-split", "repart",
+	"fig18", "net", "abl-split", "repart", "recovery",
 }

@@ -705,3 +705,90 @@ func (s *Store) String() string {
 		len(s.sealedOut)+len(s.sealedIn), s.tailOps, s.deadSealed,
 		len(s.active), s.compactions.Load())
 }
+
+// Checkpoint export hooks. A durable snapshot serializes the store as two
+// independently content-addressed streams: the raw sealed runs (stable
+// between compactions, so the segment dedups across checkpoints) and the
+// delta-log tail. Both iterate in sorted vertex order so identical store
+// content always produces identical bytes.
+
+// SealedCopies calls fn for every entry of the raw sealed CSR runs —
+// including entries the tail's delete log has cancelled — until fn
+// returns false. Replaying TailCopies on top of a store rebuilt from
+// SealedCopies reproduces the live edge set exactly.
+func (s *Store) SealedCopies(fn func(EdgeCopy) bool) {
+	for _, v := range s.VertexList() {
+		rec := s.slots[v]
+		for _, w := range s.sealedOutRun(rec) {
+			if !fn(EdgeCopy{Src: v, Dst: w, Dir: Out}) {
+				return
+			}
+		}
+		for _, u := range s.sealedInRun(rec) {
+			if !fn(EdgeCopy{Src: u, Dst: v, Dir: In}) {
+				return
+			}
+		}
+	}
+}
+
+// TailCopies calls fn for every delta-log entry — adds and deletes
+// recorded since the current sealed generation — until fn returns false.
+// deleted=true entries cancel a sealed entry; deleted=false entries are
+// inserts not yet folded into a sealed run.
+func (s *Store) TailCopies(fn func(c EdgeCopy, deleted bool) bool) {
+	for _, v := range s.VertexList() {
+		rec := s.slots[v]
+		if rec.tail == nil {
+			continue
+		}
+		for _, w := range rec.tail.outAdd {
+			if !fn(EdgeCopy{Src: v, Dst: w, Dir: Out}, false) {
+				return
+			}
+		}
+		for _, w := range rec.tail.outDel {
+			if !fn(EdgeCopy{Src: v, Dst: w, Dir: Out}, true) {
+				return
+			}
+		}
+		for _, u := range rec.tail.inAdd {
+			if !fn(EdgeCopy{Src: u, Dst: v, Dir: In}, false) {
+				return
+			}
+		}
+		for _, u := range rec.tail.inDel {
+			if !fn(EdgeCopy{Src: u, Dst: v, Dir: In}, true) {
+				return
+			}
+		}
+	}
+}
+
+// ActiveList returns the active set sorted without consuming it (unlike
+// TakeActive), so checkpoints can record activation non-destructively.
+func (s *Store) ActiveList() []VertexID {
+	if len(s.active) == 0 {
+		return nil
+	}
+	out := make([]VertexID, 0, len(s.active))
+	for v := range s.active {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PinnedList returns the pinned-empty vertices sorted, so a restored
+// store keeps split-vertex replica pins alive.
+func (s *Store) PinnedList() []VertexID {
+	if len(s.pinEmpty) == 0 {
+		return nil
+	}
+	out := make([]VertexID, 0, len(s.pinEmpty))
+	for v := range s.pinEmpty {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -725,15 +725,24 @@ func DecodeVertexDigest(data []byte) (*VertexDigest, error) {
 	return d, nil
 }
 
-// Join is an agent's registration request.
+// Join is an agent's registration request. Restore, when present, is the
+// cut stamp of the checkpoint manifest the agent restored from before
+// joining: the coordinator records it so the cut table covers warm
+// rejoins. The section is appended only when present, so a restore-free
+// join encodes byte-identically to the legacy format and legacy payloads
+// (which end at the address) decode with a nil Restore.
 type Join struct {
-	Addr string
+	Addr    string
+	Restore *CheckpointMeta
 }
 
 // AppendJoin appends a join request payload to dst.
 func AppendJoin(dst []byte, j *Join) []byte {
 	w := Writer{buf: dst}
 	w.Str(j.Addr)
+	if j.Restore != nil {
+		appendCheckpointMeta(&w, j.Restore)
+	}
 	return w.buf
 }
 
@@ -744,6 +753,12 @@ func EncodeJoin(j *Join) []byte { return AppendJoin(nil, j) }
 func DecodeJoin(data []byte) (*Join, error) {
 	r := NewReader(data)
 	j := &Join{Addr: r.Str()}
+	if r.Err() == nil && r.Remaining() > 0 {
+		m := readCheckpointMeta(r)
+		if r.Err() == nil {
+			j.Restore = &m
+		}
+	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("decode join: %w", err)
 	}

@@ -125,6 +125,12 @@ const (
 	// a dropped digest only delays a planning round, so it rides outside
 	// the acked discipline.
 	TVertexDigest
+	// TCheckpointMark reports an agent's latest durable checkpoint to the
+	// coordinator, which records it in the consistent-cut table. Lossy
+	// like TMetric: a dropped mark only ages the recorded cut — the
+	// checkpoint itself is already on disk — so it rides outside the
+	// acked discipline.
+	TCheckpointMark
 
 	typeCount
 )
@@ -160,6 +166,7 @@ var typeNames = [...]string{
 	TRunAlgo: "run-algo", TRunReply: "run-reply", TIngest: "ingest",
 	TPing: "ping", TPong: "pong", TTick: "tick", THeartbeat: "heartbeat",
 	TSpanBatch: "span-batch", TVertexDigest: "vertex-digest",
+	TCheckpointMark: "checkpoint-mark",
 }
 
 // String names the type for logs.
