@@ -41,6 +41,10 @@ type jsonOutput struct {
 	Experiments     []jsonExperiment           `json:"experiments,omitempty"`
 	Superstep       *experiments.SuperstepPerf `json:"superstep,omitempty"`
 	SuperstepTraced *experiments.SuperstepPerf `json:"superstep_traced,omitempty"`
+	// SuperstepEvents repeats the metered run with the structured event
+	// journal armed — events never fire on the superstep hot path, so
+	// this column tracks that the health plane stays off it.
+	SuperstepEvents *experiments.SuperstepPerf `json:"superstep_events,omitempty"`
 	// Storage and Delta are the CSR+delta-log regression trackers: store
 	// bytes/edge vs the map reference, and full- vs frontier-seeded
 	// delta-recompute ns/batch per algorithm and batch size.
@@ -206,6 +210,17 @@ func main() {
 					traced.NsPerStep, traced.AllocsPerStep, traced.Steps)
 			}
 		}
+		if out.Superstep != nil {
+			evented, err := experiments.MeasureSuperstepPerfEvents(scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "elga-bench: events perf failed: %v\n", err)
+				failed++
+			} else {
+				out.SuperstepEvents = evented
+				fmt.Fprintf(os.Stderr, "[perf events: %.0f ns/step, %.0f allocs/step over %d steps]\n\n",
+					evented.NsPerStep, evented.AllocsPerStep, evented.Steps)
+			}
+		}
 		buf, err := json.MarshalIndent(&out, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
@@ -247,6 +262,7 @@ func runCompare(oldPath, newPath string) error {
 	fmt.Printf("comparing %s (%s) -> %s (%s)\n", oldPath, o.Scale, newPath, n.Scale)
 	comparePerf("superstep", o.Superstep, n.Superstep)
 	comparePerf("superstep_traced", o.SuperstepTraced, n.SuperstepTraced)
+	comparePerf("superstep_events", o.SuperstepEvents, n.SuperstepEvents)
 	compareStorage(o.Storage, n.Storage)
 	compareDelta(o.Delta, n.Delta)
 	compareRepartition(o.Repartition, n.Repartition)

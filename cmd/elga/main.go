@@ -61,6 +61,8 @@ func main() {
 		err = runSeal(args)
 	case "query":
 		err = runQuery(args)
+	case "status":
+		err = runStatus(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -85,6 +87,7 @@ commands:
   run        execute an algorithm (pagerank, ppr, wcc, bfs, sssp, degree; -async)
   seal       force a batch boundary (apply + rebalance)
   query      read one vertex's result
+  status     show per-agent health and the cluster event timeline (-watch, -events N, -json)
 `)
 }
 
@@ -155,7 +158,7 @@ func runDirectory(args []string) error {
 	d, err := directory.Start(directory.Options{
 		Config: dcfg.Cluster, Network: transport.NewTCP(), MasterAddr: *master, Addr: *addr,
 		Metrics: reg, Trace: dcfg.TraceConfig(), SpanSink: sink, Repartition: dcfg.PlanConfig(),
-		Checkpoint: dcfg.CheckpointConfig(),
+		Checkpoint: dcfg.CheckpointConfig(), Events: dcfg.EventsConfig(),
 	})
 	if err != nil {
 		return err
@@ -232,7 +235,7 @@ func runAgent(args []string) error {
 		a, err := agent.Start(agent.Options{
 			Config: acfg.Cluster, Network: transport.NewTCP(), MasterAddr: *master, DirIndex: i,
 			Metrics: reg, Trace: acfg.TraceConfig(), Repartition: acfg.Repartition,
-			Checkpoint: ckptKeys[i],
+			Checkpoint: ckptKeys[i], Events: acfg.EventsConfig(),
 		})
 		if err != nil {
 			return err

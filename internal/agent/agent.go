@@ -19,6 +19,7 @@ import (
 	"elga/internal/checkpoint"
 	"elga/internal/config"
 	"elga/internal/consistent"
+	"elga/internal/events"
 	"elga/internal/graph"
 	"elga/internal/metrics"
 	"elga/internal/route"
@@ -58,6 +59,10 @@ type Options struct {
 	// the agent restores its last snapshot before joining and rejoins
 	// warm through the normal migration reconciliation.
 	Checkpoint *checkpoint.Config
+	// Events configures the structured control-plane event journal; nil
+	// resolves from the environment (events.FromEnv). Off, every emission
+	// site costs a single nil-receiver branch.
+	Events *events.Config
 }
 
 // Validate reports option errors before any resource is allocated.
@@ -241,6 +246,10 @@ type Agent struct {
 	phaseSpan     trace.ActiveSpan
 	barrierSpan   trace.ActiveSpan
 	pendingAdvCtx trace.SpanContext
+
+	// journal records control-plane events for lossy shipment to the
+	// coordinator's timeline (nil journal = off, one branch per site).
+	journal *events.Journal
 }
 
 // Start boots an agent: it discovers the directories via the master,
@@ -277,6 +286,9 @@ func Start(opts Options) (*Agent, error) {
 	tcfg := trace.Resolve(opts.Trace)
 	tcfg.Apply()
 	a.tracer = trace.NewTracer("agent", tcfg)
+	// The journal's proc name is provisional until the join assigns an ID;
+	// like the tracer, a disabled config yields the nil off switch.
+	a.journal = events.NewJournal("agent", events.Resolve(opts.Events))
 	// Restore-before-join: a prior snapshot is loaded into the store and
 	// value maps now, so the join's first view change runs the ordinary
 	// migration round over the restored state — copies this agent no
@@ -346,6 +358,15 @@ func Start(opts Options) (*Agent, error) {
 	}
 	a.id = join.AgentID
 	a.tracer.SetProc(fmt.Sprintf("agent-%d", a.id))
+	if a.journal != nil {
+		a.journal.SetProc(fmt.Sprintf("agent-%d", a.id))
+		restored := uint64(0)
+		if a.ckpt.restored != nil {
+			restored = 1
+		}
+		a.journal.Emit(events.Info, events.KindJoin, trace.SpanContext{},
+			events.U("agent", a.id), events.U("restored", restored))
+	}
 	go a.runLoop(join.View)
 	return a, nil
 }
@@ -379,6 +400,7 @@ func (a *Agent) Done() <-chan struct{} { return a.done }
 // The announcement is acked — a silently dropped TLeave would leave the
 // caller waiting on Done forever.
 func (a *Agent) Leave() error {
+	a.journal.Emit(events.Info, events.KindLeave, trace.SpanContext{}, events.U("agent", a.id))
 	return a.node.SendFrameAcked(a.coordAddr,
 		wire.AppendLeave(a.node.NewFrame(wire.TLeave), &wire.Leave{AgentID: a.id}))
 }
@@ -418,6 +440,7 @@ func (a *Agent) runLoop(initial *wire.View) {
 	// stderr on every traced shutdown. Fault paths (eviction, kill)
 	// dump explicitly before this point.
 	a.shipSpans()
+	a.shipEvents()
 	// Drain the checkpoint writer so the last submitted snapshot is
 	// durable before the process goes away.
 	a.closeCheckpoint()
@@ -466,9 +489,12 @@ func (a *Agent) handlePacket(pkt *wire.Packet) bool {
 		// completion is also a forced checkpoint: final vertex values are
 		// exactly what a restarted agent must not lose.
 		a.shipSpans()
+		a.shipEvents()
 		a.sendDigest()
 		a.checkpointNow()
 	case wire.TBatchOpen:
+		a.journal.Emit(events.Info, events.KindBatch, trace.SpanContext{},
+			events.U("agent", a.id), events.U("batch", a.router.BatchID()+1))
 		a.handleBatchOpen()
 		a.node.Ack(pkt)
 	case wire.TTick:
@@ -488,6 +514,7 @@ func (a *Agent) handlePacket(pkt *wire.Packet) bool {
 		if a.tickCount%4 == 0 {
 			a.sendLoadMetrics()
 			a.shipSpans()
+			a.shipEvents()
 			a.sendDigest()
 			a.maybeCheckpointTimed()
 			a.maybeSendCheckpointMark()
@@ -710,6 +737,18 @@ func (a *Agent) shipSpans() {
 	sb := wire.SpanBatch{Proc: a.tracer.Proc(), Spans: batch}
 	_ = a.node.SendFrame(a.coordAddr, wire.AppendSpanBatch(
 		a.node.NewFrameHint(wire.TSpanBatch, 16+64*len(batch)), &sb))
+}
+
+// shipEvents drains the journal's pending events to the coordinator as
+// one lossy TEventBatch, carrying the cumulative drop counter so the
+// timeline can account what never arrived.
+func (a *Agent) shipEvents() {
+	batch := a.journal.TakeBatch()
+	if batch == nil {
+		return
+	}
+	_ = a.node.SendFrame(a.coordAddr, wire.AppendEventBatch(
+		a.node.NewFrameHint(wire.TEventBatch, 16+64*len(batch)), batch, a.journal.Dropped()))
 }
 
 // sendMetric pushes one autoscaler sample to the coordinator.

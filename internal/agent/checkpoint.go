@@ -7,7 +7,9 @@ import (
 
 	"elga/internal/algorithm"
 	"elga/internal/checkpoint"
+	"elga/internal/events"
 	"elga/internal/graph"
+	"elga/internal/trace"
 	"elga/internal/wire"
 )
 
@@ -72,6 +74,8 @@ func (a *Agent) initCheckpoint() error {
 		fmt.Fprintf(os.Stderr, "elga agent: restored %q seq=%d (%d copies, %d states) in %s\n",
 			cfg.Key, meta.Seq, a.store.NumEdgeCopies(), len(st.States),
 			time.Since(start).Round(time.Millisecond))
+		a.journal.Emit(events.Info, events.KindRestore, trace.SpanContext{},
+			events.U("seq", meta.Seq), events.U("states", uint64(len(st.States))))
 	}
 	a.ckpt.cfg = cfg
 	a.ckpt.sink = sink
@@ -159,6 +163,11 @@ func (a *Agent) checkpointNow() {
 	}
 	if w.TrySubmit(snap) {
 		a.ckpt.seq = meta.Seq
+		a.journal.Emit(events.Info, events.KindCheckpoint, span.Context(),
+			events.U("agent", a.id), events.U("seq", meta.Seq), events.U("epoch", meta.ViewEpoch))
+	} else {
+		a.journal.Emit(events.Warn, events.KindCheckpointDrop, span.Context(),
+			events.U("agent", a.id), events.U("seq", meta.Seq))
 	}
 	a.ckpt.stepsSince = 0
 	a.ckpt.lastTimed = time.Now()

@@ -6,6 +6,7 @@ import (
 
 	"elga/internal/algorithm"
 	"elga/internal/checkpoint"
+	"elga/internal/events"
 	"elga/internal/graph"
 )
 
@@ -160,5 +161,59 @@ func TestSuperstepAllocCeilingRepartition(t *testing.T) {
 	res := testing.Benchmark(func(b *testing.B) { benchmarkSuperstepComm(b, 1, true) })
 	if allocs := res.AllocsPerOp(); allocs > 3 {
 		t.Fatalf("superstep with comm accounting allocates %d allocs/op, ceiling is 3", allocs)
+	}
+}
+
+// benchmarkSuperstepEvents is benchmarkSuperstep with the structured
+// event journal armed on the loopback agent. Events only fire on
+// control-plane transitions (joins, batch boundaries, checkpoints), so
+// the steady-state compute phase must never touch the journal.
+func benchmarkSuperstepEvents(b *testing.B, workers int) {
+	cfg := allocTestConfig()
+	const n = 4096
+	a := newLoopbackAgent(b, cfg, n)
+	a.journal = events.NewJournal("agent-bench", events.Config{Enabled: true})
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		src := graph.VertexID(i)
+		dsts := [4]graph.VertexID{
+			graph.VertexID((i + 1) % n),
+			graph.VertexID(rng.Intn(n)),
+			graph.VertexID(rng.Intn(n)),
+			graph.VertexID(rng.Intn(n)),
+		}
+		for _, dst := range dsts {
+			a.store.AddEdge(src, dst, graph.Out)
+			a.store.AddEdge(src, dst, graph.In)
+		}
+	}
+	installRun(a, algorithm.PageRank{}, n)
+
+	SetComputeParallelism(workers, 1)
+	defer SetComputeParallelism(0, 0)
+
+	advanceCompute(a, 0)
+	advanceCompute(a, 1)
+	advanceCompute(a, 2)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		advanceCompute(a, uint32(i+3))
+	}
+}
+
+// TestSuperstepAllocCeilingEventsArmed pins the superstep at the same
+// 3 allocs/op ceiling with the event journal enabled — the acceptance
+// check that event emission never rides the per-superstep hot path
+// (emission sites are all control-plane transitions). Skipped under
+// -race, whose instrumentation allocates on its own.
+func TestSuperstepAllocCeilingEventsArmed(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under -race")
+	}
+	res := testing.Benchmark(func(b *testing.B) { benchmarkSuperstepEvents(b, 1) })
+	if allocs := res.AllocsPerOp(); allocs > 3 {
+		t.Fatalf("superstep with events armed allocates %d allocs/op, ceiling is 3", allocs)
 	}
 }

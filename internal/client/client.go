@@ -12,6 +12,7 @@ import (
 	"elga/internal/algorithm"
 	"elga/internal/config"
 	"elga/internal/consistent"
+	"elga/internal/events"
 	"elga/internal/graph"
 	"elga/internal/metrics"
 	"elga/internal/route"
@@ -35,6 +36,10 @@ type Options struct {
 	// Trace configures distributed tracing; nil resolves from the
 	// environment (trace.FromEnv).
 	Trace *trace.Config
+	// Events configures the structured event journal; nil resolves from
+	// the environment (events.FromEnv). When on, retries and final op
+	// failures are journalled and shipped to the coordinator timeline.
+	Events *events.Config
 }
 
 // Validate reports option errors before any resource is allocated.
@@ -84,6 +89,11 @@ type Client struct {
 	queries   atomic.Uint64
 	retried   atomic.Uint64
 	tracer    *trace.Tracer
+	// journal records retry/failure events (nil = off); lastRunCtx is the
+	// trace context of the most recent completed run, correlating later
+	// client events with the run's cluster-side spans.
+	journal    *events.Journal
+	lastRunCtx trace.SpanContext
 }
 
 // Start boots a client proxy and waits for a directory view.
@@ -99,6 +109,7 @@ func Start(opts Options) (*Client, error) {
 	tcfg := trace.Resolve(opts.Trace)
 	tcfg.Apply()
 	c.tracer = trace.NewTracer("client", tcfg)
+	c.journal = events.NewJournal("client", events.Resolve(opts.Events))
 	if opts.Metrics != nil {
 		node.RegisterMetrics(opts.Metrics, "client")
 		lbl := metrics.Labels{"addr": node.Addr()}
@@ -136,9 +147,22 @@ func Start(opts Options) (*Client, error) {
 
 // Close unsubscribes from directory broadcasts and releases the client.
 func (c *Client) Close() error {
+	c.shipEvents()
 	_ = c.node.SendFrame(c.dirAddr, c.node.NewFrame(wire.TUnsubscribe))
 	c.node.Close()
 	return nil
+}
+
+// shipEvents drains journalled events to the coordinator as one lossy
+// TEventBatch (the client has no tick loop, so batches flush at op
+// boundaries and Close).
+func (c *Client) shipEvents() {
+	batch := c.journal.TakeBatch()
+	if batch == nil {
+		return
+	}
+	_ = c.node.SendFrame(c.coordAddr, wire.AppendEventBatch(
+		c.node.NewFrameHint(wire.TEventBatch, 16+64*len(batch)), batch, c.journal.Dropped()))
 }
 
 // StatsMap implements stats.Provider; safe concurrently with calls.
@@ -278,6 +302,8 @@ func (c *Client) do(o op, co CallOpts) error {
 	try := func() error {
 		if attempt++; attempt > 1 {
 			c.retried.Add(1)
+			c.journal.Emit(events.Warn, events.KindRetry, c.lastRunCtx,
+				events.S("op", o.name), events.U("attempt", uint64(attempt)))
 		}
 		addr := c.coordAddr
 		if o.addr != nil {
@@ -309,6 +335,11 @@ func (c *Client) do(o op, co CallOpts) error {
 	} else {
 		err = co.Retry.Do(deadline, try)
 	}
+	if err != nil {
+		c.journal.Emit(events.Error, events.KindOpError, c.lastRunCtx,
+			events.S("op", o.name), events.S("err", err.Error()))
+	}
+	c.shipEvents()
 	return opError(o.name, err)
 }
 
@@ -327,6 +358,7 @@ func (c *Client) Run(spec RunSpec) (*wire.RunStats, error) {
 // the coordinator so the collector sees client→directory→agent under one
 // trace ID.
 func (c *Client) linkRunSpan(ctx trace.SpanContext, start time.Time) {
+	c.lastRunCtx = ctx
 	if c.tracer == nil {
 		return
 	}
@@ -457,4 +489,36 @@ func (c *Client) QueryWith(v graph.VertexID, co CallOpts) (algorithm.Word, bool,
 func (c *Client) QueryFloat(v graph.VertexID) (float64, bool, error) {
 	w, found, err := c.Query(v)
 	return w.F64(), found, err
+}
+
+// Status asks the coordinator for the cluster health rollup: per-agent
+// scored statuses with the evidence EMAs, plus the newest slice of the
+// merged event timeline (the server default depth). Status works with
+// events off — the timeline is simply empty.
+func (c *Client) Status(co CallOpts) (*wire.StatusReply, error) {
+	return c.StatusEvents(0, co)
+}
+
+// StatusEvents is Status with an explicit timeline depth (0 selects the
+// server default).
+func (c *Client) StatusEvents(maxEvents uint32, co CallOpts) (*wire.StatusReply, error) {
+	var sr *wire.StatusReply
+	err := c.do(op{
+		name: "status",
+		frame: func() []byte {
+			return wire.AppendStatusReq(c.node.NewFrame(wire.TStatus), maxEvents)
+		},
+		reply: func(p *wire.Packet) error {
+			decoded, err := wire.DecodeStatusReply(p.Payload)
+			if err != nil {
+				return err
+			}
+			sr = decoded
+			return nil
+		},
+	}, co)
+	if err != nil {
+		return nil, err
+	}
+	return sr, nil
 }

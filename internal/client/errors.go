@@ -12,8 +12,14 @@ import (
 // of string matching:
 //
 //	var oe *client.OpError
-//	if errors.As(err, &oe) { log.Printf("op %s failed", oe.Op) }
+//	if errors.As(err, &oe) { handleFailedOp(oe.Op) }
 //	if errors.Is(err, transport.ErrTimeout) { retryLater() }
+//
+// Failures are also journalled through the events API when enabled: each
+// retried attempt emits a "retry" event and each final failure an
+// "op-error" event, shipped to the coordinator timeline and correlated
+// with the most recent run's trace context — so client-visible errors
+// appear on the same causal axis as the cluster's own decisions.
 var (
 	// ErrNoDirectories means bootstrap returned an empty directory list;
 	// retrying after the directories come up is expected to succeed.

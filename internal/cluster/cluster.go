@@ -17,6 +17,7 @@ import (
 	"elga/internal/client"
 	"elga/internal/config"
 	"elga/internal/directory"
+	"elga/internal/events"
 	"elga/internal/graph"
 	"elga/internal/metrics"
 	"elga/internal/repartition"
@@ -76,6 +77,11 @@ type Options struct {
 	// the coordinator directory, all sharing Durability.Dir. A killed
 	// agent slot can then rejoin warm via RestartAgent.
 	Durability *checkpoint.Config
+	// Events configures the structured event journal for every
+	// participant; nil resolves from the environment (events.FromEnv).
+	// When enabled, the coordinator merges all journals into the cluster
+	// timeline — read it back with Status.
+	Events *events.Config
 }
 
 // WithCommon fills the cross-cutting Options fields from a resolved
@@ -89,6 +95,7 @@ func (o Options) WithCommon(c config.Common) Options {
 	if c.Durability.Enabled {
 		o.Durability = c.CheckpointConfig()
 	}
+	o.Events = c.EventsConfig()
 	return o
 }
 
@@ -106,8 +113,10 @@ type Cluster struct {
 	signals *autoscale.SignalSet
 	// tcfg is the resolved trace configuration shared by every
 	// participant; collector assembles their shipped spans (nil when
-	// tracing is off).
+	// tracing is off). ecfg is the resolved events configuration, shared
+	// the same way.
 	tcfg      trace.Config
+	ecfg      events.Config
 	collector *collect.Collector
 	// agentSlots mirrors agents: the durable slot number each live agent
 	// was started under ("agent-<slot>" checkpoint keys). nextSlot only
@@ -147,6 +156,7 @@ func New(opts Options) (*Cluster, error) {
 	// One resolved trace config feeds every participant, so a single
 	// Options.Trace (or ELGA_TRACE in the environment) is the only switch.
 	c.tcfg = trace.Resolve(opts.Trace)
+	c.ecfg = events.Resolve(opts.Events)
 	var spanSink func(proc string, spans []trace.SpanRecord)
 	if c.tcfg.Enabled {
 		c.collector = collect.New()
@@ -163,7 +173,9 @@ func New(opts Options) (*Cluster, error) {
 	}
 	userMH := opts.MetricHandler
 	mh := func(m *wire.Metric) {
-		c.signals.Observe(time.Now(), m.Name, m.Value)
+		// Per-agent attribution feeds both the cluster-wide EMA and the
+		// agent's own, so operators can compare one agent to the fleet.
+		c.signals.ObserveAgent(time.Now(), m.AgentID, m.Name, m.Value)
 		if userMH != nil {
 			userMH(m)
 		}
@@ -184,9 +196,13 @@ func New(opts Options) (*Cluster, error) {
 	for i := 0; i < opts.Directories; i++ {
 		var dirMH func(*wire.Metric)
 		var dirSS func(string, []trace.SpanRecord)
+		var dirGone func(uint64)
 		if i == 0 {
 			dirMH = mh
 			dirSS = spanSink
+			// Evictions and leaves prune the per-agent signal EMAs, the
+			// same hygiene the planner applies via Forget.
+			dirGone = c.signals.Forget
 		}
 		d, err := directory.Start(directory.Options{
 			Config:        opts.Config,
@@ -194,10 +210,12 @@ func New(opts Options) (*Cluster, error) {
 			MasterAddr:    m.Addr(),
 			MetricHandler: dirMH,
 			SpanSink:      dirSS,
+			AgentGone:     dirGone,
 			Metrics:       c.reg,
 			Repartition:   opts.Repartition,
 			Trace:         &c.tcfg,
 			Checkpoint:    c.durabilityFor("coordinator"),
+			Events:        &c.ecfg,
 		})
 		if err != nil {
 			c.Shutdown()
@@ -211,7 +229,7 @@ func New(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 	}
-	ctl, err := client.Start(client.Options{Config: opts.Config, Network: net, MasterAddr: m.Addr(), Metrics: c.reg, Trace: &c.tcfg})
+	ctl, err := client.Start(client.Options{Config: opts.Config, Network: net, MasterAddr: m.Addr(), Metrics: c.reg, Trace: &c.tcfg, Events: &c.ecfg})
 	if err != nil {
 		c.Shutdown()
 		return nil, err
@@ -262,6 +280,7 @@ func (c *Cluster) startAgent(slot int) (*agent.Agent, error) {
 		Repartition: c.opts.Repartition != nil || c.opts.CommAccounting,
 		Trace:       &c.tcfg,
 		Checkpoint:  c.durabilityFor(fmt.Sprintf("agent-%d", slot)),
+		Events:      &c.ecfg,
 	})
 }
 
@@ -454,6 +473,18 @@ func (c *Cluster) MetricsAddr() string {
 // and query rates, queue depths, migration bytes, retransmits).
 func (c *Cluster) Signals() *autoscale.SignalSet { return c.signals }
 
+// Status queries the coordinator's health plane through the control
+// client: per-agent scored statuses plus the newest slice of the merged
+// event timeline (empty unless Options.Events enabled the journal).
+func (c *Cluster) Status() (*wire.StatusReply, error) {
+	return c.ctl.Status(client.CallOpts{})
+}
+
+// StatusEvents is Status with an explicit timeline depth.
+func (c *Cluster) StatusEvents(maxEvents uint32) (*wire.StatusReply, error) {
+	return c.ctl.StatusEvents(maxEvents, client.CallOpts{})
+}
+
 // Collector returns the span collector, or nil when tracing is off.
 func (c *Cluster) Collector() *collect.Collector { return c.collector }
 
@@ -493,7 +524,7 @@ func (c *Cluster) NewStreamer() (*streamer.Streamer, error) {
 // NewClient creates a client proxy attached to this cluster.
 func (c *Cluster) NewClient() (*client.Client, error) {
 	cl, err := client.Start(client.Options{
-		Config: c.opts.Config, Network: c.net, MasterAddr: c.master.Addr(), Metrics: c.reg, Trace: &c.tcfg,
+		Config: c.opts.Config, Network: c.net, MasterAddr: c.master.Addr(), Metrics: c.reg, Trace: &c.tcfg, Events: &c.ecfg,
 	})
 	if err != nil {
 		return nil, err

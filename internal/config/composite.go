@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"elga/internal/checkpoint"
+	"elga/internal/events"
 	"elga/internal/repartition"
 	"elga/internal/trace"
 )
@@ -29,6 +30,9 @@ type Common struct {
 	// Durability configures durable incremental checkpointing
 	// (env: ELGA_CKPT*).
 	Durability checkpoint.Config
+	// Events configures the structured control-plane event journal
+	// (env: ELGA_EVENTS*).
+	Events events.Config
 }
 
 // CommonFromEnv builds the composite from defaults plus environment
@@ -40,6 +44,7 @@ func CommonFromEnv() Common {
 		MetricsAddr: os.Getenv("ELGA_METRICS_ADDR"),
 		Trace:       trace.FromEnv(),
 		Durability:  checkpoint.FromEnv(),
+		Events:      events.FromEnv(),
 	}
 }
 
@@ -75,6 +80,9 @@ func (c *Common) RegisterFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&c.Trace.Enabled, "trace", c.Trace.Enabled, "enable distributed tracing (also ELGA_TRACE=1)")
 	fs.Float64Var(&c.Trace.Sample, "trace-sample", c.Trace.Sample, "fraction of trace roots exported to the collector [0,1]")
 	fs.IntVar(&c.Trace.FlightRecorder, "trace-flight", c.Trace.FlightRecorder, "per-participant flight-recorder capacity")
+	fs.BoolVar(&c.Events.Enabled, "events", c.Events.Enabled, "journal structured control-plane events (also ELGA_EVENTS=1)")
+	fs.IntVar(&c.Events.Ring, "events-ring", c.Events.Ring, "per-participant event journal ring capacity")
+	fs.IntVar(&c.Events.Timeline, "events-timeline", c.Events.Timeline, "coordinator merged-timeline capacity")
 	c.Durability.RegisterFlags(fs)
 }
 
@@ -163,4 +171,11 @@ func (c *Common) CheckpointConfig() *checkpoint.Config {
 func (c *Common) TraceConfig() *trace.Config {
 	t := c.Trace
 	return &t
+}
+
+// EventsConfig returns the events configuration as the pointer shape
+// every Options struct takes.
+func (c *Common) EventsConfig() *events.Config {
+	e := c.Events
+	return &e
 }

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"elga/internal/checkpoint"
+	"elga/internal/events"
 	"elga/internal/graph"
+	"elga/internal/trace"
 	"elga/internal/wire"
 )
 
@@ -104,6 +106,11 @@ func (d *Directory) restoreCoordState(st *checkpoint.State) error {
 	for _, m := range cs.Marks {
 		d.ckpt.marks[m.Meta.Key] = m
 	}
+	// Resume the event timeline where the snapshot left it, then record
+	// the restore itself as the first post-recovery event.
+	d.timeline.Restore(cs.Events, cs.EventSeq)
+	d.event(events.Info, events.KindRestore, trace.SpanContext{},
+		events.U("epoch", d.epoch), events.U("events", uint64(len(cs.Events))))
 	fmt.Fprintf(os.Stderr, "elga directory: restored coordinator epoch=%d batch=%d agents=%d marks=%d\n",
 		d.epoch, d.batchID, len(d.agents), len(d.ckpt.marks))
 	return nil
@@ -130,6 +137,10 @@ func (d *Directory) checkpointCoord() {
 		NextAgentID: d.nextAgentID,
 		NextRunID:   d.nextRunID,
 		Marks:       marks,
+		// The merged timeline rides the snapshot so the cluster's event
+		// history survives a full restart (Recent(0) = everything retained).
+		Events:   d.timeline.Recent(0),
+		EventSeq: d.timeline.Seq(),
 	}
 	meta := wire.CheckpointMeta{
 		Key:         d.ckpt.cfg.Key,
@@ -151,6 +162,11 @@ func (d *Directory) checkpointCoord() {
 	}
 	if w.TrySubmit(snap) {
 		d.ckpt.seq = meta.Seq
+		d.event(events.Info, events.KindCheckpoint, trace.SpanContext{},
+			events.U("seq", meta.Seq), events.U("epoch", d.epoch))
+	} else {
+		d.event(events.Warn, events.KindCheckpointDrop, trace.SpanContext{},
+			events.U("seq", meta.Seq))
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"elga/internal/algorithm"
 	"elga/internal/checkpoint"
 	"elga/internal/config"
+	"elga/internal/events"
 	"elga/internal/graph"
 	"elga/internal/metrics"
 	"elga/internal/repartition"
@@ -51,6 +52,14 @@ type Options struct {
 	// coordinator recovers the published view, identity counters, and
 	// the cluster's consistent-cut table.
 	Checkpoint *checkpoint.Config
+	// Events configures the structured event journal and the
+	// coordinator's merged cluster timeline; nil resolves from the
+	// environment (events.FromEnv).
+	Events *events.Config
+	// AgentGone, if set, is called on the coordinator's event loop for
+	// every agent that leaves or is evicted — the hook the harness uses
+	// to prune per-agent autoscale EMAs (autoscale.SignalSet.Forget).
+	AgentGone func(agentID uint64)
 }
 
 // Validate reports option errors before any resource is allocated.
@@ -134,6 +143,23 @@ type Directory struct {
 	// tracer mints the coordinator's run and step spans — the roots every
 	// agent span links under. Nil when tracing is off.
 	tracer *trace.Tracer
+
+	// Health plane (coordinator only). journal records the coordinator's
+	// own control-plane decisions (nil when events are off); timeline is
+	// the merged cluster history that rides the coordinator checkpoint;
+	// health scores agents from fused metric EMAs, span aggregates, and
+	// event counts. evDropped tracks each participant's last reported
+	// journal drop counter.
+	journal   *events.Journal
+	timeline  *events.Timeline
+	health    *healthModel
+	evDropped map[string]uint64
+	// statEventBatches counts TEventBatch packets merged into the
+	// timeline; statHealthEvals counts health evaluations; healthCounts
+	// mirrors the latest per-status agent tally for metric gauges.
+	statEventBatches atomic.Uint64
+	statHealthEvals  atomic.Uint64
+	healthCounts     [4]atomic.Int64
 
 	// ckpt is the coordinator's durability state (checkpoint.go); a nil
 	// writer means off.
@@ -236,6 +262,16 @@ func Start(opts Options) (*Directory, error) {
 			d.planner = repartition.New(*opts.Repartition)
 			d.overrides = make(map[graph.VertexID]uint64)
 		}
+		// The health model always runs at the coordinator (it only costs
+		// a few EMAs per agent); the journal and timeline arm with the
+		// events config. The half-life matches the harness SignalSet.
+		d.health = newHealthModel(30 * time.Second)
+		ecfg := events.Resolve(opts.Events)
+		if ecfg.Enabled {
+			d.journal = events.NewJournal("coordinator", ecfg)
+			d.timeline = events.NewTimeline(ecfg.Timeline)
+			d.evDropped = make(map[string]uint64)
+		}
 		// Restore before the first view encode: a recovered coordinator
 		// publishes the membership and overrides it last sequenced, so
 		// restarting agents rejoin under their old identities.
@@ -295,6 +331,23 @@ func (d *Directory) initMetrics(reg *metrics.Registry) {
 			"Wall time of one repartition planning round.",
 			nil, metrics.DurationBuckets)
 	}
+	if d.health != nil {
+		// Health gauges read the atomic mirrors evaluateHealth refreshes on
+		// the lease-sweep cadence; the event counters are live.
+		for st := wire.HealthHealthy; st <= wire.HealthSuspect; st++ {
+			st := st
+			reg.GaugeFunc("elga_health_agents",
+				"Agents per scored health status at the last evaluation.",
+				metrics.Labels{"addr": d.node.Addr(), "status": wire.HealthName(st)},
+				func() float64 { return float64(d.healthCounts[st].Load()) })
+		}
+		reg.CounterFunc("elga_health_evaluations_total", "Health-model evaluation passes.", lbl,
+			d.statHealthEvals.Load)
+		reg.CounterFunc("elga_health_event_batches_total", "TEventBatch packets merged into the timeline.", lbl,
+			d.statEventBatches.Load)
+		reg.CounterFunc("elga_health_events_total", "Events ever merged into the cluster timeline.", lbl,
+			func() uint64 { return d.timeline.Seq() })
+	}
 }
 
 // Addr returns the directory's dialable address.
@@ -322,6 +375,8 @@ func (d *Directory) StatsMap() stats.Counters {
 		"agents":           uint64(d.statAgents.Load()),
 		"epoch":            d.statEpoch.Load(),
 		"metric_samples":   d.statMetricSamples.Load(),
+		"events":           d.timeline.Seq(),
+		"event_batches":    d.statEventBatches.Load(),
 		"repart_moves":     d.statMoves.Load(),
 		"repart_rounds":    d.statPlanRounds.Load(),
 		"repart_overrides": uint64(d.statOverrides.Load()),
@@ -392,6 +447,108 @@ func (d *Directory) shipSpans() {
 	if batch := d.tracer.TakeBatch(); len(batch) > 0 {
 		d.opts.SpanSink(d.tracer.Proc(), batch)
 	}
+}
+
+// event journals one coordinator decision and merges it into the
+// cluster timeline immediately — the coordinator's events never cross
+// the wire. A single branch when events are off.
+func (d *Directory) event(level events.Level, kind string, ctx trace.SpanContext, fields ...events.Field) {
+	if d.journal == nil {
+		return
+	}
+	d.journal.Emit(level, kind, ctx, fields...)
+	d.mergeEvents(d.journal.TakeBatch())
+}
+
+// mergeEvents folds shipped (or local) event records into the timeline
+// and attributes them to agents for the health model's event counts.
+func (d *Directory) mergeEvents(recs []events.Record) {
+	if d.timeline == nil || len(recs) == 0 {
+		return
+	}
+	d.timeline.Append(recs...)
+	if d.health != nil {
+		for i := range recs {
+			d.health.countEvent(&recs[i])
+		}
+	}
+}
+
+// agentGone runs the departure hooks for one agent (leave or eviction):
+// health vitals and the harness's per-agent autoscale EMAs are pruned so
+// nothing ever scores a corpse's stale signals.
+func (d *Directory) agentGone(id uint64) {
+	if d.health != nil {
+		d.health.forget(id)
+	}
+	if d.opts.AgentGone != nil {
+		d.opts.AgentGone(id)
+	}
+}
+
+// evaluateHealth re-scores every agent, refreshes the metric-gauge
+// mirrors, and journals status transitions. Runs on the lease-sweep
+// cadence and on demand for TStatus.
+func (d *Directory) evaluateHealth(now time.Time) []wire.AgentHealth {
+	if d.health == nil {
+		return nil
+	}
+	prev := make(map[uint64]uint8, len(d.health.agents))
+	for id, v := range d.health.agents {
+		prev[id] = v.status
+	}
+	roll := d.health.evaluate(now, d.agents, d.leases, d.opts.Config.LeaseExpiry())
+	d.statHealthEvals.Add(1)
+	var counts [4]int64
+	for i := range roll {
+		a := &roll[i]
+		if int(a.Status) < len(counts) {
+			counts[a.Status]++
+		}
+		if prev[a.AgentID] != a.Status {
+			lvl := events.Info
+			if a.Status != wire.HealthHealthy {
+				lvl = events.Warn
+			}
+			d.event(lvl, events.KindHealth, trace.SpanContext{},
+				events.U("agent", a.AgentID),
+				events.S("status", wire.HealthName(a.Status)),
+				events.S("cause", a.Cause))
+		}
+	}
+	for i := range counts {
+		d.healthCounts[i].Store(counts[i])
+	}
+	return roll
+}
+
+// replyStatus answers a TStatus request with the health rollup and the
+// newest slice of the event timeline.
+func (d *Directory) replyStatus(pkt *wire.Packet) {
+	maxEvents, _ := wire.DecodeStatusReq(pkt.Payload)
+	if maxEvents == 0 {
+		maxEvents = 64
+	}
+	s := &wire.StatusReply{
+		Epoch:    d.epoch,
+		BatchID:  d.batchID,
+		Vertices: d.n,
+		EventSeq: d.timeline.Seq(),
+		Agents:   d.evaluateHealth(time.Now()),
+		Timeline: d.timeline.Recent(int(maxEvents)),
+	}
+	if r := d.run; r != nil {
+		s.Running = true
+		s.RunID = r.spec.RunID
+		s.Step = r.step
+	}
+	var dropped uint64
+	for _, n := range d.evDropped {
+		dropped += n
+	}
+	s.EventsDropped = dropped + d.journal.Dropped()
+	_ = d.node.ReplyFrame(pkt, wire.AppendStatusReply(
+		d.node.NewFrameHint(wire.TStatusReply, 64+96*len(s.Agents)+64*len(s.Timeline)), s))
 }
 
 // publishAlgoStart broadcasts a run announcement through scratch.
@@ -512,19 +669,41 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 		d.advanceWork()
 		return true
 	case wire.TMetric:
-		if d.opts.MetricHandler != nil {
+		if d.opts.MetricHandler != nil || d.health != nil {
 			if m, err := wire.DecodeMetric(pkt.Payload); err == nil {
 				d.statMetricSamples.Add(1)
-				d.opts.MetricHandler(m)
+				if d.health != nil {
+					d.health.observeMetric(time.Now(), m)
+				}
+				if d.opts.MetricHandler != nil {
+					d.opts.MetricHandler(m)
+				}
 			}
 		}
 	case wire.TSpanBatch:
-		if d.opts.SpanSink != nil {
+		if d.opts.SpanSink != nil || d.health != nil {
 			if sb, err := wire.DecodeSpanBatch(pkt.Payload); err == nil {
 				d.statSpanBatches.Add(1)
-				d.opts.SpanSink(sb.Proc, sb.Spans)
+				if d.health != nil {
+					d.health.observeSpans(time.Now(), sb.Proc, sb.Spans)
+				}
+				if d.opts.SpanSink != nil {
+					d.opts.SpanSink(sb.Proc, sb.Spans)
+				}
 			}
 		}
+	case wire.TEventBatch:
+		if d.timeline != nil {
+			if evs, dropped, err := wire.DecodeEventBatch(pkt.Payload); err == nil {
+				d.statEventBatches.Add(1)
+				if len(evs) > 0 {
+					d.evDropped[evs[0].Proc] = dropped
+				}
+				d.mergeEvents(evs)
+			}
+		}
+	case wire.TStatus:
+		d.replyStatus(pkt)
 	case wire.TCheckpointMark:
 		if m, err := wire.DecodeCheckpointMark(pkt.Payload); err == nil {
 			d.recordMark(m)
@@ -546,6 +725,9 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 			d.sweepLeases(time.Now())
 			sp.End()
 			d.shipSpans() // periodic flush of the coordinator's own spans
+			if d.health != nil {
+				d.evaluateHealth(time.Now())
+			}
 			d.scheduleLeaseSweep()
 		} else {
 			d.sendAsyncProbe()
@@ -614,6 +796,12 @@ func (d *Directory) applyMembership() {
 			id = d.nextAgentID
 			d.agents[id] = j.Addr
 			d.leases[id] = time.Now()
+			restored := uint64(0)
+			if j.Restore != nil {
+				restored = 1
+			}
+			d.event(events.Info, events.KindJoin, trace.SpanContext{},
+				events.U("agent", id), events.S("addr", j.Addr), events.U("restored", restored))
 		}
 		// Joining implies subscribing: an eviction unsubscribes the
 		// address, so a falsely-suspected agent that rejoins (under a
@@ -637,6 +825,9 @@ func (d *Directory) applyMembership() {
 				delete(d.agents, l.AgentID)
 				delete(d.leases, l.AgentID)
 				leavers[l.AgentID] = true
+				d.event(events.Info, events.KindLeave, trace.SpanContext{},
+					events.U("agent", l.AgentID))
+				d.agentGone(l.AgentID)
 			}
 		}
 		wire.ReleasePacket(pkt)
@@ -648,7 +839,9 @@ func (d *Directory) applyMembership() {
 		for id := range leavers {
 			gone = append(gone, id)
 		}
-		d.pruneOverrides(gone)
+		pruned := d.pruneOverrides(gone)
+		d.event(events.Info, events.KindOverrideRebase, trace.SpanContext{},
+			events.U("pruned", uint64(pruned)), events.U("overrides", uint64(len(d.overrides))))
 	}
 	d.epoch++
 	d.broadcastView()
@@ -666,6 +859,8 @@ func (d *Directory) applyMembership() {
 		votes:    make(map[uint64]bool),
 	}
 	trace.Printf("dir migration-start epoch=%d expected=%v", d.epoch, expected)
+	d.event(events.Info, events.KindMigrationStart, trace.SpanContext{},
+		events.U("epoch", d.epoch), events.U("expected", uint64(len(expected))))
 	d.maybeFinishMigration()
 }
 
@@ -675,6 +870,8 @@ func (d *Directory) maybeFinishMigration() {
 		return
 	}
 	trace.Printf("dir migration-done epoch=%d", m.epochLow)
+	d.event(events.Info, events.KindMigrationDone, trace.SpanContext{},
+		events.U("epoch", uint64(m.epochLow)))
 	d.migration = nil
 	// Migration-complete broadcast: leavers may now disconnect, agents
 	// may resume.
@@ -692,6 +889,8 @@ func (d *Directory) maybeFinishMigration() {
 func (d *Directory) startSeal() {
 	d.batchID++
 	trace.Printf("dir seal-start batch=%d agents=%d", d.batchID, len(d.agents))
+	d.event(events.Info, events.KindSeal, trace.SpanContext{},
+		events.U("batch", d.batchID), events.U("agents", uint64(len(d.agents))))
 	d.seal = &sealState{votes: make(map[uint64]bool)}
 	d.scratch = binary.LittleEndian.AppendUint64(d.scratch[:0], d.batchID)
 	d.pub.Publish(wire.TBatchOpen, d.scratch)
@@ -723,6 +922,8 @@ func (d *Directory) maybeFinishSeal() {
 			expected: expected,
 			votes:    make(map[uint64]bool),
 		}
+		d.event(events.Info, events.KindMigrationStart, trace.SpanContext{},
+			events.U("epoch", d.epoch), events.U("expected", uint64(len(expected))))
 		// Defer the ingest replies until the migration round finishes.
 		d.sealDone = append(d.sealDone, d.pendingSeals...)
 		d.pendingSeals = nil
@@ -787,6 +988,9 @@ func (d *Directory) maybeStartRun() {
 	// Root the run's trace here: the coordinator owns the trace ID, and
 	// every Advance carries a step-span context for agents to link under.
 	d.run.runSpan = d.tracer.StartRoot("run", spec.RunID)
+	d.event(events.Info, events.KindRunStart, d.run.runSpan.Context(),
+		events.U("run", uint64(spec.RunID)), events.S("algo", spec.Algo),
+		events.U("agents", uint64(len(d.agents))))
 	d.publishAlgoStart(spec)
 	if spec.Async {
 		// No superstep driving: agents compute as messages arrive; the
@@ -892,10 +1096,15 @@ func (d *Directory) evictAgents(dead []uint64) {
 			wire.ReleaseFrame(f.Frame)
 		}
 		d.statEvictions.Add(1)
+		d.event(events.Warn, events.KindEvict, trace.SpanContext{},
+			events.U("agent", id), events.S("addr", addr))
+		d.agentGone(id)
 	}
 	// Rebase placement overrides onto the survivors before the view goes
 	// out: overrides that named a corpse revert to ring placement.
-	d.pruneOverrides(dead)
+	pruned := d.pruneOverrides(dead)
+	d.event(events.Info, events.KindOverrideRebase, trace.SpanContext{},
+		events.U("pruned", uint64(pruned)), events.U("overrides", uint64(len(d.overrides))))
 	d.epoch++
 	d.broadcastView()
 	expected := make(map[uint64]bool, len(d.agents))
@@ -909,6 +1118,8 @@ func (d *Directory) evictAgents(dead []uint64) {
 		expected: expected,
 		votes:    make(map[uint64]bool),
 	}
+	d.event(events.Info, events.KindMigrationStart, trace.SpanContext{},
+		events.U("epoch", d.epoch), events.U("expected", uint64(len(expected))))
 	if s := d.seal; s != nil {
 		for _, id := range dead {
 			delete(s.votes, id)
@@ -1141,6 +1352,13 @@ func (d *Directory) finishRun(converged bool) {
 	})
 	d.pub.PublishCtx(wire.TAlgoDone, d.scratch, runCtx)
 	r.runSpan.End()
+	converged64 := uint64(0)
+	if converged {
+		converged64 = 1
+	}
+	d.event(events.Info, events.KindRunDone, runCtx,
+		events.U("run", uint64(r.spec.RunID)), events.U("steps", uint64(steps)),
+		events.U("converged", converged64))
 	d.replyRunStats(r.req, &wire.RunStats{
 		RunID: r.spec.RunID, Steps: steps, Converged: converged,
 		Wall: time.Since(r.start), StepTimes: r.stepTimes,

@@ -1,0 +1,263 @@
+package directory
+
+import (
+	"testing"
+	"time"
+
+	"elga/internal/autoscale"
+	"elga/internal/events"
+	"elga/internal/trace"
+	"elga/internal/wire"
+)
+
+// healthFixture drives a healthModel directly with synthetic metric
+// samples: n agents, freshly leased, with per-agent step times supplied
+// by the caller. Extra signals are layered on by individual tests.
+type healthFixture struct {
+	h      *healthModel
+	now    time.Time
+	agents map[uint64]string
+	leases map[uint64]time.Time
+}
+
+func newHealthFixture(stepSeconds ...float64) *healthFixture {
+	f := &healthFixture{
+		h:      newHealthModel(30 * time.Second),
+		now:    time.Unix(1_700_000_000, 0),
+		agents: make(map[uint64]string),
+		leases: make(map[uint64]time.Time),
+	}
+	for i, s := range stepSeconds {
+		id := uint64(i + 1)
+		f.agents[id] = "inproc-" + string(rune('a'+i))
+		f.leases[id] = f.now
+		// Several samples so the EMA settles near the target value.
+		for k := 0; k < 8; k++ {
+			f.observe(id, autoscale.MetricStepTime, s, time.Duration(k)*time.Second)
+		}
+	}
+	return f
+}
+
+func (f *healthFixture) observe(id uint64, name string, v float64, at time.Duration) {
+	f.h.observeMetric(f.now.Add(at), &wire.Metric{AgentID: id, Name: name, Value: v})
+}
+
+func (f *healthFixture) evaluate() []wire.AgentHealth {
+	return f.h.evaluate(f.now.Add(10*time.Second), f.agents, f.leases, 10*time.Minute)
+}
+
+func statusOf(t *testing.T, hs []wire.AgentHealth, id uint64) wire.AgentHealth {
+	t.Helper()
+	for _, a := range hs {
+		if a.AgentID == id {
+			return a
+		}
+	}
+	t.Fatalf("agent %d missing from rollup %+v", id, hs)
+	return wire.AgentHealth{}
+}
+
+// TestHealthAllHealthy: uniform step times score everyone at the median.
+func TestHealthAllHealthy(t *testing.T) {
+	f := newHealthFixture(0.1, 0.1, 0.1, 0.1)
+	for _, a := range f.evaluate() {
+		if a.Status != wire.HealthHealthy || a.Cause != "" {
+			t.Fatalf("agent %d: %s cause=%q, want healthy", a.AgentID, wire.HealthName(a.Status), a.Cause)
+		}
+		if a.Score < 0.99 || a.Score > 1.01 {
+			t.Fatalf("agent %d score = %v, want ~1", a.AgentID, a.Score)
+		}
+	}
+}
+
+// TestHealthLaggingAndStraggler: 1.3x the median is lagging, 2x is a
+// straggler; with no secondary signal the cause is compute-skew. Five
+// agents so the median sits on the healthy majority.
+func TestHealthLaggingAndStraggler(t *testing.T) {
+	f := newHealthFixture(0.1, 0.1, 0.1, 0.15, 0.25)
+	hs := f.evaluate()
+	if a := statusOf(t, hs, 1); a.Status != wire.HealthHealthy {
+		t.Fatalf("agent 1: %s, want healthy", wire.HealthName(a.Status))
+	}
+	if a := statusOf(t, hs, 4); a.Status != wire.HealthLagging || a.Cause != CauseComputeSkew {
+		t.Fatalf("agent 4: %s cause=%q, want lagging/compute-skew", wire.HealthName(a.Status), a.Cause)
+	}
+	a := statusOf(t, hs, 5)
+	if a.Status != wire.HealthStraggler || a.Cause != CauseComputeSkew {
+		t.Fatalf("agent 5: %s cause=%q, want straggler/compute-skew", wire.HealthName(a.Status), a.Cause)
+	}
+	if a.Score < 2.4 || a.Score > 2.6 {
+		t.Fatalf("agent 5 score = %v, want ~2.5", a.Score)
+	}
+}
+
+// TestHealthSuspectBeatsStraggler: heartbeat silence past half the lease
+// timeout dominates every other classification.
+func TestHealthSuspectBeatsStraggler(t *testing.T) {
+	f := newHealthFixture(0.1, 0.1, 0.5)
+	f.leases[3] = f.now.Add(-10 * time.Minute) // silent well past lease/2
+	a := statusOf(t, f.evaluate(), 3)
+	if a.Status != wire.HealthSuspect || a.Cause != CauseHeartbeatSilence {
+		t.Fatalf("agent 3: %s cause=%q, want suspect/heartbeat-silence", wire.HealthName(a.Status), a.Cause)
+	}
+	if a.HeartbeatAgeNanos <= 0 {
+		t.Fatalf("heartbeat age = %d, want positive", a.HeartbeatAgeNanos)
+	}
+}
+
+// TestHealthAttributesInboxBacklog: a straggler whose inbox+queue depth
+// towers over the cluster median is blamed on inbox backlog.
+func TestHealthAttributesInboxBacklog(t *testing.T) {
+	f := newHealthFixture(0.1, 0.1, 0.1, 0.5)
+	for id := uint64(1); id <= 4; id++ {
+		depth := 10.0
+		if id == 4 {
+			depth = 500
+		}
+		for k := 0; k < 8; k++ {
+			f.observe(id, autoscale.MetricInboxDepth, depth, time.Duration(k)*time.Second)
+		}
+	}
+	a := statusOf(t, f.evaluate(), 4)
+	if a.Status != wire.HealthStraggler || a.Cause != CauseInboxBacklog {
+		t.Fatalf("agent 4: %s cause=%q, want straggler/inbox-backlog", wire.HealthName(a.Status), a.Cause)
+	}
+}
+
+// TestHealthAttributesCombineAndRetransmits: the attributor picks the
+// signal with the LARGEST relative excess when several stand out.
+func TestHealthAttributesCombineAndRetransmits(t *testing.T) {
+	f := newHealthFixture(0.1, 0.1, 0.1, 0.5)
+	for id := uint64(1); id <= 4; id++ {
+		combine, retrans := 0.01, 1.0
+		if id == 4 {
+			combine, retrans = 0.02, 50 // combine 2x median, retransmits 50x
+		}
+		for k := 0; k < 8; k++ {
+			at := time.Duration(k) * time.Second
+			f.observe(id, autoscale.MetricCombineTime, combine, at)
+			f.observe(id, autoscale.MetricRetransmits, retrans, at)
+		}
+	}
+	a := statusOf(t, f.evaluate(), 4)
+	if a.Status != wire.HealthStraggler || a.Cause != CauseRetransmits {
+		t.Fatalf("agent 4: %s cause=%q, want straggler/retransmits", wire.HealthName(a.Status), a.Cause)
+	}
+}
+
+// TestHealthAttributesCheckpointOverlap: a checkpoint event landing
+// inside the overlap window overrides the median comparisons.
+func TestHealthAttributesCheckpointOverlap(t *testing.T) {
+	f := newHealthFixture(0.1, 0.1, 0.1, 0.5)
+	evalAt := f.now.Add(10 * time.Second)
+	f.h.countEvent(&events.Record{
+		Proc: "agent-4", Kind: events.KindCheckpoint,
+		Time: evalAt.Add(-2 * time.Second).UnixNano(),
+	})
+	a := statusOf(t, f.evaluate(), 4)
+	if a.Status != wire.HealthStraggler || a.Cause != CauseCheckpointOverlap {
+		t.Fatalf("agent 4: %s cause=%q, want straggler/checkpoint-overlap", wire.HealthName(a.Status), a.Cause)
+	}
+	if a.Events != 1 {
+		t.Fatalf("agent 4 events = %d, want 1", a.Events)
+	}
+}
+
+// TestHealthUnprimedFleetStaysHealthy: before any metric lands, nothing
+// divides by zero and everyone is healthy with score 1.
+func TestHealthUnprimedFleetStaysHealthy(t *testing.T) {
+	h := newHealthModel(30 * time.Second)
+	now := time.Unix(1_700_000_000, 0)
+	agents := map[uint64]string{1: "a", 2: "b"}
+	leases := map[uint64]time.Time{1: now, 2: now}
+	for _, a := range h.evaluate(now, agents, leases, 10*time.Minute) {
+		if a.Status != wire.HealthHealthy || a.Score != 1 {
+			t.Fatalf("unprimed agent %d: %s score=%v", a.AgentID, wire.HealthName(a.Status), a.Score)
+		}
+	}
+}
+
+// TestHealthSingleAgentNeverStraggles: with one reporter there is no
+// peer group, so the score stays pinned at 1 (len(steps) < 2 guard).
+func TestHealthSingleAgentNeverStraggles(t *testing.T) {
+	f := newHealthFixture(5.0)
+	a := statusOf(t, f.evaluate(), 1)
+	if a.Status != wire.HealthHealthy || a.Score != 1 {
+		t.Fatalf("solo agent: %s score=%v, want healthy/1", wire.HealthName(a.Status), a.Score)
+	}
+}
+
+// TestHealthForgetAndPrune: forget drops vitals; evaluate also prunes
+// vitals whose agent left the membership table.
+func TestHealthForgetAndPrune(t *testing.T) {
+	f := newHealthFixture(0.1, 0.1, 0.1)
+	f.h.forget(2)
+	if _, ok := f.h.agents[2]; ok {
+		t.Fatal("forget left vitals behind")
+	}
+	// Agent 3 vanishes from membership without a forget call.
+	delete(f.agents, 3)
+	delete(f.leases, 3)
+	hs := f.evaluate()
+	if len(hs) != 2 {
+		t.Fatalf("rollup has %d agents, want 2", len(hs))
+	}
+	if _, ok := f.h.agents[3]; ok {
+		t.Fatal("evaluate did not prune departed agent's vitals")
+	}
+}
+
+// TestHealthSpanFusion: barrier-wait spans fold into the barrier EMA;
+// other spans and non-agent procs are ignored.
+func TestHealthSpanFusion(t *testing.T) {
+	h := newHealthModel(30 * time.Second)
+	now := time.Unix(1_700_000_000, 0)
+	spans := []trace.SpanRecord{
+		{Name: "barrier-wait", Dur: 100 * time.Millisecond},
+		{Name: "compute", Dur: 5 * time.Second}, // must not fold
+		{Name: "barrier-wait", Dur: 100 * time.Millisecond},
+	}
+	h.observeSpans(now, "agent-2", spans)
+	h.observeSpans(now, "client", spans) // non-agent proc: ignored
+	v, ok := h.agents[2]
+	if !ok || !v.barrier.Primed() {
+		t.Fatal("barrier EMA not primed from spans")
+	}
+	if b := v.barrier.Value(); b < 0.09 || b > 0.11 {
+		t.Fatalf("barrier EMA = %v, want ~0.1", b)
+	}
+	if len(h.agents) != 1 {
+		t.Fatalf("non-agent proc grew vitals: %v", h.agents)
+	}
+}
+
+// TestHealthCountEventAttribution: events attribute by proc name or by
+// an "agent" numeric field when the proc is the coordinator.
+func TestHealthCountEventAttribution(t *testing.T) {
+	h := newHealthModel(30 * time.Second)
+	h.countEvent(&events.Record{Proc: "agent-5", Kind: events.KindBatch})
+	coordRec := events.Record{Proc: "coord", Kind: events.KindEvict}
+	coordRec.Fields[0] = events.U("agent", 5)
+	coordRec.NFields = 1
+	h.countEvent(&coordRec)
+	h.countEvent(&events.Record{Proc: "coord", Kind: events.KindSeal}) // unattributable
+	if v := h.agents[5]; v == nil || v.events != 2 {
+		t.Fatalf("agent 5 vitals = %+v, want 2 events", v)
+	}
+	if len(h.agents) != 1 {
+		t.Fatalf("unattributable event grew vitals: %v", h.agents)
+	}
+}
+
+// TestAgentIDFromProc pins the proc-name parsing contract.
+func TestAgentIDFromProc(t *testing.T) {
+	for proc, want := range map[string]uint64{
+		"agent-7": 7, "agent-123": 123,
+		"coord": 0, "client": 0, "agent-": 0, "agent-x": 0, "": 0,
+	} {
+		if got := agentIDFromProc(proc); got != want {
+			t.Fatalf("agentIDFromProc(%q) = %d, want %d", proc, got, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"elga/internal/consistent"
+	"elga/internal/events"
 	"elga/internal/graph"
 	"elga/internal/repartition"
 	"elga/internal/trace"
@@ -53,6 +54,9 @@ func (d *Directory) maybeRepartition() bool {
 	d.statMoves.Add(uint64(len(moves)))
 	d.statOverrides.Store(int64(len(d.overrides)))
 	trace.Printf("dir repart round=%d moves=%d overrides=%d", p.Round(), len(moves), len(d.overrides))
+	d.event(events.Info, events.KindRepartitionPlan, trace.SpanContext{},
+		events.U("round", uint64(p.Round())), events.U("moves", uint64(len(moves))),
+		events.U("overrides", uint64(len(d.overrides))))
 
 	// Same machinery as a membership change: new epoch, new view (now
 	// carrying the overrides), and a migration barrier so every agent
@@ -68,6 +72,8 @@ func (d *Directory) maybeRepartition() bool {
 		expected: expected,
 		votes:    make(map[uint64]bool),
 	}
+	d.event(events.Info, events.KindMigrationStart, trace.SpanContext{},
+		events.U("epoch", d.epoch), events.U("expected", uint64(len(expected))))
 	d.maybeFinishMigration()
 	return true
 }
@@ -96,27 +102,30 @@ func (d *Directory) splitVertex(v graph.VertexID) bool {
 }
 
 // pruneOverrides drops overrides whose target is no longer a member and
-// tells the planner to forget departed agents. Callers bump the epoch and
-// broadcast right after, so the pruned table reaches agents atomically
-// with the membership change; pruned vertices fall back to their ring
-// placement on the survivors (the router also ignores dangling targets,
-// so even an un-pruned straggler view cannot route at a corpse).
-func (d *Directory) pruneOverrides(gone []uint64) {
-	if d.planner == nil {
-		return
-	}
-	for _, id := range gone {
-		d.planner.Forget(consistent.AgentID(id))
+// tells the planner to forget departed agents, returning how many
+// entries were pruned. Callers bump the epoch and broadcast right after,
+// so the pruned table reaches agents atomically with the membership
+// change; pruned vertices fall back to their ring placement on the
+// survivors (the router also ignores dangling targets, so even an
+// un-pruned straggler view cannot route at a corpse).
+func (d *Directory) pruneOverrides(gone []uint64) int {
+	if d.planner != nil {
+		for _, id := range gone {
+			d.planner.Forget(consistent.AgentID(id))
+		}
 	}
 	if len(d.overrides) == 0 {
-		return
+		return 0
 	}
+	pruned := 0
 	for v, aid := range d.overrides {
 		if _, ok := d.agents[aid]; !ok {
 			delete(d.overrides, v)
+			pruned++
 		}
 	}
 	d.statOverrides.Store(int64(len(d.overrides)))
+	return pruned
 }
 
 // RepartitionStats exposes the planner counters for tests and tooling:

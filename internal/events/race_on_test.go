@@ -1,0 +1,8 @@
+//go:build race
+
+package events
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// ceilings are skipped under -race because instrumentation inserts its
+// own allocations.
+const raceEnabled = true

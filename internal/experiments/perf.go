@@ -6,6 +6,7 @@ import (
 
 	"elga/internal/client"
 	"elga/internal/cluster"
+	"elga/internal/events"
 	"elga/internal/gen"
 	"elga/internal/metrics"
 	"elga/internal/trace"
@@ -55,24 +56,32 @@ func phaseSummary(s metrics.HistogramSnapshot) PhaseSummary {
 // multi-agent cluster with metrics enabled, so it bounds the
 // instrumentation's own allocation cost too.
 func MeasureSuperstepPerf(s Scale) (*SuperstepPerf, error) {
-	return measureSuperstep(s, &trace.Config{})
+	return measureSuperstep(s, &trace.Config{}, &events.Config{})
 }
 
 // MeasureSuperstepPerfTraced is MeasureSuperstepPerf with distributed
 // tracing enabled at 100% sampling — the tracing-on column of the
 // BENCH_<n>.json overhead comparison.
 func MeasureSuperstepPerfTraced(s Scale) (*SuperstepPerf, error) {
-	return measureSuperstep(s, &trace.Config{Enabled: true, Sample: 1})
+	return measureSuperstep(s, &trace.Config{Enabled: true, Sample: 1}, &events.Config{})
 }
 
-func measureSuperstep(s Scale, tcfg *trace.Config) (*SuperstepPerf, error) {
+// MeasureSuperstepPerfEvents is MeasureSuperstepPerf with the structured
+// event journal armed — the events-on column of the BENCH_<n>.json
+// overhead comparison. Events never fire on the superstep hot path, so
+// this column should match the baseline within noise.
+func MeasureSuperstepPerfEvents(s Scale) (*SuperstepPerf, error) {
+	return measureSuperstep(s, &trace.Config{}, &events.Config{Enabled: true})
+}
+
+func measureSuperstep(s Scale, tcfg *trace.Config, ecfg *events.Config) (*SuperstepPerf, error) {
 	nodes, steps := 4_000, uint32(10)
 	if s == Quick {
 		nodes, steps = 1_000, 5
 	}
 	el := gen.PreferentialAttachment(nodes, 6, 1001)
 	reg := metrics.NewRegistry()
-	c, err := cluster.New(cluster.Options{Config: baseConfig(), Agents: 4, Metrics: reg, Trace: tcfg})
+	c, err := cluster.New(cluster.Options{Config: baseConfig(), Agents: 4, Metrics: reg, Trace: tcfg, Events: ecfg})
 	if err != nil {
 		return nil, err
 	}

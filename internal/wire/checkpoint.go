@@ -1,6 +1,10 @@
 package wire
 
-import "fmt"
+import (
+	"fmt"
+
+	"elga/internal/events"
+)
 
 // Checkpoint frames. Durable agent snapshots ride the migration/shipment
 // encoding (EdgeBatch changes + vertex states), so the only genuinely new
@@ -216,6 +220,12 @@ type CoordState struct {
 	// Marks is the consistent-cut table: the latest durable snapshot
 	// each participant reported.
 	Marks []CheckpointMark
+	// Events is the retained slice of the merged cluster timeline
+	// (oldest first) and EventSeq its high-water sequence counter, so a
+	// restored coordinator resumes the event history where it left off.
+	// Absent from pre-event snapshots; the decoder tolerates that.
+	Events   []events.Record
+	EventSeq uint64
 }
 
 // AppendCoordState appends a SegCoord payload to dst.
@@ -228,6 +238,11 @@ func AppendCoordState(dst []byte, c *CoordState) []byte {
 	for i := range c.Marks {
 		appendCheckpointMeta(&w, &c.Marks[i].Meta)
 		w.U64(c.Marks[i].Bytes)
+	}
+	w.U64(c.EventSeq)
+	w.U32(uint32(len(c.Events)))
+	for i := range c.Events {
+		appendEventRecord(&w, &c.Events[i])
 	}
 	return w.buf
 }
@@ -250,6 +265,18 @@ func DecodeCoordState(data []byte) (*CoordState, error) {
 			m := CheckpointMark{Meta: readCheckpointMeta(r)}
 			m.Bytes = r.U64()
 			c.Marks = append(c.Marks, m)
+		}
+	}
+	// Timeline rides after the cut table; snapshots written before the
+	// event journal existed simply end here.
+	if r.Err() == nil && r.Remaining() > 0 {
+		c.EventSeq = r.U64()
+		ne := int(r.U32())
+		if r.Err() == nil && ne >= 0 {
+			c.Events = make([]events.Record, 0, capHint(ne))
+			for i := 0; i < ne && r.Err() == nil; i++ {
+				c.Events = append(c.Events, readEventRecord(r))
+			}
 		}
 	}
 	if err := r.Err(); err != nil {

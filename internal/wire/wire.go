@@ -131,6 +131,16 @@ const (
 	// checkpoint itself is already on disk — so it rides outside the
 	// acked discipline.
 	TCheckpointMark
+	// TEventBatch carries a participant's journalled control-plane events
+	// to the coordinator's cluster timeline. Lossy like TMetric: a dropped
+	// batch costs audit visibility, never correctness, so it rides outside
+	// the acked discipline.
+	TEventBatch
+	// TStatus asks the coordinator for the cluster health rollup and the
+	// recent event timeline (client boundary, REQ/REP).
+	TStatus
+	// TStatusReply answers a TStatus.
+	TStatusReply
 
 	typeCount
 )
@@ -166,7 +176,8 @@ var typeNames = [...]string{
 	TRunAlgo: "run-algo", TRunReply: "run-reply", TIngest: "ingest",
 	TPing: "ping", TPong: "pong", TTick: "tick", THeartbeat: "heartbeat",
 	TSpanBatch: "span-batch", TVertexDigest: "vertex-digest",
-	TCheckpointMark: "checkpoint-mark",
+	TCheckpointMark: "checkpoint-mark", TEventBatch: "event-batch",
+	TStatus: "status", TStatusReply: "status-reply",
 }
 
 // String names the type for logs.
