@@ -45,6 +45,10 @@ type jsonOutput struct {
 	// journal armed — events never fire on the superstep hot path, so
 	// this column tracks that the health plane stays off it.
 	SuperstepEvents *experiments.SuperstepPerf `json:"superstep_events,omitempty"`
+	// SuperstepProfiled repeats the metered run with the cluster profiling
+	// plane enabled but no capture in flight — an idle plane costs the
+	// superstep one predicted branch, and this column tracks that.
+	SuperstepProfiled *experiments.SuperstepPerf `json:"superstep_profiled,omitempty"`
 	// Storage and Delta are the CSR+delta-log regression trackers: store
 	// bytes/edge vs the map reference, and full- vs frontier-seeded
 	// delta-recompute ns/batch per algorithm and batch size.
@@ -221,6 +225,17 @@ func main() {
 					evented.NsPerStep, evented.AllocsPerStep, evented.Steps)
 			}
 		}
+		if out.Superstep != nil {
+			profiled, err := experiments.MeasureSuperstepPerfProfiled(scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "elga-bench: profiled perf failed: %v\n", err)
+				failed++
+			} else {
+				out.SuperstepProfiled = profiled
+				fmt.Fprintf(os.Stderr, "[perf profiled: %.0f ns/step, %.0f allocs/step over %d steps]\n\n",
+					profiled.NsPerStep, profiled.AllocsPerStep, profiled.Steps)
+			}
+		}
 		buf, err := json.MarshalIndent(&out, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
@@ -263,6 +278,7 @@ func runCompare(oldPath, newPath string) error {
 	comparePerf("superstep", o.Superstep, n.Superstep)
 	comparePerf("superstep_traced", o.SuperstepTraced, n.SuperstepTraced)
 	comparePerf("superstep_events", o.SuperstepEvents, n.SuperstepEvents)
+	comparePerf("superstep_profiled", o.SuperstepProfiled, n.SuperstepProfiled)
 	compareStorage(o.Storage, n.Storage)
 	compareDelta(o.Delta, n.Delta)
 	compareRepartition(o.Repartition, n.Repartition)

@@ -63,6 +63,8 @@ func main() {
 		err = runQuery(args)
 	case "status":
 		err = runStatus(args)
+	case "profile":
+		err = runProfile(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -88,6 +90,7 @@ commands:
   seal       force a batch boundary (apply + rebalance)
   query      read one vertex's result
   status     show per-agent health and the cluster event timeline (-watch, -events N, -json)
+  profile    capture pprof profiles from agents (-agent N|-all, -kind, -steps N, -o dir, -list)
 `)
 }
 
@@ -159,6 +162,7 @@ func runDirectory(args []string) error {
 		Config: dcfg.Cluster, Network: transport.NewTCP(), MasterAddr: *master, Addr: *addr,
 		Metrics: reg, Trace: dcfg.TraceConfig(), SpanSink: sink, Repartition: dcfg.PlanConfig(),
 		Checkpoint: dcfg.CheckpointConfig(), Events: dcfg.EventsConfig(),
+		Profile: dcfg.ProfileConfig(),
 	})
 	if err != nil {
 		return err
@@ -236,6 +240,7 @@ func runAgent(args []string) error {
 			Config: acfg.Cluster, Network: transport.NewTCP(), MasterAddr: *master, DirIndex: i,
 			Metrics: reg, Trace: acfg.TraceConfig(), Repartition: acfg.Repartition,
 			Checkpoint: ckptKeys[i], Events: acfg.EventsConfig(),
+			Profile: acfg.ProfileConfig(),
 		})
 		if err != nil {
 			return err

@@ -11,6 +11,7 @@ package agent
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"elga/internal/events"
 	"elga/internal/graph"
 	"elga/internal/metrics"
+	"elga/internal/profile"
 	"elga/internal/route"
 	"elga/internal/sketch"
 	"elga/internal/stats"
@@ -63,6 +65,10 @@ type Options struct {
 	// resolves from the environment (events.FromEnv). Off, every emission
 	// site costs a single nil-receiver branch.
 	Events *events.Config
+	// Profile configures the agent half of the cluster profiling plane;
+	// nil resolves from the environment (profile.FromEnv). Disarmed, the
+	// superstep hot path pays a single predicted branch.
+	Profile *profile.Config
 }
 
 // Validate reports option errors before any resource is allocated.
@@ -237,6 +243,15 @@ type Agent struct {
 	// off, one branch per trigger site.
 	ckpt agentCkpt
 
+	// prof is the profiling-plane state (profile.go); its armed flag is
+	// the hot path's one branch, and stepDelay is the chaos hook that
+	// injects compute-phase latency to manufacture stragglers in tests.
+	// delayHold is the phase gate the injected delay keeps open until its
+	// release tick lands (loop-owned).
+	prof      agentProf
+	stepDelay atomic.Int64
+	delayHold *ackGroup
+
 	// Distributed tracing (nil tracer = off, one branch per touch point).
 	// phaseSpan covers Advance-to-vote processing; barrierSpan covers the
 	// vote-to-next-Advance idle that attributes barrier wait per agent per
@@ -299,6 +314,7 @@ func Start(opts Options) (*Agent, error) {
 		return nil, err
 	}
 	a.initComm()
+	a.initProfile()
 	a.initMetrics(opts.Metrics)
 	// Directories register with the master concurrently with agent
 	// startup, so an empty list is retried until the deadline rather
@@ -385,6 +401,57 @@ func (a *Agent) RequestFlightDump(reason string) {
 	_ = a.node.Inject(wire.TTick, []byte(reason))
 }
 
+// SetComputeDelay injects d of latency into every compute phase — the
+// chaos hook that manufactures a deterministic straggler (the inflated
+// step time flows through the ordinary metric path into the health
+// model). Zero restores normal operation. Safe to call concurrently
+// with the event loop.
+func (a *Agent) SetComputeDelay(d time.Duration) { a.stepDelay.Store(int64(d)) }
+
+// delayRelease tags the self-injected tick that ends an injected
+// compute-phase stall.
+const delayRelease = "\x00vote-release"
+
+// holdVote keeps the current phase gate open for d, stalling this
+// agent's barrier vote without blocking the event loop: the release
+// rides a timed self-injected tick, so inbound scatter keeps getting
+// acked while the vote waits — the shape of a real compute straggler.
+func (a *Agent) holdVote(d time.Duration) {
+	if a.delayHold != nil {
+		return // a prior hold still covers this phase
+	}
+	a.phaseGate.pending++
+	a.delayHold = a.phaseGate
+	time.AfterFunc(d, func() {
+		_ = a.node.Inject(wire.TTick, []byte(delayRelease))
+	})
+}
+
+// releaseVoteHold drains the held gate exactly as an ack would.
+func (a *Agent) releaseVoteHold() {
+	g := a.delayHold
+	if g == nil {
+		return
+	}
+	a.delayHold = nil
+	g.pending--
+	if g.pending > 0 {
+		return
+	}
+	kept := a.pendingVotes[:0]
+	for _, pv := range a.pendingVotes {
+		if pv.gate == g {
+			pv.fire()
+		} else {
+			kept = append(kept, pv)
+		}
+	}
+	a.pendingVotes = kept
+	if g == a.phaseGate {
+		a.maybeReady()
+	}
+}
+
 // Addr returns the agent's dialable address.
 func (a *Agent) Addr() string { return a.node.Addr() }
 
@@ -442,8 +509,10 @@ func (a *Agent) runLoop(initial *wire.View) {
 	a.shipSpans()
 	a.shipEvents()
 	// Drain the checkpoint writer so the last submitted snapshot is
-	// durable before the process goes away.
+	// durable before the process goes away, and release any live CPU
+	// profiling window so the process-wide slot is not leaked.
 	a.closeCheckpoint()
+	a.closeProfile()
 	_ = a.node.SendFrame(a.dirAddr, a.node.NewFrame(wire.TUnsubscribe))
 	if a.stopped.CompareAndSwap(false, true) {
 		a.node.Close()
@@ -498,9 +567,14 @@ func (a *Agent) handlePacket(pkt *wire.Packet) bool {
 		a.handleBatchOpen()
 		a.node.Ack(pkt)
 	case wire.TTick:
-		// A payload-bearing tick is an injected flight-dump request (see
-		// RequestFlightDump), serialized here so it cannot race Close.
+		// Payload-bearing ticks are injected control messages, serialized
+		// here so they cannot race Close: the compute-delay release, or a
+		// flight-dump request (see RequestFlightDump).
 		if len(pkt.Payload) > 0 {
+			if string(pkt.Payload) == delayRelease {
+				a.releaseVoteHold()
+				return false
+			}
 			a.tracer.DumpFlight(string(pkt.Payload))
 			return false
 		}
@@ -518,7 +592,10 @@ func (a *Agent) handlePacket(pkt *wire.Packet) bool {
 			a.sendDigest()
 			a.maybeCheckpointTimed()
 			a.maybeSendCheckpointMark()
+			a.profileTick()
 		}
+	case wire.TProfileReq:
+		a.handleProfileReq(pkt)
 	case wire.TQuery:
 		a.handleQuery(pkt)
 	case wire.TPing:
@@ -676,8 +753,11 @@ func (a *Agent) maybeReady() {
 		a.sendMetric(autoscale.MetricStepTime, dur)
 		// Durability cadence rides the post-vote safe point: the barrier
 		// vote is already out, so snapshot encoding overlaps the barrier
-		// wait instead of stretching the superstep.
+		// wait instead of stretching the superstep. Superstep-scoped
+		// profile windows arm and close at the same safe point, aligning
+		// samples with compute phases.
 		a.maybeCheckpointStep()
+		a.maybeProfileStep()
 	case wire.PhaseCombine:
 		a.m.phaseCombine.Observe(dur)
 		a.sendMetric(autoscale.MetricCombineTime, dur)
@@ -720,6 +800,10 @@ func (a *Agent) sendLoadMetrics() {
 	}
 	a.sendMetric(autoscale.MetricInboxDepth, float64(a.node.InboxDepth()))
 	a.sendMetric(autoscale.MetricQueueDepth, float64(a.node.QueueDepth()))
+	// Goroutine count rides the same report so the health attributor can
+	// tell a goroutine pile-up (stuck sends, leaked workers) from plain
+	// queue depth.
+	a.sendMetric(autoscale.MetricGoroutines, float64(runtime.NumGoroutine()))
 	rexmits := a.node.Stats().Retransmits
 	a.sendMetric(autoscale.MetricRetransmits, float64(rexmits-a.lastRetransmits))
 	a.lastRetransmits = rexmits

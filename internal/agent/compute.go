@@ -206,6 +206,17 @@ func (a *Agent) handleAdvance(adv *wire.Advance, tctx trace.SpanContext) {
 // processCompute is superstep phase 1: gather mailboxes, update and
 // scatter non-split vertices, and ship split-vertex partials to masters.
 func (a *Agent) processCompute() {
+	// Injected compute-phase latency (SetComputeDelay) stalls this agent's
+	// barrier vote by holding the phase gate open for the delay while the
+	// event loop keeps draining the inbox — like a real straggler whose
+	// compute workers are pegged while its transport thread still acks.
+	// Sleeping on the loop instead would block acking the peers' gated
+	// scatter sends, delaying every agent's vote by the same amount and
+	// erasing the skew from the per-agent step-time metrics. One atomic
+	// load per phase when unused.
+	if d := a.stepDelay.Load(); d != 0 {
+		a.holdVote(time.Duration(d))
+	}
 	r := a.run
 	if r.step == 0 && r.spec.FromScratch && !r.started {
 		a.store.Vertices(func(v graph.VertexID) bool {

@@ -119,4 +119,5 @@ func (a *Agent) initMetrics(reg *metrics.Registry) {
 		reg.GaugeFunc("elga_ckpt_restore_seconds", "Duration of the startup restore (0 = cold start).", lbl,
 			func() float64 { return a.ckpt.restoreSeconds })
 	}
+	metrics.RegisterRuntime(reg)
 }

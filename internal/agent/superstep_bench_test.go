@@ -8,6 +8,7 @@ import (
 	"elga/internal/checkpoint"
 	"elga/internal/events"
 	"elga/internal/graph"
+	"elga/internal/profile"
 )
 
 // benchmarkSuperstep measures one full PageRank compute phase (gather →
@@ -215,5 +216,65 @@ func TestSuperstepAllocCeilingEventsArmed(t *testing.T) {
 	res := testing.Benchmark(func(b *testing.B) { benchmarkSuperstepEvents(b, 1) })
 	if allocs := res.AllocsPerOp(); allocs > 3 {
 		t.Fatalf("superstep with events armed allocates %d allocs/op, ceiling is 3", allocs)
+	}
+}
+
+// benchmarkSuperstepProfile is benchmarkSuperstep with the profiling
+// plane resolved and enabled but no capture in flight — each iteration
+// runs the compute phase plus the maybeProfileStep trigger exactly as
+// maybeReady's post-vote tail does. Idle, the plane must cost one
+// predicted branch (the armed flag) and nothing on the heap.
+func benchmarkSuperstepProfile(b *testing.B, workers int) {
+	cfg := allocTestConfig()
+	const n = 4096
+	a := newLoopbackAgent(b, cfg, n)
+	a.prof.cfg = profile.Resolve(&profile.Config{Enabled: true, AutoCapture: true})
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		src := graph.VertexID(i)
+		dsts := [4]graph.VertexID{
+			graph.VertexID((i + 1) % n),
+			graph.VertexID(rng.Intn(n)),
+			graph.VertexID(rng.Intn(n)),
+			graph.VertexID(rng.Intn(n)),
+		}
+		for _, dst := range dsts {
+			a.store.AddEdge(src, dst, graph.Out)
+			a.store.AddEdge(src, dst, graph.In)
+		}
+	}
+	installRun(a, algorithm.PageRank{}, n)
+
+	SetComputeParallelism(workers, 1)
+	defer SetComputeParallelism(0, 0)
+
+	advanceCompute(a, 0)
+	a.maybeProfileStep()
+	advanceCompute(a, 1)
+	a.maybeProfileStep()
+	advanceCompute(a, 2)
+	a.maybeProfileStep()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		advanceCompute(a, uint32(i+3))
+		a.maybeProfileStep()
+	}
+}
+
+// TestSuperstepAllocCeilingProfileArmed pins the superstep at the same
+// 3 allocs/op ceiling with the profiling plane enabled but idle: no
+// capture in flight means maybeProfileStep is a single flag check, so
+// CI catches any drift that puts window accounting (or worse, capture
+// serialization) onto the superstep critical path. Skipped under -race,
+// whose instrumentation allocates on its own.
+func TestSuperstepAllocCeilingProfileArmed(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under -race")
+	}
+	res := testing.Benchmark(func(b *testing.B) { benchmarkSuperstepProfile(b, 1) })
+	if allocs := res.AllocsPerOp(); allocs > 3 {
+		t.Fatalf("superstep with profiling armed allocates %d allocs/op, ceiling is 3", allocs)
 	}
 }

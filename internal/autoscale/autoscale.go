@@ -44,6 +44,10 @@ const (
 	// MetricBytesPerEdge is the store's estimated bytes per stored edge
 	// copy — memory-pressure signal for scale-out decisions.
 	MetricBytesPerEdge = "bytes_per_edge"
+	// MetricGoroutines is the agent process's goroutine count — a
+	// runaway-concurrency signal the health attributor folds into its
+	// inbox-backlog evidence.
+	MetricGoroutines = "goroutines"
 )
 
 // EMA is an exponential moving average over irregular samples, using a

@@ -20,6 +20,7 @@ import (
 	"elga/internal/events"
 	"elga/internal/graph"
 	"elga/internal/metrics"
+	"elga/internal/profile"
 	"elga/internal/repartition"
 	"elga/internal/stats"
 	"elga/internal/streamer"
@@ -82,6 +83,11 @@ type Options struct {
 	// When enabled, the coordinator merges all journals into the cluster
 	// timeline — read it back with Status.
 	Events *events.Config
+	// Profile configures the cluster profiling plane for every
+	// participant; nil resolves from the environment (profile.FromEnv).
+	// Agents always answer capture requests; Enabled+AutoCapture arm the
+	// coordinator's straggler auto-profiles.
+	Profile *profile.Config
 }
 
 // WithCommon fills the cross-cutting Options fields from a resolved
@@ -96,6 +102,7 @@ func (o Options) WithCommon(c config.Common) Options {
 		o.Durability = c.CheckpointConfig()
 	}
 	o.Events = c.EventsConfig()
+	o.Profile = c.ProfileConfig()
 	return o
 }
 
@@ -117,6 +124,7 @@ type Cluster struct {
 	// the same way.
 	tcfg      trace.Config
 	ecfg      events.Config
+	pcfg      profile.Config
 	collector *collect.Collector
 	// agentSlots mirrors agents: the durable slot number each live agent
 	// was started under ("agent-<slot>" checkpoint keys). nextSlot only
@@ -157,6 +165,7 @@ func New(opts Options) (*Cluster, error) {
 	// Options.Trace (or ELGA_TRACE in the environment) is the only switch.
 	c.tcfg = trace.Resolve(opts.Trace)
 	c.ecfg = events.Resolve(opts.Events)
+	c.pcfg = profile.Resolve(opts.Profile)
 	var spanSink func(proc string, spans []trace.SpanRecord)
 	if c.tcfg.Enabled {
 		c.collector = collect.New()
@@ -216,6 +225,7 @@ func New(opts Options) (*Cluster, error) {
 			Trace:         &c.tcfg,
 			Checkpoint:    c.durabilityFor("coordinator"),
 			Events:        &c.ecfg,
+			Profile:       &c.pcfg,
 		})
 		if err != nil {
 			c.Shutdown()
@@ -281,6 +291,7 @@ func (c *Cluster) startAgent(slot int) (*agent.Agent, error) {
 		Trace:       &c.tcfg,
 		Checkpoint:  c.durabilityFor(fmt.Sprintf("agent-%d", slot)),
 		Events:      &c.ecfg,
+		Profile:     &c.pcfg,
 	})
 }
 
@@ -483,6 +494,24 @@ func (c *Cluster) Status() (*wire.StatusReply, error) {
 // StatusEvents is Status with an explicit timeline depth.
 func (c *Cluster) StatusEvents(maxEvents uint32) (*wire.StatusReply, error) {
 	return c.ctl.StatusEvents(maxEvents, client.CallOpts{})
+}
+
+// ProfileCapture requests profiles of the given kinds from one agent
+// (agentID 0 = every agent) through the control client, superstep-scoped
+// over steps when a run is active, and returns the minted capture IDs.
+func (c *Cluster) ProfileCapture(agentID uint64, kinds []uint8, steps uint32) ([]uint64, error) {
+	return c.ctl.ProfileCapture(agentID, kinds, steps, 0, client.CallOpts{})
+}
+
+// ProfileList returns the coordinator profile store's artifact manifest
+// plus the number of captures still in flight.
+func (c *Cluster) ProfileList() ([]wire.ProfileArtifact, uint32, error) {
+	return c.ctl.ProfileList(client.CallOpts{})
+}
+
+// ProfileFetch returns one stored profile artifact's pprof bytes.
+func (c *Cluster) ProfileFetch(segment string) ([]byte, error) {
+	return c.ctl.ProfileFetch(segment, client.CallOpts{})
 }
 
 // Collector returns the span collector, or nil when tracing is off.

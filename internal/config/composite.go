@@ -7,6 +7,7 @@ import (
 
 	"elga/internal/checkpoint"
 	"elga/internal/events"
+	"elga/internal/profile"
 	"elga/internal/repartition"
 	"elga/internal/trace"
 )
@@ -33,6 +34,10 @@ type Common struct {
 	// Events configures the structured control-plane event journal
 	// (env: ELGA_EVENTS*).
 	Events events.Config
+	// Profile configures the cluster profiling plane: runtime sampling
+	// rates, the coordinator artifact store, and straggler auto-capture
+	// (env: ELGA_PROFILE*).
+	Profile profile.Config
 }
 
 // CommonFromEnv builds the composite from defaults plus environment
@@ -45,6 +50,7 @@ func CommonFromEnv() Common {
 		Trace:       trace.FromEnv(),
 		Durability:  checkpoint.FromEnv(),
 		Events:      events.FromEnv(),
+		Profile:     profile.FromEnv(),
 	}
 }
 
@@ -54,6 +60,9 @@ func (c *Common) Validate() error {
 		return err
 	}
 	if err := c.Durability.Validate(); err != nil {
+		return err
+	}
+	if err := c.Profile.Validate(); err != nil {
 		return err
 	}
 	if c.Trace.Sample < 0 || c.Trace.Sample > 1 {
@@ -84,6 +93,7 @@ func (c *Common) RegisterFlags(fs *flag.FlagSet) {
 	fs.IntVar(&c.Events.Ring, "events-ring", c.Events.Ring, "per-participant event journal ring capacity")
 	fs.IntVar(&c.Events.Timeline, "events-timeline", c.Events.Timeline, "coordinator merged-timeline capacity")
 	c.Durability.RegisterFlags(fs)
+	c.Profile.RegisterFlags(fs)
 }
 
 // Agent is the composite an agent process consumes.
@@ -178,4 +188,11 @@ func (c *Common) TraceConfig() *trace.Config {
 func (c *Common) EventsConfig() *events.Config {
 	e := c.Events
 	return &e
+}
+
+// ProfileConfig returns the profiling-plane configuration as the pointer
+// shape every Options struct takes.
+func (c *Common) ProfileConfig() *profile.Config {
+	p := c.Profile
+	return &p
 }

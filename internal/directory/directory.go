@@ -13,6 +13,7 @@ import (
 	"elga/internal/events"
 	"elga/internal/graph"
 	"elga/internal/metrics"
+	"elga/internal/profile"
 	"elga/internal/repartition"
 	"elga/internal/sketch"
 	"elga/internal/stats"
@@ -60,6 +61,10 @@ type Options struct {
 	// every agent that leaves or is evicted — the hook the harness uses
 	// to prune per-agent autoscale EMAs (autoscale.SignalSet.Forget).
 	AgentGone func(agentID uint64)
+	// Profile configures the cluster profiling plane (coordinator-side
+	// artifact store and straggler auto-capture policy); nil resolves
+	// from the environment (profile.FromEnv).
+	Profile *profile.Config
 }
 
 // Validate reports option errors before any resource is allocated.
@@ -164,6 +169,15 @@ type Directory struct {
 	// ckpt is the coordinator's durability state (checkpoint.go); a nil
 	// writer means off.
 	ckpt dirCkpt
+
+	// prof is the profiling plane (profile.go): capture fan-out, chunk
+	// reassembly, the content-addressed artifact store, and the
+	// auto-capture policy. The stat counters mirror its activity for
+	// metric scrapes off the event loop.
+	prof              dirProf
+	statProfRequested atomic.Uint64
+	statProfCompleted atomic.Uint64
+	statProfFailed    atomic.Uint64
 }
 
 type migrationState struct {
@@ -272,6 +286,10 @@ func Start(opts Options) (*Directory, error) {
 			d.timeline = events.NewTimeline(ecfg.Timeline)
 			d.evDropped = make(map[string]uint64)
 		}
+		if err := d.initProfile(); err != nil {
+			node.Close()
+			return nil, err
+		}
 		// Restore before the first view encode: a recovered coordinator
 		// publishes the membership and overrides it last sequenced, so
 		// restarting agents rejoin under their old identities.
@@ -348,6 +366,17 @@ func (d *Directory) initMetrics(reg *metrics.Registry) {
 		reg.CounterFunc("elga_health_events_total", "Events ever merged into the cluster timeline.", lbl,
 			func() uint64 { return d.timeline.Seq() })
 	}
+	if d.coordinator {
+		reg.CounterFunc("elga_profile_captures_requested_total", "Profile capture requests fanned out to agents.", lbl,
+			d.statProfRequested.Load)
+		reg.CounterFunc("elga_profile_captures_completed_total", "Profile artifacts committed to the store.", lbl,
+			d.statProfCompleted.Load)
+		reg.CounterFunc("elga_profile_captures_failed_total", "Profile captures that errored or expired before completing.", lbl,
+			d.statProfFailed.Load)
+		reg.GaugeFunc("elga_profile_artifacts", "Profile artifacts in the coordinator store.", lbl,
+			func() float64 { return float64(d.prof.store.Len()) })
+	}
+	metrics.RegisterRuntime(reg)
 }
 
 // Addr returns the directory's dialable address.
@@ -481,6 +510,7 @@ func (d *Directory) agentGone(id uint64) {
 	if d.health != nil {
 		d.health.forget(id)
 	}
+	d.profileAgentGone(id)
 	if d.opts.AgentGone != nil {
 		d.opts.AgentGone(id)
 	}
@@ -514,6 +544,10 @@ func (d *Directory) evaluateHealth(now time.Time) []wire.AgentHealth {
 				events.U("agent", a.AgentID),
 				events.S("status", wire.HealthName(a.Status)),
 				events.S("cause", a.Cause))
+			// A fresh straggler/suspect verdict is the auto-capture
+			// trigger: the profile request goes out before the next
+			// evaluation can re-confirm (the cooldown dedups repeats).
+			d.maybeAutoProfile(now, a)
 		}
 	}
 	for i := range counts {
@@ -704,6 +738,10 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 		}
 	case wire.TStatus:
 		d.replyStatus(pkt)
+	case wire.TProfile:
+		d.handleProfileRequest(pkt)
+	case wire.TProfileChunk:
+		d.handleProfileChunk(pkt)
 	case wire.TCheckpointMark:
 		if m, err := wire.DecodeCheckpointMark(pkt.Payload); err == nil {
 			d.recordMark(m)
@@ -728,6 +766,7 @@ func (d *Directory) handleCoordinator(pkt *wire.Packet) bool {
 			if d.health != nil {
 				d.evaluateHealth(time.Now())
 			}
+			d.sweepProfiles(time.Now())
 			d.scheduleLeaseSweep()
 		} else {
 			d.sendAsyncProbe()

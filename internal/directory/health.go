@@ -64,6 +64,7 @@ type agentVitals struct {
 	inbox    *autoscale.EMA // transport inbox occupancy
 	queue    *autoscale.EMA // send-queue depth
 	retrans  *autoscale.EMA // retransmits per report
+	gorout   *autoscale.EMA // process goroutine count
 	barrier  *autoscale.EMA // barrier-wait seconds (from span aggregates)
 	events   uint64         // timeline events attributed to this agent
 	lastCkpt time.Time      // most recent checkpoint event
@@ -92,6 +93,7 @@ func (h *healthModel) vitals(id uint64) *agentVitals {
 			inbox:   autoscale.NewEMA(h.halfLife),
 			queue:   autoscale.NewEMA(h.halfLife),
 			retrans: autoscale.NewEMA(h.halfLife),
+			gorout:  autoscale.NewEMA(h.halfLife),
 			barrier: autoscale.NewEMA(h.halfLife),
 		}
 		h.agents[id] = v
@@ -118,6 +120,8 @@ func (h *healthModel) observeMetric(now time.Time, m *wire.Metric) {
 		v.queue.Observe(now, m.Value)
 	case autoscale.MetricRetransmits:
 		v.retrans.Observe(now, m.Value)
+	case autoscale.MetricGoroutines:
+		v.gorout.Observe(now, m.Value)
 	}
 }
 
@@ -214,7 +218,7 @@ func (h *healthModel) evaluate(now time.Time, agents map[uint64]string, leases m
 
 	// Cluster medians, over primed signals only, so a fleet that has not
 	// reported yet scores everyone healthy rather than dividing by zero.
-	var steps, inboxes, combines, retranses []float64
+	var steps, inboxes, combines, retranses, gorouts []float64
 	for _, id := range ids {
 		v, ok := h.agents[id]
 		if !ok {
@@ -232,11 +236,15 @@ func (h *healthModel) evaluate(now time.Time, agents map[uint64]string, leases m
 		if v.retrans.Primed() {
 			retranses = append(retranses, v.retrans.Value())
 		}
+		if v.gorout.Primed() {
+			gorouts = append(gorouts, v.gorout.Value())
+		}
 	}
 	medStep := median(steps)
 	medInbox := median(inboxes)
 	medCombine := median(combines)
 	medRetrans := median(retranses)
+	medGorout := median(gorouts)
 
 	out := make([]wire.AgentHealth, 0, len(ids))
 	for _, id := range ids {
@@ -265,10 +273,10 @@ func (h *healthModel) evaluate(now time.Time, agents map[uint64]string, leases m
 			a.Cause = CauseHeartbeatSilence
 		case a.Score >= stragglerRatio:
 			a.Status = wire.HealthStraggler
-			a.Cause = h.attribute(now, v, medInbox, medCombine, medRetrans)
+			a.Cause = h.attribute(now, v, medInbox, medCombine, medRetrans, medGorout)
 		case a.Score >= laggingRatio:
 			a.Status = wire.HealthLagging
-			a.Cause = h.attribute(now, v, medInbox, medCombine, medRetrans)
+			a.Cause = h.attribute(now, v, medInbox, medCombine, medRetrans, medGorout)
 		default:
 			a.Status = wire.HealthHealthy
 		}
@@ -283,10 +291,15 @@ func (h *healthModel) evaluate(now time.Time, agents map[uint64]string, leases m
 // candidate signal with the largest relative excess over the cluster
 // median, or checkpoint overlap when a checkpoint landed inside the
 // window, falling back to compute-skew when nothing else stands out.
-func (h *healthModel) attribute(now time.Time, v *agentVitals, medInbox, medCombine, medRetrans float64) string {
+func (h *healthModel) attribute(now time.Time, v *agentVitals, medInbox, medCombine, medRetrans, medGorout float64) string {
 	cause := CauseComputeSkew
 	best := causeRatio
 	if r := ratio(v.inbox.Value()+v.queue.Value(), medInbox); (v.inbox.Primed() || v.queue.Primed()) && r > best {
+		cause, best = CauseInboxBacklog, r
+	}
+	// A goroutine-count excess is runaway concurrency — more evidence of
+	// a backed-up inbox (handler pile-up) than of slow compute.
+	if r := ratio(v.gorout.Value(), medGorout); v.gorout.Primed() && r > best {
 		cause, best = CauseInboxBacklog, r
 	}
 	if r := ratio(v.combine.Value(), medCombine); v.combine.Primed() && r > best {

@@ -67,6 +67,7 @@ const (
 	KindOpError         = "op-error"         // client op failed after retries
 	KindHealth          = "health"           // health model changed an agent's status
 	KindFault           = "fault"            // injected fault observed (flight dump, kill)
+	KindProfile         = "profile-captured" // profile artifact committed to the store
 )
 
 // MaxFields is the per-record key-value capacity. Fields live inline in

@@ -9,6 +9,7 @@ import (
 	"elga/internal/events"
 	"elga/internal/gen"
 	"elga/internal/metrics"
+	"elga/internal/profile"
 	"elga/internal/trace"
 )
 
@@ -74,14 +75,28 @@ func MeasureSuperstepPerfEvents(s Scale) (*SuperstepPerf, error) {
 	return measureSuperstep(s, &trace.Config{}, &events.Config{Enabled: true})
 }
 
+// MeasureSuperstepPerfProfiled is MeasureSuperstepPerf with the cluster
+// profiling plane enabled but idle (no capture in flight) — the
+// profiling-on column of the overhead comparison. Disarmed captures cost
+// the superstep a single predicted branch, so this column must match the
+// baseline within noise.
+func MeasureSuperstepPerfProfiled(s Scale) (*SuperstepPerf, error) {
+	return measureSuperstepProfiled(s, &trace.Config{}, &events.Config{},
+		&profile.Config{Enabled: true})
+}
+
 func measureSuperstep(s Scale, tcfg *trace.Config, ecfg *events.Config) (*SuperstepPerf, error) {
+	return measureSuperstepProfiled(s, tcfg, ecfg, nil)
+}
+
+func measureSuperstepProfiled(s Scale, tcfg *trace.Config, ecfg *events.Config, pcfg *profile.Config) (*SuperstepPerf, error) {
 	nodes, steps := 4_000, uint32(10)
 	if s == Quick {
 		nodes, steps = 1_000, 5
 	}
 	el := gen.PreferentialAttachment(nodes, 6, 1001)
 	reg := metrics.NewRegistry()
-	c, err := cluster.New(cluster.Options{Config: baseConfig(), Agents: 4, Metrics: reg, Trace: tcfg, Events: ecfg})
+	c, err := cluster.New(cluster.Options{Config: baseConfig(), Agents: 4, Metrics: reg, Trace: tcfg, Events: ecfg, Profile: pcfg})
 	if err != nil {
 		return nil, err
 	}

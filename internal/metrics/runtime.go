@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime self-telemetry: every participant exports its own Go runtime
+// vitals — goroutine count, live heap, next-GC target, and GC pause
+// quantiles — so an operator reading a straggler profile can line the
+// flame graph up against the process's memory and scheduler state at the
+// same scrape instant.
+//
+// runtime.ReadMemStats stops the world, so the sampler caches one
+// snapshot and refreshes it at most once per runtimeSampleAge; every
+// gauge read off one scrape shares the same refresh. GC pauses feed the
+// histogram from the PauseNs ring, advanced by NumGC so each pause is
+// observed exactly once no matter how often scrapes fire.
+
+// runtimeSampleAge bounds how stale the cached MemStats snapshot may be
+// before a gauge read triggers a refresh.
+const runtimeSampleAge = time.Second
+
+// PauseBuckets spans 1µs to ~1s in powers of four — GC pauses are
+// usually tens of microseconds; the tail is what the quantiles are for.
+var PauseBuckets = ExponentialBuckets(1e-6, 4, 11)
+
+// runtimeSampler is the per-registry cached MemStats reader.
+type runtimeSampler struct {
+	mu     sync.Mutex
+	ms     runtime.MemStats
+	last   time.Time
+	lastGC uint32
+	pauses *Histogram
+	primed bool
+}
+
+// refresh re-reads MemStats when the cache is stale and folds any new GC
+// pauses into the histogram.
+func (s *runtimeSampler) refresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	if s.primed && now.Sub(s.last) < runtimeSampleAge {
+		return
+	}
+	runtime.ReadMemStats(&s.ms)
+	s.last = now
+	s.primed = true
+	// Observe each pause once: GC j's pause lives at PauseNs[(j+255)%256],
+	// and the ring holds only the most recent 256.
+	n := s.ms.NumGC - s.lastGC
+	if n > uint32(len(s.ms.PauseNs)) {
+		n = uint32(len(s.ms.PauseNs))
+	}
+	for j := s.ms.NumGC - n + 1; j <= s.ms.NumGC; j++ {
+		s.pauses.Observe(float64(s.ms.PauseNs[(j+255)%256]))
+	}
+	s.lastGC = s.ms.NumGC
+}
+
+func (s *runtimeSampler) heapBytes() float64 {
+	s.refresh()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return float64(s.ms.HeapAlloc)
+}
+
+func (s *runtimeSampler) nextGCBytes() float64 {
+	s.refresh()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return float64(s.ms.NextGC)
+}
+
+// RegisterRuntime registers the process-wide runtime gauges on reg. Safe
+// to call more than once per registry (participants sharing a registry
+// re-register the same families and get the first handles back); a nil
+// registry is ignored.
+func RegisterRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	s := &runtimeSampler{}
+	s.pauses = reg.Histogram("elga_runtime_gc_pause_ns",
+		"Stop-the-world GC pause durations in nanoseconds.",
+		nil, PauseBuckets)
+	reg.GaugeFunc("elga_runtime_goroutines",
+		"Live goroutines in this process.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("elga_runtime_heap_bytes",
+		"Bytes of live heap (HeapAlloc) at the last runtime sample.", nil,
+		s.heapBytes)
+	reg.GaugeFunc("elga_runtime_next_gc_bytes",
+		"Heap size target for the next GC cycle.", nil,
+		s.nextGCBytes)
+}

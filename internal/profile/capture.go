@@ -1,0 +1,133 @@
+package profile
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/pprof"
+	"time"
+)
+
+// Profile kinds. Raw uint8 (not a named type) so they flow through wire
+// frames without conversion, like wire's health statuses.
+const (
+	KindCPU       uint8 = 1
+	KindHeap      uint8 = 2
+	KindGoroutine uint8 = 3
+	KindMutex     uint8 = 4
+	KindBlock     uint8 = 5
+	KindAllocs    uint8 = 6
+)
+
+// KindName names a profile kind (the spelling elga profile -kind takes).
+func KindName(k uint8) string {
+	switch k {
+	case KindCPU:
+		return "cpu"
+	case KindHeap:
+		return "heap"
+	case KindGoroutine:
+		return "goroutine"
+	case KindMutex:
+		return "mutex"
+	case KindBlock:
+		return "block"
+	case KindAllocs:
+		return "allocs"
+	default:
+		return fmt.Sprintf("kind(%d)", k)
+	}
+}
+
+// KindFromName parses a profile kind name.
+func KindFromName(s string) (uint8, bool) {
+	switch s {
+	case "cpu":
+		return KindCPU, true
+	case "heap":
+		return KindHeap, true
+	case "goroutine":
+		return KindGoroutine, true
+	case "mutex":
+		return KindMutex, true
+	case "block":
+		return KindBlock, true
+	case "allocs":
+		return KindAllocs, true
+	}
+	return 0, false
+}
+
+// ValidKind reports whether k names a capturable profile kind.
+func ValidKind(k uint8) bool { return k >= KindCPU && k <= KindAllocs }
+
+// lookupName maps a snapshot kind to its runtime/pprof profile name.
+func lookupName(k uint8) string {
+	switch k {
+	case KindHeap:
+		return "heap"
+	case KindGoroutine:
+		return "goroutine"
+	case KindMutex:
+		return "mutex"
+	case KindBlock:
+		return "block"
+	case KindAllocs:
+		return "allocs"
+	}
+	return ""
+}
+
+// Snapshot captures one snapshot-kind profile (every kind but CPU) in
+// the gzipped pprof protobuf format. Snapshot walks runtime internals
+// and may stop the world briefly — callers run it off the event loop.
+func Snapshot(kind uint8) ([]byte, error) {
+	name := lookupName(kind)
+	if name == "" {
+		return nil, fmt.Errorf("profile: kind %s is not a snapshot profile", KindName(kind))
+	}
+	p := pprof.Lookup(name)
+	if p == nil {
+		return nil, fmt.Errorf("profile: runtime profile %q not found", name)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTo(&buf, 0); err != nil {
+		return nil, fmt.Errorf("profile: capture %s: %w", name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// CPUCapture owns one in-flight CPU profiling window. The runtime allows
+// a single active CPU profile per process; StartCPU surfaces the
+// conflict as an error (in the in-process harness several agents share
+// one runtime, so concurrent CPU requests race for the slot).
+type CPUCapture struct {
+	buf bytes.Buffer
+}
+
+// StartCPU begins CPU profiling into a fresh capture.
+func StartCPU() (*CPUCapture, error) {
+	c := &CPUCapture{}
+	if err := pprof.StartCPUProfile(&c.buf); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	return c, nil
+}
+
+// Stop ends the window and returns the gzipped pprof bytes. Stop flushes
+// the runtime's sample buffer, which can take up to the 100ms sample
+// flush period — callers run it off the event loop.
+func (c *CPUCapture) Stop() []byte {
+	pprof.StopCPUProfile()
+	return c.buf.Bytes()
+}
+
+// CaptureCPU profiles CPU for a wall-clock window — the fallback used
+// when no run is active to scope the window in supersteps.
+func CaptureCPU(d time.Duration) ([]byte, error) {
+	c, err := StartCPU()
+	if err != nil {
+		return nil, err
+	}
+	time.Sleep(d)
+	return c.Stop(), nil
+}

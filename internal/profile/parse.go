@@ -1,0 +1,325 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Parse validates a captured artifact and extracts its summary without
+// any external pprof dependency: a minimal reader for the gzipped
+// profile.proto protobuf the runtime emits. It understands exactly the
+// fields the cluster needs to sanity-check a capture — sample types,
+// sample/location counts, the time axis — and skips everything else by
+// wire type. Malformed input returns an error, never panics.
+//
+// profile.proto field numbers (pprof's public schema):
+//
+//	1 sample_type (ValueType)   2 sample (Sample)
+//	4 location                  5 function
+//	6 string_table              9 time_nanos
+//	10 duration_nanos           11 period_type
+//	12 period
+//
+// ValueType{1: type, 2: unit} holds string-table indices.
+type Profile struct {
+	// SampleTypes are the value dimensions, e.g. cpu/nanoseconds or
+	// inuse_space/bytes.
+	SampleTypes []ValueType
+	// Samples, Locations and Functions count the respective records.
+	Samples   int
+	Locations int
+	Functions int
+	// TimeNanos / DurationNanos locate the capture on the wall clock.
+	TimeNanos     int64
+	DurationNanos int64
+	// PeriodType / Period describe the sampling period.
+	PeriodType ValueType
+	Period     int64
+}
+
+// ValueType is one resolved sample dimension.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// HasSampleType reports whether the profile carries the named dimension.
+func (p *Profile) HasSampleType(name string) bool {
+	for _, st := range p.SampleTypes {
+		if st.Type == name {
+			return true
+		}
+	}
+	return false
+}
+
+// maxProfileBytes bounds a decompressed profile — matches the wire
+// layer's frame ceiling so a hostile gzip bomb cannot balloon memory.
+const maxProfileBytes = 64 << 20
+
+// Parse reads a pprof profile (gzipped or raw protobuf).
+func Parse(data []byte) (*Profile, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("profile: empty artifact")
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("profile: gzip: %w", err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(zr, maxProfileBytes+1))
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("profile: gzip: %w", err)
+		}
+		if len(raw) > maxProfileBytes {
+			return nil, fmt.Errorf("profile: artifact exceeds %d bytes decompressed", maxProfileBytes)
+		}
+		data = raw
+	}
+	return parseProto(data)
+}
+
+// protoReader is a bounds-checked protobuf wire reader with a sticky
+// error, mirroring the wire package's Reader discipline.
+type protoReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *protoReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *protoReader) done() bool { return r.err != nil || r.off >= len(r.buf) }
+
+// varint reads one base-128 varint (up to 64 bits).
+func (r *protoReader) varint() uint64 {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if r.off >= len(r.buf) {
+			r.fail("profile: truncated varint")
+			return 0
+		}
+		b := r.buf[r.off]
+		r.off++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+	}
+	r.fail("profile: varint overflow")
+	return 0
+}
+
+// field reads one key and returns (field number, wire type).
+func (r *protoReader) field() (int, int) {
+	key := r.varint()
+	return int(key >> 3), int(key & 7)
+}
+
+// bytesField reads one length-delimited payload.
+func (r *protoReader) bytesField() []byte {
+	n := r.varint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail("profile: length %d exceeds remaining %d", n, len(r.buf)-r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+// skip discards one value of the given wire type.
+func (r *protoReader) skip(wt int) {
+	switch wt {
+	case 0: // varint
+		r.varint()
+	case 1: // fixed64
+		if len(r.buf)-r.off < 8 {
+			r.fail("profile: truncated fixed64")
+			return
+		}
+		r.off += 8
+	case 2: // length-delimited
+		r.bytesField()
+	case 5: // fixed32
+		if len(r.buf)-r.off < 4 {
+			r.fail("profile: truncated fixed32")
+			return
+		}
+		r.off += 4
+	default:
+		r.fail("profile: unsupported wire type %d", wt)
+	}
+}
+
+// rawValueType is a ValueType before string-table resolution.
+type rawValueType struct {
+	typ, unit uint64
+}
+
+func parseValueType(data []byte) (rawValueType, error) {
+	r := &protoReader{buf: data}
+	var vt rawValueType
+	for !r.done() {
+		f, wt := r.field()
+		switch {
+		case f == 1 && wt == 0:
+			vt.typ = r.varint()
+		case f == 2 && wt == 0:
+			vt.unit = r.varint()
+		default:
+			r.skip(wt)
+		}
+	}
+	return vt, r.err
+}
+
+// checkMessage walks a submessage's fields to validate its framing
+// without materializing it (samples, locations, functions).
+func checkMessage(data []byte) error {
+	r := &protoReader{buf: data}
+	for !r.done() {
+		_, wt := r.field()
+		r.skip(wt)
+	}
+	return r.err
+}
+
+func parseProto(data []byte) (*Profile, error) {
+	r := &protoReader{buf: data}
+	p := &Profile{}
+	var sampleTypes []rawValueType
+	var periodType rawValueType
+	var strings []string
+	for !r.done() {
+		f, wt := r.field()
+		if r.err != nil {
+			break
+		}
+		switch f {
+		case 1: // sample_type
+			if wt != 2 {
+				r.fail("profile: sample_type wire type %d", wt)
+				break
+			}
+			vt, err := parseValueType(r.bytesField())
+			if err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			if wt != 2 {
+				r.fail("profile: sample wire type %d", wt)
+				break
+			}
+			if err := checkMessage(r.bytesField()); err != nil {
+				return nil, err
+			}
+			p.Samples++
+		case 4: // location
+			if wt != 2 {
+				r.fail("profile: location wire type %d", wt)
+				break
+			}
+			if err := checkMessage(r.bytesField()); err != nil {
+				return nil, err
+			}
+			p.Locations++
+		case 5: // function
+			if wt != 2 {
+				r.fail("profile: function wire type %d", wt)
+				break
+			}
+			if err := checkMessage(r.bytesField()); err != nil {
+				return nil, err
+			}
+			p.Functions++
+		case 6: // string_table
+			if wt != 2 {
+				r.fail("profile: string_table wire type %d", wt)
+				break
+			}
+			strings = append(strings, string(r.bytesField()))
+		case 9: // time_nanos
+			if wt != 0 {
+				r.fail("profile: time_nanos wire type %d", wt)
+				break
+			}
+			p.TimeNanos = int64(r.varint())
+		case 10: // duration_nanos
+			if wt != 0 {
+				r.fail("profile: duration_nanos wire type %d", wt)
+				break
+			}
+			p.DurationNanos = int64(r.varint())
+		case 11: // period_type
+			if wt != 2 {
+				r.fail("profile: period_type wire type %d", wt)
+				break
+			}
+			vt, err := parseValueType(r.bytesField())
+			if err != nil {
+				return nil, err
+			}
+			periodType = vt
+		case 12: // period
+			if wt != 0 {
+				r.fail("profile: period wire type %d", wt)
+				break
+			}
+			p.Period = int64(r.varint())
+		default:
+			r.skip(wt)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	resolve := func(idx uint64) (string, error) {
+		if idx >= uint64(len(strings)) {
+			return "", fmt.Errorf("profile: string index %d out of table (%d entries)", idx, len(strings))
+		}
+		return strings[idx], nil
+	}
+	for _, vt := range sampleTypes {
+		t, err := resolve(vt.typ)
+		if err != nil {
+			return nil, err
+		}
+		u, err := resolve(vt.unit)
+		if err != nil {
+			return nil, err
+		}
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: t, Unit: u})
+	}
+	if periodType != (rawValueType{}) {
+		t, err := resolve(periodType.typ)
+		if err != nil {
+			return nil, err
+		}
+		u, err := resolve(periodType.unit)
+		if err != nil {
+			return nil, err
+		}
+		p.PeriodType = ValueType{Type: t, Unit: u}
+	}
+	if len(p.SampleTypes) == 0 {
+		return nil, fmt.Errorf("profile: no sample types (not a pprof profile)")
+	}
+	if len(strings) > 0 && strings[0] != "" {
+		return nil, fmt.Errorf("profile: string table must start empty (got %q)", strings[0])
+	}
+	return p, nil
+}

@@ -1,0 +1,166 @@
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"elga/internal/checkpoint"
+	"elga/internal/wire"
+)
+
+// SegProfile is the segment kind profile artifacts carry in the shared
+// checkpoint sink framing (checkpoint's own kinds occupy 1–5).
+const SegProfile uint8 = 7
+
+// manifestKey names the store's manifest root in the sink.
+const manifestKey = "profiles"
+
+// Store is the coordinator-side profile artifact store: captured
+// profiles as content-addressed segments in a checkpoint.Sink plus an
+// atomically-replaced manifest listing every artifact with its run ID,
+// superstep span, trace ID, and triggering verdict. Store is safe for
+// concurrent use (metric gauges scrape it off the event loop).
+type Store struct {
+	mu   sync.Mutex
+	sink checkpoint.Sink
+	arts []wire.ProfileArtifact
+}
+
+// OpenStore opens the artifact store a Config describes: a directory
+// sink under cfg.Dir, or an in-memory sink when Dir is empty (artifacts
+// then die with the coordinator — fine for tests and ad-hoc captures).
+// An existing manifest is loaded so profiles survive restarts.
+func OpenStore(cfg Config) (*Store, error) {
+	var sink checkpoint.Sink
+	if cfg.Dir == "" {
+		sink = newMemSink()
+	} else {
+		ds, err := checkpoint.NewDirSink(cfg.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		sink = ds
+	}
+	s := &Store{sink: sink}
+	data, err := sink.ReadManifest(manifestKey)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return s, nil
+		}
+		return nil, fmt.Errorf("profile: manifest: %w", err)
+	}
+	arts, err := wire.DecodeProfileArtifacts(data)
+	if err != nil {
+		return nil, fmt.Errorf("profile: manifest: %w", err)
+	}
+	s.arts = arts
+	return s, nil
+}
+
+// Add commits one artifact: the content-addressed segment first, then
+// the atomic manifest replace — the commit point, so a kill mid-add
+// leaves the previous manifest and an orphan segment, never a manifest
+// entry without its payload. Returns the artifact with its segment
+// address and length filled in.
+func (s *Store) Add(art wire.ProfileArtifact, data []byte) (wire.ProfileArtifact, error) {
+	art.Segment = checkpoint.SegmentName(SegProfile, data)
+	art.Length = uint64(len(data))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.sink.WriteSegment(art.Segment, SegProfile, data); err != nil {
+		return art, fmt.Errorf("profile: %w", err)
+	}
+	s.arts = append(s.arts, art)
+	if err := s.sink.WriteManifest(manifestKey, wire.AppendProfileArtifacts(nil, s.arts)); err != nil {
+		return art, fmt.Errorf("profile: %w", err)
+	}
+	return art, nil
+}
+
+// List returns a copy of the manifest, oldest first.
+func (s *Store) List() []wire.ProfileArtifact {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]wire.ProfileArtifact(nil), s.arts...)
+}
+
+// Len returns the artifact count (scraped by metrics off the loop).
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.arts)
+}
+
+// Read returns one artifact's profile bytes by segment address,
+// verifying framing, CRC and segment kind.
+func (s *Store) Read(segment string) ([]byte, error) {
+	kind, payload, err := s.sink.ReadSegment(segment)
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	if kind != SegProfile {
+		return nil, fmt.Errorf("profile: segment %s has kind %d, want %d", segment, kind, SegProfile)
+	}
+	return payload, nil
+}
+
+// memSink is the in-memory checkpoint.Sink used when no store directory
+// is configured.
+type memSink struct {
+	mu        sync.Mutex
+	segments  map[string][]byte
+	manifests map[string][]byte
+}
+
+func newMemSink() *memSink {
+	return &memSink{segments: make(map[string][]byte), manifests: make(map[string][]byte)}
+}
+
+func (m *memSink) HasSegment(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.segments[name]
+	return ok
+}
+
+func (m *memSink) WriteSegment(name string, kind uint8, payload []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.segments[name]; ok {
+		return nil
+	}
+	m.segments[name] = append([]byte{kind}, payload...)
+	return nil
+}
+
+func (m *memSink) ReadSegment(name string) (uint8, []byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.segments[name]
+	if !ok || len(data) < 1 {
+		return 0, nil, fmt.Errorf("profile: segment %s: %w", name, os.ErrNotExist)
+	}
+	return data[0], append([]byte(nil), data[1:]...), nil
+}
+
+func (m *memSink) WriteManifest(key string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.manifests[key] = append([]byte(nil), data...)
+	return nil
+}
+
+func (m *memSink) ReadManifest(key string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.manifests[key]
+	if !ok {
+		return nil, os.ErrNotExist
+	}
+	return append([]byte(nil), data...), nil
+}

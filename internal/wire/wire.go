@@ -141,6 +141,21 @@ const (
 	TStatus
 	// TStatusReply answers a TStatus.
 	TStatusReply
+	// TProfileReq asks one agent to capture a runtime profile (CPU, heap,
+	// goroutine, mutex, block, allocs), optionally scoped to a superstep
+	// window. Acked: a silently dropped request would wedge the
+	// coordinator's one-in-flight-per-agent accounting.
+	TProfileReq
+	// TProfileChunk streams one bounded chunk of a captured profile back
+	// to the coordinator. Lossy like TMetric: a dropped chunk costs one
+	// capture (the reassembly times out), never correctness, so it rides
+	// outside the acked discipline.
+	TProfileChunk
+	// TProfile is the client-boundary profiling request (REQ/REP):
+	// trigger a capture, list stored artifacts, or fetch one.
+	TProfile
+	// TProfileReply answers a TProfile.
+	TProfileReply
 
 	typeCount
 )
@@ -155,7 +170,7 @@ func AckedPush(t Type) bool {
 	switch t {
 	case TEdges, TVertexMsgs, TReplicaPartial, TValueUpdate, TReplicaRegister,
 		TSketchDelta, TDirUpdate, TAdvance, TAlgoStart, TAlgoDone, TBatchOpen,
-		TReady, TSubscribe, TLeave, TMembershipForward:
+		TReady, TSubscribe, TLeave, TMembershipForward, TProfileReq:
 		return true
 	}
 	return false
@@ -178,6 +193,8 @@ var typeNames = [...]string{
 	TSpanBatch: "span-batch", TVertexDigest: "vertex-digest",
 	TCheckpointMark: "checkpoint-mark", TEventBatch: "event-batch",
 	TStatus: "status", TStatusReply: "status-reply",
+	TProfileReq: "profile-req", TProfileChunk: "profile-chunk",
+	TProfile: "profile", TProfileReply: "profile-reply",
 }
 
 // String names the type for logs.
